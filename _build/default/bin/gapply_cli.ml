@@ -1,0 +1,130 @@
+(* An interactive SQL shell over the engine.
+
+   Usage:
+     dune exec bin/gapply_cli.exe -- [--tpch MSF] [--partition sort|hash]
+                                     [--no-optimize] [-f script.sql]
+
+   Meta-commands inside the shell:
+     \q            quit
+     \tables       list tables
+     \stats TABLE  show table statistics
+     \timing       toggle per-query timing
+     explain Q     show plans and the rules that fired               *)
+
+open Cmdliner
+
+let print_outcome timing elapsed = function
+  | Engine.Rows rel -> (
+      Format.printf "%a" Relation.pp rel;
+      if timing then Format.printf "(%.1f ms)@." (1000. *. elapsed))
+  | Engine.Message m -> Format.printf "%s@." m
+  | Engine.Explanation text -> Format.printf "%s" text
+
+let run_statement db ~timing src =
+  try
+    let t0 = Unix.gettimeofday () in
+    let outcome = Engine.exec db src in
+    print_outcome timing (Unix.gettimeofday () -. t0) outcome
+  with e when Errors.is_engine_error e ->
+    Format.printf "error: %s@." (Errors.to_string e)
+
+let run_meta db ~timing cmd =
+  match String.split_on_char ' ' (String.trim cmd) with
+  | [ "\\q" ] | [ "\\quit" ] -> raise Exit
+  | [ "\\tables" ] ->
+      List.iter
+        (fun name ->
+          let t = Catalog.find_table (Engine.catalog db) name in
+          Format.printf "%-12s %8d row(s)  %s@." name (Table.cardinality t)
+            (Schema.to_string (Table.schema t)))
+        (Catalog.table_names (Engine.catalog db))
+  | [ "\\stats"; table ] -> (
+      try Format.printf "%a" Stats.pp (Catalog.stats_of (Engine.catalog db) table)
+      with e when Errors.is_engine_error e ->
+        Format.printf "error: %s@." (Errors.to_string e))
+  | [ "\\timing" ] ->
+      timing := not !timing;
+      Format.printf "timing %s@." (if !timing then "on" else "off")
+  | _ -> Format.printf "unknown meta-command: %s@." cmd
+
+let repl db =
+  let timing = ref false in
+  Format.printf
+    "gapply engine — SQL with the SIGMOD 2003 GApply extension.@.Type \
+     \\q to quit, \\tables to list tables.@.";
+  let buf = Buffer.create 256 in
+  try
+    while true do
+      print_string (if Buffer.length buf = 0 then "gapply> " else "   ...> ");
+      flush stdout;
+      match input_line stdin with
+      | exception End_of_file -> raise Exit
+      | line ->
+          let trimmed = String.trim line in
+          if Buffer.length buf = 0 && String.length trimmed > 0
+             && trimmed.[0] = '\\'
+          then run_meta db ~timing trimmed
+          else begin
+            Buffer.add_string buf line;
+            Buffer.add_char buf '\n';
+            if String.length trimmed > 0
+               && trimmed.[String.length trimmed - 1] = ';'
+            then begin
+              let src = Buffer.contents buf in
+              Buffer.clear buf;
+              run_statement db ~timing:!timing src
+            end
+          end
+    done
+  with Exit -> Format.printf "bye.@."
+
+let main tpch_msf partition no_optimize script =
+  let partition =
+    match partition with
+    | "sort" -> Compile.Sort_partition
+    | "hash" -> Compile.Hash_partition
+    | other ->
+        Format.eprintf "unknown partition strategy %s (sort|hash)@." other;
+        exit 2
+  in
+  let db = Engine.create ~partition ~optimize:(not no_optimize) () in
+  (match tpch_msf with
+  | Some msf ->
+      Engine.load_tpch db ~msf;
+      Format.printf "loaded TPC-H micro data at msf %g@." msf
+  | None -> ());
+  match script with
+  | Some path ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      List.iter (print_outcome false 0.) (Engine.exec_script db src)
+  | None -> repl db
+
+let tpch_arg =
+  Arg.(value & opt (some float) None
+       & info [ "tpch" ] ~docv:"MSF"
+           ~doc:"Load TPC-H style data at the given micro scale factor.")
+
+let partition_arg =
+  Arg.(value & opt string "hash"
+       & info [ "partition" ] ~docv:"STRATEGY"
+           ~doc:"GApply partitioning strategy: sort or hash.")
+
+let no_optimize_arg =
+  Arg.(value & flag
+       & info [ "no-optimize" ] ~doc:"Disable the rule-based optimizer.")
+
+let script_arg =
+  Arg.(value & opt (some file) None
+       & info [ "f"; "file" ] ~docv:"SCRIPT"
+           ~doc:"Execute a ';'-separated SQL script instead of the REPL.")
+
+let cmd =
+  let doc = "SQL shell for the GApply engine (SIGMOD 2003 reproduction)" in
+  Cmd.v
+    (Cmd.info "gapply_cli" ~doc)
+    Term.(const main $ tpch_arg $ partition_arg $ no_optimize_arg $ script_arg)
+
+let () = exit (Cmd.eval cmd)

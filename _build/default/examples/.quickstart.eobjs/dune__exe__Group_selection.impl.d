@@ -1,0 +1,1 @@
+examples/group_selection.ml: Executor Format List Optimizer Plan Printf Relation Sql_binder Sql_parser Tpch_gen Unix

@@ -1,0 +1,1 @@
+examples/group_selection.mli:

@@ -1,0 +1,1 @@
+examples/optimizer_tour.ml: Cost Executor Format Optimizer Plan Relation Sql_binder Sql_parser Tpch_gen

@@ -1,0 +1,1 @@
+examples/xml_publishing.ml: Catalog Deep_publish Deep_view Flwr Format List Table Tagger Tpch_gen Unix Xml Xml_view

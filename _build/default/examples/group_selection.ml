@@ -1,0 +1,71 @@
+(* Group selection in depth (paper Section 4.2).
+
+   A query that keeps or drops whole supplier "objects" can be evaluated
+   two ways:
+   - construct every group and test the predicate (plain GApply);
+   - extract the qualifying group ids first and rebuild only those
+     groups (the Figure 5 rewrite).
+
+   Which is faster depends on the predicate's selectivity — exactly why
+   the rule is cost-based (Table 1's "average" vs "average over wins").
+   This example sweeps the selectivity and shows the measured times, the
+   optimizer's cost estimates, and the decision the driver takes.
+
+   Run with:  dune exec examples/group_selection.exe                   *)
+
+let time_runs n f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int n
+
+let () =
+  let cat = Tpch_gen.catalog ~msf:1.0 () in
+  let query bound =
+    Printf.sprintf
+      "select gapply(select * from g where exists (select * from g where \
+       p_retailprice > %g)) from partsupp, part where ps_partkey = \
+       p_partkey group by ps_suppkey : g"
+      bound
+  in
+  Format.printf
+    "suppliers that supply some part priced above BOUND (prices run \
+     roughly 900..2100)@.@.";
+  Format.printf "%-8s %12s %14s %14s %9s %s@." "bound" "qualifying"
+    "gapply (ms)" "rewrite (ms)" "benefit" "driver picks";
+  List.iter
+    (fun bound ->
+      let src = query bound in
+      let plan =
+        match
+          Sql_binder.bind_statement cat (Sql_parser.parse_statement src)
+        with
+        | Sql_binder.Bound_query p -> p
+        | _ -> failwith "expected a query"
+      in
+      let rewritten =
+        match Optimizer.force_rule "group-selection-exists" cat plan with
+        | Some p -> p
+        | None -> failwith "rule did not fire"
+      in
+      let qualifying =
+        let r = Executor.run cat rewritten in
+        (* count distinct supplier keys in the output *)
+        Relation.cardinality
+          (Relation.distinct (Relation.project [ 0 ] r))
+      in
+      let t_plain = time_runs 3 (fun () -> Executor.run cat plan) in
+      let t_rewrite = time_runs 3 (fun () -> Executor.run cat rewritten) in
+      let { Optimizer.plan = chosen; _ } = Optimizer.optimize cat plan in
+      let picked =
+        if Plan.contains_gapply chosen then "plain gapply" else "rewrite"
+      in
+      Format.printf "%-8g %12d %14.2f %14.2f %8.2fx %s@." bound qualifying
+        (1000. *. t_plain) (1000. *. t_rewrite)
+        (t_plain /. t_rewrite) picked)
+    [ 2090.; 2060.; 2000.; 1800.; 1400.; 1000. ];
+  Format.printf
+    "@.With a highly selective predicate the rewrite avoids building \
+     groups that are thrown away; when every supplier qualifies it does \
+     the grouping work twice and loses.@."

@@ -1,0 +1,1 @@
+lib/algebra/plan.ml: Errors Expr Format List Option Printf Schema Stdlib String

@@ -1,0 +1,1 @@
+lib/algebra/props.ml: Datatype Errors Expr Format Infer List Plan Schema String

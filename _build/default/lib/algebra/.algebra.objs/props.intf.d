@@ -1,0 +1,1 @@
+lib/algebra/props.mli: Format Plan Schema

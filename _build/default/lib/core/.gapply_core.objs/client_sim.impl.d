@@ -1,0 +1,1 @@
+lib/core/client_sim.ml: Array Buffer Catalog Compile Cursor Datatype Env Errors Executor Expr List Plan Props Relation Schema Tuple Unix Value

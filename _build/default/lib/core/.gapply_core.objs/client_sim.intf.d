@@ -1,0 +1,1 @@
+lib/core/client_sim.mli: Catalog Plan Relation

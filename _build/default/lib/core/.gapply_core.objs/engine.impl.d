@@ -1,0 +1,1 @@
+lib/core/engine.ml: Buffer Catalog Compile Cost Errors Executor List Optimizer Plan Printf Relation Sql_binder Sql_parser Tpch_gen

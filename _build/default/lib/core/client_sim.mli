@@ -1,0 +1,23 @@
+(** Client-side simulation of GApply (paper Section 5.1).
+
+    Reproduces the protocol the paper used because SQL Server 2000's
+    internal GApply could not be invoked directly: materialise the outer
+    query into a temp table, simulate the partition phase with a
+    group-by counting distinct concatenated payloads (plus the
+    over-estimate correction query), then extract each group's range
+    from a clustered temp table and run the per-group query on it. *)
+
+type timings = {
+  outer_time : float;        (** materialising the outer query *)
+  partition_time : float;    (** the count(distinct misccols) groupby *)
+  overestimate_time : float; (** the correction query *)
+  execute_time : float;      (** per-group extraction + per-group query *)
+}
+
+val total : timings -> float
+(** The paper's accounting:
+    outer + partition - overestimate + execute. *)
+
+val run : Catalog.t -> Plan.t -> Relation.t * timings
+(** Run a GApply plan through the client-side protocol.
+    @raise Errors.Plan_error when the plan's root is not a GApply. *)

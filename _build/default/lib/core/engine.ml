@@ -1,0 +1,105 @@
+(* Public facade: a small embedded database engine with the paper's
+   GApply operator, SQL syntax extension, and optimizer rules.
+
+   Typical use:
+
+     let db = Engine.create () in
+     Engine.load_tpch db ~msf:1.0;
+     match Engine.exec db "select gapply(...) ... group by k : g" with
+     | Engine.Rows rel -> Format.printf "%a" Relation.pp rel
+     | ...                                                            *)
+
+type t = {
+  catalog : Catalog.t;
+  mutable partition : Compile.partition_strategy;
+  mutable optimize : bool;
+}
+
+type outcome =
+  | Rows of Relation.t
+  | Message of string
+  | Explanation of string
+
+let create ?(partition = Compile.Hash_partition) ?(optimize = true) () =
+  { catalog = Catalog.create (); partition; optimize }
+
+let catalog db = db.catalog
+let set_partition_strategy db p = db.partition <- p
+let set_optimize db b = db.optimize <- b
+
+(** Load the TPC-H style dataset (supplier/part/partsupp) at micro scale
+    factor [msf] (1.0 = 100 suppliers / 2000 parts / 8000 partsupp). *)
+let load_tpch ?seed db ~msf = ignore (Tpch_gen.load ?seed db.catalog ~msf)
+
+let config db = Compile.config_with ~partition:db.partition ()
+
+(** Parse a SQL query string into an (unoptimized) logical plan. *)
+let plan_of_sql db src =
+  match Sql_binder.bind_statement db.catalog (Sql_parser.parse_statement src)
+  with
+  | Sql_binder.Bound_query p -> p
+  | Sql_binder.Bound_explain p -> p
+  | Sql_binder.Bound_ddl _ ->
+      Errors.plan_errorf "expected a query, got a DDL statement"
+
+(** The plan that would actually run (optimized if enabled). *)
+let effective_plan db src =
+  let plan = plan_of_sql db src in
+  if db.optimize then (Optimizer.optimize db.catalog plan).Optimizer.plan
+  else plan
+
+(** Run a logical plan directly. *)
+let run_plan db plan = Executor.run ~config:(config db) db.catalog plan
+
+(** Execute one SQL statement. *)
+let exec db src : outcome =
+  match Sql_binder.bind_statement db.catalog (Sql_parser.parse_statement src)
+  with
+  | Sql_binder.Bound_ddl msg -> Message msg
+  | Sql_binder.Bound_query plan ->
+      let plan =
+        if db.optimize then (Optimizer.optimize db.catalog plan).Optimizer.plan
+        else plan
+      in
+      Rows (run_plan db plan)
+  | Sql_binder.Bound_explain plan ->
+      let opt = Optimizer.optimize db.catalog plan in
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "== unoptimized ==\n";
+      Buffer.add_string buf (Plan.to_string plan);
+      Buffer.add_string buf "== optimized ==\n";
+      Buffer.add_string buf (Plan.to_string opt.Optimizer.plan);
+      (match opt.Optimizer.trace with
+      | [] -> Buffer.add_string buf "== no rules fired ==\n"
+      | trace ->
+          Buffer.add_string buf "== rules fired ==\n";
+          Buffer.add_string buf (Optimizer.trace_to_string trace);
+          Buffer.add_char buf '\n');
+      Buffer.add_string buf
+        (Printf.sprintf "== estimated cost: %.0f ==\n"
+           (Cost.plan_cost db.catalog opt.Optimizer.plan));
+      Explanation (Buffer.contents buf)
+
+(** Execute a whole ';'-separated script, returning each outcome. *)
+let exec_script db src : outcome list =
+  List.map
+    (fun stmt ->
+      match Sql_binder.bind_statement db.catalog stmt with
+      | Sql_binder.Bound_ddl msg -> Message msg
+      | Sql_binder.Bound_query plan ->
+          let plan =
+            if db.optimize then
+              (Optimizer.optimize db.catalog plan).Optimizer.plan
+            else plan
+          in
+          Rows (run_plan db plan)
+      | Sql_binder.Bound_explain plan ->
+          Explanation (Plan.to_string plan))
+    (Sql_parser.parse_script src)
+
+(** Run a query and return the relation (raises on DDL). *)
+let query db src =
+  match exec db src with
+  | Rows r -> r
+  | Message m -> Errors.plan_errorf "expected rows, got: %s" m
+  | Explanation _ -> Errors.plan_errorf "expected rows, got an explanation"

@@ -1,0 +1,49 @@
+(** Public facade: an embedded database engine with the paper's GApply
+    operator, the Section 3.1 SQL syntax extension, and the Section 4
+    optimizer rules.
+
+    {[
+      let db = Engine.create () in
+      Engine.load_tpch db ~msf:1.0;
+      match Engine.exec db "select gapply(...) ... group by k : g" with
+      | Engine.Rows rel -> Format.printf "%a" Relation.pp rel
+      | _ -> ...
+    ]} *)
+
+type t
+
+type outcome =
+  | Rows of Relation.t          (** result of a query *)
+  | Message of string           (** DDL/DML confirmation *)
+  | Explanation of string       (** EXPLAIN output *)
+
+val create :
+  ?partition:Compile.partition_strategy -> ?optimize:bool -> unit -> t
+(** A fresh engine with an empty catalog.  Defaults: hash-partitioned
+    GApply, optimizer enabled. *)
+
+val catalog : t -> Catalog.t
+val set_partition_strategy : t -> Compile.partition_strategy -> unit
+val set_optimize : t -> bool -> unit
+
+val load_tpch : ?seed:int -> t -> msf:float -> unit
+(** Load the TPC-H style dataset (supplier/part/partsupp) at micro scale
+    factor [msf] (1.0 = 100 suppliers / 2000 parts / 8000 partsupp). *)
+
+val plan_of_sql : t -> string -> Plan.t
+(** Parse and bind a query to its (unoptimized) logical plan. *)
+
+val effective_plan : t -> string -> Plan.t
+(** The plan that would actually run (optimized when enabled). *)
+
+val run_plan : t -> Plan.t -> Relation.t
+
+val exec : t -> string -> outcome
+(** Execute one SQL statement (query, EXPLAIN, or DDL/DML). *)
+
+val exec_script : t -> string -> outcome list
+(** Execute a ';'-separated script. *)
+
+val query : t -> string -> Relation.t
+(** Like {!exec} but raises {!Errors.Plan_error} unless the statement is
+    a query. *)

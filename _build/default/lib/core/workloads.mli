@@ -1,0 +1,40 @@
+(** The paper's experimental workload (Section 5).
+
+    Queries Q1-Q4 come in both formulations: [qN_gapply] (the Section
+    3.1 syntax — one grouped pass) and [qN_baseline] (the traditional
+    sorted-outer-union SQL a decorrelating engine would run).  The
+    verbatim correlated Section 2 SQL for Q2/Q3 is kept separately; the
+    [rule_*] families parameterize the Table 1 sweeps. *)
+
+val q1_gapply : string
+val q1_baseline : string
+
+val q2_gapply : string
+val q2_baseline : string
+val q2_correlated : string
+
+val q3_gapply : ?hi_frac:float -> ?lo_mult:float -> unit -> string
+val q3_baseline : ?hi_frac:float -> ?lo_mult:float -> unit -> string
+val q3_correlated : ?hi_frac:float -> ?lo_mult:float -> unit -> string
+
+val q4_gapply : string
+val q4_baseline : string
+
+val figure8_queries : (string * string * string) list
+(** (name, gapply formulation, baseline formulation) for Q1-Q4. *)
+
+val figure8_correlated : (string * string * string) list
+(** (name, gapply formulation, verbatim correlated formulation). *)
+
+(** {1 Table 1 rule-sweep families} *)
+
+val rule_selection_query : price_bound:float -> string
+val rule_projection_query : width:int -> string
+val rule_groupby_query : keys:string -> string
+val rule_exists_query : price_bound:float -> string
+val rule_aggregate_selection_query : avg_bound:float -> string
+val rule_invariant_query : price_bound:float -> string
+
+val table1_sweeps : unit -> (string * string * (string * string) list) list
+(** (paper rule label, optimizer rule name, (parameter label, SQL)
+    instances). *)

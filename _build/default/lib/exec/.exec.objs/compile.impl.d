@@ -1,0 +1,1 @@
+lib/exec/compile.ml: Agg_state Array Catalog Cursor Env Eval Expr Index Join_analysis Lazy List Option Plan Props Relation Schema Table Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/compile.mli: Cursor Env Plan Schema

@@ -1,0 +1,1 @@
+lib/exec/env.ml: Catalog Errors Eval List Relation

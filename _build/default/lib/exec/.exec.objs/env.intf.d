@@ -1,0 +1,1 @@
+lib/exec/env.mli: Catalog Eval Relation Schema Tuple

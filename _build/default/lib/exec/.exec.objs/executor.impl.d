@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Catalog Compile Cursor Env List Plan Relation

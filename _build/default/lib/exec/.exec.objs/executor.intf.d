@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Catalog Compile Env Plan Relation

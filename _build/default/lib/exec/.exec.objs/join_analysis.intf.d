@@ -1,0 +1,1 @@
+lib/exec/join_analysis.mli: Expr Schema

@@ -1,0 +1,1 @@
+lib/exec/reference.ml: Agg_state Array Catalog Env Eval Expr List Plan Props Relation Schema Table Truth Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/reference.mli: Catalog Env Plan Relation

@@ -1,0 +1,498 @@
+(* Logical-to-physical compilation.
+
+   [plan] turns a logical plan into a [compiled] value once; the returned
+   [run] closure can then be executed many times under different
+   environments — which is exactly what Apply (per outer row) and GApply
+   (per group) do.
+
+   GApply execution follows the paper's two phases (Section 3): a
+   partition phase (by sorting or hashing, per [config]) over the outer
+   stream, then a nested-loops execution phase that binds each group to
+   the relation-valued variable and re-runs the compiled per-group
+   query. *)
+
+type partition_strategy = Sort_partition | Hash_partition
+
+type config = {
+  partition : partition_strategy;
+  apply_cache : bool;
+      (* evaluate uncorrelated Apply inners once per run (see the Apply
+         case below); disabled only by the ablation benchmark *)
+  use_indexes : bool;
+      (* probe a matching hash index on the inner side of an equi-join
+         instead of building a per-query hash table *)
+}
+
+let default_config =
+  { partition = Hash_partition; apply_cache = true; use_indexes = true }
+
+let config_with ?(partition = Hash_partition) ?(apply_cache = true)
+    ?(use_indexes = true) () =
+  { partition; apply_cache; use_indexes }
+
+type compiled = { schema : Schema.t; run : Env.t -> Cursor.t }
+
+(* ---------- helpers ---------- *)
+
+let key_indexes schema (refs : Expr.col_ref list) =
+  List.map
+    (fun (r : Expr.col_ref) -> Schema.find ?qual:r.Expr.qual r.Expr.name schema)
+    refs
+
+let project_key idxs (row : Tuple.t) : Tuple.t =
+  Tuple.of_list (List.map (fun i -> Tuple.get row i) idxs)
+
+(* Group rows by a key function, preserving first-seen group order.
+   Returns groups in order with their rows in input order. *)
+let group_rows (key_of : Tuple.t -> Tuple.t) (rows : Tuple.t array) :
+    (Tuple.t * Tuple.t list) list =
+  let tbl : Tuple.t list ref Tuple.Tbl.t = Tuple.Tbl.create 64 in
+  let order = ref [] in
+  Array.iter
+    (fun row ->
+      let key = key_of row in
+      match Tuple.Tbl.find_opt tbl key with
+      | Some bucket -> bucket := row :: !bucket
+      | None ->
+          Tuple.Tbl.add tbl key (ref [ row ]);
+          order := key :: !order)
+    rows;
+  List.rev_map
+    (fun key -> (key, List.rev !(Tuple.Tbl.find tbl key)))
+    !order
+  |> List.rev
+
+(* Aggregate a row sequence into one output row of finished values. *)
+let run_aggregates (specs : (Expr.agg * Eval.compiled option) list)
+    (frames : Eval.frames) (rows : Tuple.t list) : Tuple.t =
+  let states = List.map (fun (spec, _) -> Agg_state.create spec) specs in
+  List.iter
+    (fun row ->
+      List.iter2
+        (fun state (_, carg) ->
+          let v =
+            match carg with None -> Value.Null | Some c -> c frames row
+          in
+          Agg_state.add state v)
+        states specs)
+    rows;
+  Tuple.of_list (List.map Agg_state.finish states)
+
+let compile_agg_args schema (aggs : (Expr.agg * string) list) =
+  List.map
+    (fun ((a : Expr.agg), _) ->
+      (a, Option.map (Eval.compile schema) a.Expr.arg))
+    aggs
+
+(* ---------- the compiler ---------- *)
+
+let rec plan ?(config = default_config) ?(outer : Schema.t list = [])
+    (p : Plan.t) : compiled =
+  let schema = Props.schema_of ~outer p in
+  match p with
+  | Plan.Table_scan { table; _ } ->
+      {
+        schema;
+        run =
+          (fun env ->
+            let t = Catalog.find_table env.Env.catalog table in
+            Cursor.of_relation (Table.to_relation t));
+      }
+  | Plan.Group_scan { var; _ } ->
+      {
+        schema;
+        run = (fun env -> Cursor.of_relation (Env.find_group env var));
+      }
+  | Plan.Select { pred; input } ->
+      let c = plan ~config ~outer input in
+      let test = Eval.compile_pred c.schema pred in
+      {
+        schema;
+        run =
+          (fun env ->
+            Cursor.filter (test env.Env.frames) (c.run env));
+      }
+  | Plan.Project { items; input } ->
+      let c = plan ~config ~outer input in
+      let compiled_items =
+        List.map (fun (e, _) -> Eval.compile c.schema e) items
+      in
+      {
+        schema;
+        run =
+          (fun env ->
+            Cursor.map
+              (fun row ->
+                Tuple.of_list
+                  (List.map (fun ce -> ce env.Env.frames row) compiled_items))
+              (c.run env));
+      }
+  | Plan.Join { pred; left; right; _ } -> compile_join ~config ~outer pred left right
+  | Plan.Alias { input; _ } ->
+      let c = plan ~config ~outer input in
+      { schema; run = c.run }
+  | Plan.Group_by { keys; aggs; input } ->
+      let c = plan ~config ~outer input in
+      let idxs = key_indexes c.schema keys in
+      let specs = compile_agg_args c.schema aggs in
+      {
+        schema;
+        run =
+          (fun env ->
+            Cursor.deferred (fun () ->
+                let rows = Cursor.to_array (c.run env) in
+                let groups = group_rows (project_key idxs) rows in
+                let out =
+                  List.map
+                    (fun (key, members) ->
+                      Tuple.concat key
+                        (run_aggregates specs env.Env.frames members))
+                    groups
+                in
+                Cursor.of_list out));
+      }
+  | Plan.Aggregate { aggs; input } ->
+      let c = plan ~config ~outer input in
+      let specs = compile_agg_args c.schema aggs in
+      {
+        schema;
+        run =
+          (fun env ->
+            Cursor.deferred (fun () ->
+                let rows = Cursor.to_list (c.run env) in
+                Cursor.singleton (run_aggregates specs env.Env.frames rows)));
+      }
+  | Plan.Distinct input ->
+      let c = plan ~config ~outer input in
+      {
+        schema;
+        run =
+          (fun env ->
+            let seen = Tuple.Tbl.create 64 in
+            Cursor.filter
+              (fun row ->
+                if Tuple.Tbl.mem seen row then false
+                else begin
+                  Tuple.Tbl.add seen row ();
+                  true
+                end)
+              (c.run env));
+      }
+  | Plan.Order_by { keys; input } ->
+      let c = plan ~config ~outer input in
+      let compiled_keys =
+        List.map (fun (e, dir) -> (Eval.compile c.schema e, dir)) keys
+      in
+      {
+        schema;
+        run =
+          (fun env ->
+            Cursor.deferred (fun () ->
+                let rows = Cursor.to_array (c.run env) in
+                let decorated =
+                  Array.map
+                    (fun row ->
+                      ( List.map
+                          (fun (ce, dir) -> (ce env.Env.frames row, dir))
+                          compiled_keys,
+                        row ))
+                    rows
+                in
+                let cmp (ka, _) (kb, _) =
+                  let rec go a b =
+                    match (a, b) with
+                    | [], [] -> 0
+                    | (va, dir) :: ra, (vb, _) :: rb ->
+                        let c = Value.compare_total va vb in
+                        let c =
+                          match dir with
+                          | Plan.Asc -> c
+                          | Plan.Desc -> -c
+                        in
+                        if c <> 0 then c else go ra rb
+                    | _ -> 0
+                  in
+                  go ka kb
+                in
+                (* stable sort keeps multiset evaluation deterministic *)
+                let arr = Array.mapi (fun i x -> (i, x)) decorated in
+                Array.sort
+                  (fun (i, a) (j, b) ->
+                    let c = cmp a b in
+                    if c <> 0 then c else compare i j)
+                  arr;
+                Cursor.of_array (Array.map (fun (_, (_, row)) -> row) arr)));
+      }
+  | Plan.Union_all branches ->
+      let cs = List.map (plan ~config ~outer) branches in
+      {
+        schema;
+        run =
+          (fun env ->
+            Cursor.concat (List.map (fun c () -> c.run env) cs));
+      }
+  | Plan.Apply { outer = outer_plan; inner } ->
+      let co = plan ~config ~outer outer_plan in
+      let ci = plan ~config ~outer:(co.schema :: outer) inner in
+      (* Correlation detection: if no outer reference of [inner] binds to
+         *this* Apply's row (they all resolve in enclosing frames, or
+         there are none), the inner result is constant across the outer
+         rows of one run and is evaluated once — the standard
+         uncorrelated-subquery caching a production engine performs.
+         This matters enormously for per-group queries like Q2, where
+         the inner is an aggregate of the whole group. *)
+      let correlated =
+        List.exists
+          (fun (r : Expr.col_ref) ->
+            Schema.find_all ?qual:r.Expr.qual r.Expr.name co.schema <> [])
+          (Plan.outer_refs inner)
+      in
+      if correlated || not config.apply_cache then
+        {
+          schema;
+          run =
+            (fun env ->
+              Cursor.concat_map
+                (fun outer_row ->
+                  let env' = Env.push_frame co.schema outer_row env in
+                  Cursor.map (Tuple.concat outer_row) (ci.run env'))
+                (co.run env));
+        }
+      else
+        {
+          schema;
+          run =
+            (fun env ->
+              Cursor.deferred (fun () ->
+                  let inner_rows = lazy (Cursor.to_array (ci.run env)) in
+                  Cursor.concat_map
+                    (fun outer_row ->
+                      Cursor.map (Tuple.concat outer_row)
+                        (Cursor.of_array (Lazy.force inner_rows)))
+                    (co.run env)));
+        }
+  | Plan.Exists { input; negated } ->
+      let c = plan ~config ~outer input in
+      {
+        schema;
+        run =
+          (fun env ->
+            Cursor.deferred (fun () ->
+                let nonempty = c.run env () <> None in
+                if nonempty <> negated then Cursor.singleton Tuple.empty
+                else Cursor.empty));
+      }
+  | Plan.G_apply { gcols; var; outer = outer_plan; pgq; cluster } ->
+      let co = plan ~config ~outer outer_plan in
+      let cp = plan ~config ~outer pgq in
+      let idxs = key_indexes co.schema gcols in
+      {
+        schema;
+        run =
+          (fun env ->
+            Cursor.deferred (fun () ->
+                let rows = Cursor.to_array (co.run env) in
+                let groups = partition ~config ~idxs rows in
+                let groups =
+                  (* the Section 3.1 clustering guarantee: emit groups in
+                     key order; sort partitioning already provides it,
+                     hash partitioning orders the (small) group list *)
+                  if cluster && config.partition = Hash_partition then
+                    List.sort (fun (a, _) (b, _) -> Tuple.compare a b) groups
+                  else groups
+                in
+                Cursor.concat
+                  (List.map
+                     (fun (key, members) () ->
+                       (* each group is materialised as a temporary
+                          relation (rows are copied into it, as the
+                          paper's execution phase describes) — so the
+                          width of the outer input is a real cost and
+                          the projection-before-GApply rule matters *)
+                       let group_rel =
+                         Relation.of_array co.schema
+                           (Array.of_list (List.map Tuple.copy members))
+                       in
+                       let env' = Env.bind_group var group_rel env in
+                       Cursor.map (Tuple.concat key) (cp.run env'))
+                     groups)));
+      }
+
+(* Partition phase of GApply.  Hash partitioning groups rows in
+   first-seen order; sort partitioning additionally clusters the output
+   by the grouping columns (the property the constant-space tagger
+   needs). *)
+and partition ~config ~idxs (rows : Tuple.t array) :
+    (Tuple.t * Tuple.t list) list =
+  match config.partition with
+  | Hash_partition -> group_rows (project_key idxs) rows
+  | Sort_partition ->
+      (* decorate-sort-undecorate: keys are projected once per row *)
+      let tagged =
+        Array.mapi (fun i row -> (project_key idxs row, i, row)) rows
+      in
+      Array.sort
+        (fun (ka, i, _) (kb, j, _) ->
+          let c = Tuple.compare ka kb in
+          if c <> 0 then c else compare i j)
+        tagged;
+      let out = ref [] in
+      Array.iter
+        (fun (key, _, row) ->
+          match !out with
+          | (k, members) :: rest when Tuple.equal k key ->
+              out := (k, row :: members) :: rest
+          | _ -> out := (key, [ row ]) :: !out)
+        tagged;
+      List.rev_map (fun (k, members) -> (k, List.rev members)) !out
+
+(* Joins: hash join on extracted equi-pairs when possible, nested loops
+   otherwise.  NULL join keys never match (SQL semantics), so rows with a
+   NULL key are dropped from both build and probe sides of the hash
+   join. *)
+and compile_join ~config ~outer pred left right : compiled =
+  let cl = plan ~config ~outer left in
+  let cr = plan ~config ~outer right in
+  let schema = Schema.concat cl.schema cr.schema in
+  let { Join_analysis.equi; residual } =
+    Join_analysis.split ~left:cl.schema ~right:cr.schema pred
+  in
+  let residual_test =
+    match residual with
+    | [] -> None
+    | ps -> Some (Eval.compile_pred schema (Expr.conjoin ps))
+  in
+  let keep frames row =
+    match residual_test with None -> true | Some test -> test frames row
+  in
+  if equi = [] then
+    {
+      schema;
+      run =
+        (fun env ->
+          Cursor.deferred (fun () ->
+              let right_rows = Cursor.to_array (cr.run env) in
+              Cursor.concat_map
+                (fun lrow ->
+                  Cursor.filter (keep env.Env.frames)
+                    (Cursor.map (Tuple.concat lrow)
+                       (Cursor.of_array right_rows)))
+                (cl.run env)));
+    }
+  else
+    let left_keys =
+      List.map (fun (a, _, _) -> Eval.compile cl.schema a) equi
+    in
+    let right_keys =
+      List.map (fun (_, b, _) -> Eval.compile cr.schema b) equi
+    in
+    (* components from plain '=' pairs reject NULL keys; null-safe
+       ('<=>') components let NULLs match each other *)
+    let strict = Array.of_list (List.map (fun (_, _, ns) -> not ns) equi) in
+    let key_rejected (key : Tuple.t) =
+      let rejected = ref false in
+      Array.iteri
+        (fun i v ->
+          if strict.(i) && Value.is_null v then rejected := true)
+        (key : Tuple.t :> Value.t array);
+      !rejected
+    in
+    (* index nested-loop candidate: the right side is a base-table scan
+       and every right-side key is a bare column *)
+    let index_candidate =
+      match right with
+      | Plan.Table_scan { table; _ } ->
+          let cols =
+            List.map
+              (fun (_, b, _) ->
+                match b with
+                | Expr.Col r -> Some r.Expr.name
+                | _ -> None)
+              equi
+          in
+          if List.for_all Option.is_some cols then
+            Some (table, List.map Option.get cols)
+          else None
+      | _ -> None
+    in
+    let index_probe env =
+      if not config.use_indexes then None
+      else
+        match index_candidate with
+        | None -> None
+        | Some (table, cols) -> (
+            match Catalog.find_index_on env.Env.catalog ~table ~cols with
+            | None -> None
+            | Some index ->
+                let base = Catalog.find_table env.Env.catalog table in
+                Index.refresh index base;
+                (* re-order the probe to the index's column order *)
+                let by_col =
+                  List.map2
+                    (fun c ((_, _, ns), lk) -> (c, (lk, not ns)))
+                    cols
+                    (List.combine equi left_keys)
+                in
+                let probe =
+                  List.map (fun c -> List.assoc c by_col)
+                    (Index.columns index)
+                in
+                let frames = env.Env.frames in
+                Some
+                  (fun lrow ->
+                    let parts =
+                      List.map
+                        (fun (ce, strict) -> (ce frames lrow, strict))
+                        probe
+                    in
+                    if
+                      List.exists
+                        (fun (v, strict) -> strict && Value.is_null v)
+                        parts
+                    then Cursor.empty
+                    else
+                      let key = Tuple.of_list (List.map fst parts) in
+                      Cursor.filter (keep frames)
+                        (Cursor.map (Tuple.concat lrow)
+                           (Cursor.of_list
+                              (List.map (Table.get_row base)
+                                 (Index.lookup index key))))))
+    in
+    {
+      schema;
+      run =
+        (fun env ->
+          match index_probe env with
+          | Some probe ->
+              Cursor.deferred (fun () -> Cursor.concat_map probe (cl.run env))
+          | None ->
+          Cursor.deferred (fun () ->
+              let frames = env.Env.frames in
+              let table : Tuple.t list ref Tuple.Tbl.t =
+                Tuple.Tbl.create 256
+              in
+              Cursor.iter
+                (fun rrow ->
+                  let key =
+                    Tuple.of_list (List.map (fun ce -> ce frames rrow) right_keys)
+                  in
+                  if not (key_rejected key) then
+                    match Tuple.Tbl.find_opt table key with
+                    | Some bucket -> bucket := rrow :: !bucket
+                    | None -> Tuple.Tbl.add table key (ref [ rrow ]))
+                (cr.run env);
+              Cursor.concat_map
+                (fun lrow ->
+                  let key =
+                    Tuple.of_list (List.map (fun ce -> ce frames lrow) left_keys)
+                  in
+                  if key_rejected key then Cursor.empty
+                  else
+                    match Tuple.Tbl.find_opt table key with
+                    | None -> Cursor.empty
+                    | Some bucket ->
+                        Cursor.filter (keep frames)
+                          (Cursor.map (Tuple.concat lrow)
+                             (Cursor.of_list (List.rev !bucket))))
+                (cl.run env)));
+    }

@@ -1,0 +1,41 @@
+(** Logical-to-physical compilation.
+
+    {!plan} turns a logical plan into a {!compiled} value once; the
+    [run] closure can then be executed many times under different
+    environments — which is exactly what Apply (per outer row) and
+    GApply (per group) do.
+
+    GApply follows the paper's two phases (Section 3): a partition phase
+    (sorting or hashing, per {!config}) over the outer stream, then a
+    nested-loops execution phase that materialises each group as a
+    temporary relation, binds it to the relation-valued variable, and
+    re-runs the compiled per-group query. *)
+
+type partition_strategy = Sort_partition | Hash_partition
+
+type config = {
+  partition : partition_strategy;
+  apply_cache : bool;
+      (** evaluate uncorrelated Apply inners once per run instead of once
+          per outer row (standard subquery caching); disabled only by the
+          ablation benchmark *)
+  use_indexes : bool;
+      (** probe a matching hash index on the inner side of an equi-join
+          instead of building a per-query hash table *)
+}
+
+val default_config : config
+(** Hash partitioning, Apply caching on, indexes on. *)
+
+val config_with :
+  ?partition:partition_strategy ->
+  ?apply_cache:bool ->
+  ?use_indexes:bool ->
+  unit ->
+  config
+
+type compiled = { schema : Schema.t; run : Env.t -> Cursor.t }
+
+val plan : ?config:config -> ?outer:Schema.t list -> Plan.t -> compiled
+(** [outer] carries enclosing Apply outer schemas (for schema
+    derivation of correlated subplans). *)

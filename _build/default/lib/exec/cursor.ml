@@ -1,0 +1,118 @@
+(* Pull-based (Volcano-style) tuple cursors.
+
+   A cursor is a stateful generator: each call returns the next tuple or
+   [None] at end-of-stream.  Blocking operators (sort, hash aggregate,
+   partition phase of GApply) materialise on the first pull. *)
+
+type t = unit -> Tuple.t option
+
+let empty : t = fun () -> None
+
+let singleton tuple : t =
+  let done_ = ref false in
+  fun () ->
+    if !done_ then None
+    else begin
+      done_ := true;
+      Some tuple
+    end
+
+let of_array (rows : Tuple.t array) : t =
+  let i = ref 0 in
+  fun () ->
+    if !i < Array.length rows then begin
+      let row = rows.(!i) in
+      incr i;
+      Some row
+    end
+    else None
+
+let of_subarray (rows : Tuple.t array) ~pos ~len : t =
+  let i = ref pos in
+  let stop = pos + len in
+  fun () ->
+    if !i < stop then begin
+      let row = rows.(!i) in
+      incr i;
+      Some row
+    end
+    else None
+
+let of_list rows = of_array (Array.of_list rows)
+let of_relation rel = of_array (Relation.rows_array rel)
+
+let map f (c : t) : t =
+ fun () -> match c () with None -> None | Some row -> Some (f row)
+
+let filter pred (c : t) : t =
+  let rec pull () =
+    match c () with
+    | None -> None
+    | Some row -> if pred row then Some row else pull ()
+  in
+  pull
+
+(** Concatenate a list of lazily-started cursors (each thunk is forced
+    when its stream begins, so later UNION ALL branches don't run early). *)
+let concat (thunks : (unit -> t) list) : t =
+  let remaining = ref thunks in
+  let current = ref empty in
+  let rec pull () =
+    match !current () with
+    | Some row -> Some row
+    | None -> (
+        match !remaining with
+        | [] -> None
+        | thunk :: rest ->
+            remaining := rest;
+            current := thunk ();
+            pull ())
+  in
+  pull
+
+(** Flatten: for each input row produce a sub-cursor and stream it. *)
+let concat_map (f : Tuple.t -> t) (c : t) : t =
+  let current = ref empty in
+  let rec pull () =
+    match !current () with
+    | Some row -> Some row
+    | None -> (
+        match c () with
+        | None -> None
+        | Some row ->
+            current := f row;
+            pull ())
+  in
+  pull
+
+(** Defer building the underlying cursor until the first pull; used by
+    blocking operators. *)
+let deferred (build : unit -> t) : t =
+  let state = ref None in
+  fun () ->
+    match !state with
+    | Some c -> c ()
+    | None ->
+        let c = build () in
+        state := Some c;
+        c ()
+
+let fold f init (c : t) =
+  let rec go acc = match c () with None -> acc | Some row -> go (f acc row)
+  in
+  go init
+
+let iter f c = fold (fun () row -> f row) () c
+
+let to_array (c : t) : Tuple.t array =
+  let buf = ref [] in
+  iter (fun row -> buf := row :: !buf) c;
+  Array.of_list (List.rev !buf)
+
+let to_list (c : t) : Tuple.t list =
+  List.rev (fold (fun acc row -> row :: acc) [] c)
+
+let to_relation schema c = Relation.of_array schema (to_array c)
+
+(** Count remaining tuples, consuming the cursor. *)
+let length c = fold (fun n _ -> n + 1) 0 c

@@ -1,0 +1,26 @@
+(* Runtime execution environment.
+
+   [frames] carries the current rows of enclosing Apply outer inputs
+   (innermost first) for correlated expression evaluation; [groups] binds
+   relation-valued variables — the paper's $group parameters — for
+   Group_scan leaves inside a per-group query. *)
+
+type t = {
+  catalog : Catalog.t;
+  frames : Eval.frames;
+  groups : (string * Relation.t) list;
+}
+
+let make catalog = { catalog; frames = []; groups = [] }
+
+let push_frame schema tuple env =
+  { env with frames = (schema, tuple) :: env.frames }
+
+let bind_group var relation env =
+  { env with groups = (var, relation) :: env.groups }
+
+let find_group env var =
+  match List.assoc_opt var env.groups with
+  | Some r -> r
+  | None ->
+      Errors.exec_errorf "unbound relation-valued variable $%s" var

@@ -1,0 +1,19 @@
+(** Runtime execution environment.
+
+    [frames] carries the current rows of enclosing Apply outer inputs
+    (innermost first) for correlated expression evaluation; [groups]
+    binds relation-valued variables — the paper's [$group] parameters —
+    for [Group_scan] leaves inside a per-group query. *)
+
+type t = {
+  catalog : Catalog.t;
+  frames : Eval.frames;
+  groups : (string * Relation.t) list;
+}
+
+val make : Catalog.t -> t
+val push_frame : Schema.t -> Tuple.t -> t -> t
+val bind_group : string -> Relation.t -> t -> t
+
+val find_group : t -> string -> Relation.t
+(** @raise Errors.Exec_error on unbound variables. *)

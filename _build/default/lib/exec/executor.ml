@@ -1,0 +1,21 @@
+(* Top-level plan execution. *)
+
+(** Compile and run [plan] against [catalog], materialising the result. *)
+let run ?config (catalog : Catalog.t) (p : Plan.t) : Relation.t =
+  let compiled = Compile.plan ?config p in
+  let env = Env.make catalog in
+  Cursor.to_relation compiled.Compile.schema (compiled.Compile.run env)
+
+(** Run and count output rows without keeping them (used by benches to
+    exclude materialisation of huge results from what we keep around). *)
+let run_count ?config (catalog : Catalog.t) (p : Plan.t) : int =
+  let compiled = Compile.plan ?config p in
+  let env = Env.make catalog in
+  Cursor.length (compiled.Compile.run env)
+
+(** Run a plan under an explicit environment (used by the client-side
+    GApply simulation, which pre-binds group variables). *)
+let run_in ?config (env : Env.t) (p : Plan.t) : Relation.t =
+  let outer = List.map fst env.Env.frames in
+  let compiled = Compile.plan ?config ~outer p in
+  Cursor.to_relation compiled.Compile.schema (compiled.Compile.run env)

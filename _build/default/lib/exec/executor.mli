@@ -1,0 +1,12 @@
+(** Top-level plan execution. *)
+
+val run : ?config:Compile.config -> Catalog.t -> Plan.t -> Relation.t
+(** Compile and run a logical plan, materialising the result. *)
+
+val run_count : ?config:Compile.config -> Catalog.t -> Plan.t -> int
+(** Run and count output rows without retaining them (used by the
+    benchmarks). *)
+
+val run_in : ?config:Compile.config -> Env.t -> Plan.t -> Relation.t
+(** Run under an explicit environment (pre-bound relation-valued
+    variables / outer frames). *)

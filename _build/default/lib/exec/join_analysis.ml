@@ -1,0 +1,55 @@
+(* Join predicate analysis for physical join selection.
+
+   A conjunct [a = b] is a usable equi-pair when one side references only
+   left-input columns and the other only right-input columns (outer
+   references disqualify a conjunct because its value is not a function of
+   the joined row alone in general — those stay in the residual, which is
+   evaluated on the concatenated row). *)
+
+type side = Left_only | Right_only | Mixed
+
+type split = {
+  equi : (Expr.t * Expr.t * bool) list;
+      (** (left-side expr, right-side expr, null_safe): a null_safe pair
+          comes from [Expr.Nulleq] and lets NULL keys match each other *)
+  residual : Expr.t list;
+}
+
+let side_of ~(left : Schema.t) ~(concat : Schema.t) (e : Expr.t) : side =
+  if Expr.references_outer e then Mixed
+  else
+    let nl = Schema.arity left in
+    let refs = Expr.columns e in
+    let indexes =
+      List.map
+        (fun (r : Expr.col_ref) ->
+          Schema.find ?qual:r.Expr.qual r.Expr.name concat)
+        refs
+    in
+    let all_left = List.for_all (fun i -> i < nl) indexes in
+    let all_right = List.for_all (fun i -> i >= nl) indexes in
+    if refs = [] then Left_only (* constant: either side works *)
+    else if all_left then Left_only
+    else if all_right then Right_only
+    else Mixed
+
+(** Split [pred] into hashable equi-pairs and a residual conjunction. *)
+let split ~(left : Schema.t) ~(right : Schema.t) (pred : Expr.t) : split =
+  let concat = Schema.concat left right in
+  List.fold_left
+    (fun acc conjunct ->
+      match conjunct with
+      | Expr.Binary (((Expr.Eq | Expr.Nulleq) as op), a, b) -> (
+          let null_safe = op = Expr.Nulleq in
+          match
+            (side_of ~left ~concat a, side_of ~left ~concat b)
+          with
+          | Left_only, Right_only ->
+              { acc with equi = (a, b, null_safe) :: acc.equi }
+          | Right_only, Left_only ->
+              { acc with equi = (b, a, null_safe) :: acc.equi }
+          | _ -> { acc with residual = conjunct :: acc.residual })
+      | _ -> { acc with residual = conjunct :: acc.residual })
+    { equi = []; residual = [] }
+    (Expr.conjuncts pred)
+  |> fun s -> { equi = List.rev s.equi; residual = List.rev s.residual }

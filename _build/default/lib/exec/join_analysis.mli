@@ -1,0 +1,19 @@
+(** Join predicate analysis for physical join selection.
+
+    A conjunct [a = b] (or the null-safe [a <=> b]) is a usable hash
+    equi-pair when one side references only left-input columns and the
+    other only right-input columns.  Outer references disqualify a
+    conjunct (its value is not a function of the joined row alone). *)
+
+type side = Left_only | Right_only | Mixed
+
+type split = {
+  equi : (Expr.t * Expr.t * bool) list;
+      (** (left expr, right expr, null_safe): a null-safe pair comes
+          from [Expr.Nulleq] and lets NULL keys match each other *)
+  residual : Expr.t list;
+}
+
+val side_of : left:Schema.t -> concat:Schema.t -> Expr.t -> side
+
+val split : left:Schema.t -> right:Schema.t -> Expr.t -> split

@@ -1,0 +1,14 @@
+(** Reference evaluator: a direct, naive implementation of the
+    denotational semantics of paper Sections 3-4, sharing no evaluation
+    machinery with the physical compiler.  GApply is evaluated by the
+    literal formula
+
+    {v RE1 GA_C RE2 =
+         union over c in distinct(project_C(RE1))
+           of ({c} x RE2(sigma_{C=c} RE1)) v}
+
+    The test suite uses it as the oracle for the executor and for every
+    optimizer rule. *)
+
+val eval : Env.t -> Plan.t -> Relation.t
+val run : Catalog.t -> Plan.t -> Relation.t

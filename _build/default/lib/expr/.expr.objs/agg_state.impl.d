@@ -1,0 +1,1 @@
+lib/expr/agg_state.ml: Datatype Errors Expr Hashtbl Value

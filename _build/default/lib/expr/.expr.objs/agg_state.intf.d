@@ -1,0 +1,1 @@
+lib/expr/agg_state.mli: Datatype Expr Value

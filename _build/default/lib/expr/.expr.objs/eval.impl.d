@@ -1,0 +1,1 @@
+lib/expr/eval.ml: Errors Expr List Option Schema Truth Tuple Value

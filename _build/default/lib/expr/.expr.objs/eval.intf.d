@@ -1,0 +1,1 @@
+lib/expr/eval.mli: Expr Schema Truth Tuple Value

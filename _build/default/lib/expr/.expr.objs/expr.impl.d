@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Format List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/expr/infer.ml: Agg_state Datatype Errors Expr List Option Schema Value

@@ -1,0 +1,1 @@
+lib/expr/infer.mli: Datatype Expr Schema

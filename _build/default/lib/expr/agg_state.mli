@@ -1,0 +1,20 @@
+(** Aggregate accumulators.
+
+    SQL semantics: NULL inputs are skipped (for every aggregate except
+    count-star); SUM/AVG/MIN/MAX over zero non-null inputs yield NULL;
+    COUNT yields 0.  DISTINCT aggregates deduplicate inputs under the
+    total value order. *)
+
+type t
+
+val create : Expr.agg -> t
+
+val add : t -> Value.t -> unit
+(** Feed one row's evaluated argument (pass [Value.Null] for count-star,
+    which counts every row).
+    @raise Errors.Type_error on non-numeric SUM/AVG input. *)
+
+val finish : t -> Value.t
+
+val result_type : Expr.agg -> Datatype.t option -> Datatype.t
+(** Declared result type given the argument type. *)

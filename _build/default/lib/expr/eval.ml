@@ -1,0 +1,159 @@
+(* Expression evaluation.
+
+   Booleans follow SQL three-valued logic: a predicate yields
+   [Value.Bool _] or [Value.Null] (= unknown).  [truth] converts such a
+   value into a [Truth.t] for WHERE-clause filtering.
+
+   Two entry points:
+   - [eval] interprets the AST directly (used by the reference evaluator);
+   - [compile] pre-resolves column references against a fixed input schema
+     and returns a closure, which is what the physical operators use on
+     their hot paths. *)
+
+
+(** Enclosing Apply frames, innermost first.  Each frame is the schema and
+    current row of an outer input that a correlated inner plan may
+    reference via [Expr.Outer]. *)
+type frames = (Schema.t * Tuple.t) list
+
+let truth (v : Value.t) : Truth.t =
+  match v with
+  | Value.Bool true -> Truth.True
+  | Value.Bool false -> Truth.False
+  | Value.Null -> Truth.Unknown
+  | v ->
+      Errors.type_errorf "predicate evaluated to non-boolean %s"
+        (Value.to_string v)
+
+let of_truth : Truth.t -> Value.t = function
+  | Truth.True -> Value.Bool true
+  | Truth.False -> Value.Bool false
+  | Truth.Unknown -> Value.Null
+
+let lookup_frames (r : Expr.col_ref) (frames : frames) =
+  let rec go = function
+    | [] ->
+        Errors.name_errorf "unresolved outer reference %s"
+          (Expr.col_ref_to_string r)
+    | (schema, tuple) :: rest -> (
+        match Schema.find_all ?qual:r.Expr.qual r.Expr.name schema with
+        | [ i ] -> Tuple.get tuple i
+        | [] -> go rest
+        | _ :: _ :: _ ->
+            Errors.name_errorf "ambiguous outer reference %s"
+              (Expr.col_ref_to_string r))
+  in
+  go frames
+
+let apply_binop (op : Expr.binop) (a : Value.t) (b : Value.t) : Value.t =
+  match op with
+  | Expr.Add -> Value.add a b
+  | Expr.Sub -> Value.sub a b
+  | Expr.Mul -> Value.mul a b
+  | Expr.Div -> Value.div a b
+  | Expr.Concat -> Value.concat a b
+  | Expr.Eq -> of_truth (Value.eq a b)
+  | Expr.Neq -> of_truth (Value.neq a b)
+  | Expr.Lt -> of_truth (Value.lt a b)
+  | Expr.Lte -> of_truth (Value.lte a b)
+  | Expr.Gt -> of_truth (Value.gt a b)
+  | Expr.Gte -> of_truth (Value.gte a b)
+  | Expr.Nulleq -> Value.Bool (Value.equal_total a b)
+  | Expr.And -> of_truth (Truth.and_ (truth a) (truth b))
+  | Expr.Or -> of_truth (Truth.or_ (truth a) (truth b))
+
+let apply_unop (op : Expr.unop) (a : Value.t) : Value.t =
+  match op with
+  | Expr.Neg -> Value.neg a
+  | Expr.Not -> of_truth (Truth.not_ (truth a))
+  | Expr.Is_null -> Value.Bool (Value.is_null a)
+  | Expr.Is_not_null -> Value.Bool (not (Value.is_null a))
+
+(* Short-circuiting for AND/OR matters only for efficiency, not
+   semantics, because expressions are pure; we still avoid evaluating the
+   right side when the left side decides the answer. *)
+
+let rec eval ~(frames : frames) (schema : Schema.t) (tuple : Tuple.t)
+    (e : Expr.t) : Value.t =
+  match e with
+  | Expr.Col r -> Tuple.get tuple (Schema.find ?qual:r.Expr.qual r.Expr.name schema)
+  | Expr.Outer r -> lookup_frames r frames
+  | Expr.Lit v -> v
+  | Expr.Unary (op, a) -> apply_unop op (eval ~frames schema tuple a)
+  | Expr.Binary (Expr.And, a, b) -> (
+      match truth (eval ~frames schema tuple a) with
+      | Truth.False -> Value.Bool false
+      | ta ->
+          of_truth
+            (Truth.and_ ta (truth (eval ~frames schema tuple b))))
+  | Expr.Binary (Expr.Or, a, b) -> (
+      match truth (eval ~frames schema tuple a) with
+      | Truth.True -> Value.Bool true
+      | ta -> of_truth (Truth.or_ ta (truth (eval ~frames schema tuple b))))
+  | Expr.Binary (op, a, b) ->
+      apply_binop op
+        (eval ~frames schema tuple a)
+        (eval ~frames schema tuple b)
+  | Expr.Case (whens, els) -> (
+      let rec go = function
+        | [] -> (
+            match els with
+            | None -> Value.Null
+            | Some d -> eval ~frames schema tuple d)
+        | (c, v) :: rest ->
+            if Truth.to_bool (truth (eval ~frames schema tuple c)) then
+              eval ~frames schema tuple v
+            else go rest
+      in
+      go whens)
+
+(** Evaluate a predicate to a [Truth.t]. *)
+let eval_pred ~frames schema tuple e = truth (eval ~frames schema tuple e)
+
+(* ---------- compiled form ---------- *)
+
+type compiled = frames -> Tuple.t -> Value.t
+
+let rec compile (schema : Schema.t) (e : Expr.t) : compiled =
+  match e with
+  | Expr.Col r ->
+      let i = Schema.find ?qual:r.Expr.qual r.Expr.name schema in
+      fun _ t -> Tuple.get t i
+  | Expr.Outer r -> fun frames _ -> lookup_frames r frames
+  | Expr.Lit v -> fun _ _ -> v
+  | Expr.Unary (op, a) ->
+      let ca = compile schema a in
+      fun f t -> apply_unop op (ca f t)
+  | Expr.Binary (Expr.And, a, b) ->
+      let ca = compile schema a and cb = compile schema b in
+      fun f t -> (
+        match truth (ca f t) with
+        | Truth.False -> Value.Bool false
+        | ta -> of_truth (Truth.and_ ta (truth (cb f t))))
+  | Expr.Binary (Expr.Or, a, b) ->
+      let ca = compile schema a and cb = compile schema b in
+      fun f t -> (
+        match truth (ca f t) with
+        | Truth.True -> Value.Bool true
+        | ta -> of_truth (Truth.or_ ta (truth (cb f t))))
+  | Expr.Binary (op, a, b) ->
+      let ca = compile schema a and cb = compile schema b in
+      fun f t -> apply_binop op (ca f t) (cb f t)
+  | Expr.Case (whens, els) ->
+      let cw =
+        List.map (fun (c, v) -> (compile schema c, compile schema v)) whens
+      in
+      let ce = Option.map (compile schema) els in
+      fun f t ->
+        let rec go = function
+          | [] -> ( match ce with None -> Value.Null | Some d -> d f t)
+          | (c, v) :: rest ->
+              if Truth.to_bool (truth (c f t)) then v f t else go rest
+        in
+        go cw
+
+(** Compile a predicate to a boolean test under WHERE semantics
+    (unknown = reject). *)
+let compile_pred schema e : frames -> Tuple.t -> bool =
+  let c = compile schema e in
+  fun f t -> Truth.to_bool (truth (c f t))

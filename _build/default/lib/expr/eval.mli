@@ -1,0 +1,34 @@
+(** Expression evaluation.
+
+    Booleans follow SQL three-valued logic: a predicate yields
+    [Value.Bool _] or [Value.Null] (= unknown); {!truth} converts such a
+    value into a {!Truth.t} for WHERE-clause filtering.
+
+    {!eval} interprets the AST directly (used by the reference
+    evaluator); {!compile} pre-resolves column references against a fixed
+    input schema and returns a closure, which the physical operators use
+    on their hot paths. *)
+
+type frames = (Schema.t * Tuple.t) list
+(** Enclosing Apply frames, innermost first: the schema and current row
+    of each outer input a correlated subplan may reference. *)
+
+val truth : Value.t -> Truth.t
+(** @raise Errors.Type_error on non-boolean values. *)
+
+val of_truth : Truth.t -> Value.t
+
+val lookup_frames : Expr.col_ref -> frames -> Value.t
+(** Innermost-first resolution of an outer reference.
+    @raise Errors.Name_error when unresolved or ambiguous. *)
+
+val eval : frames:frames -> Schema.t -> Tuple.t -> Expr.t -> Value.t
+val eval_pred : frames:frames -> Schema.t -> Tuple.t -> Expr.t -> Truth.t
+
+type compiled = frames -> Tuple.t -> Value.t
+
+val compile : Schema.t -> Expr.t -> compiled
+(** Pre-resolve column references; raises resolution errors eagerly. *)
+
+val compile_pred : Schema.t -> Expr.t -> frames -> Tuple.t -> bool
+(** WHERE semantics: unknown rejects. *)

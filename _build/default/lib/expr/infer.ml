@@ -1,0 +1,94 @@
+(* Static type inference for expressions.
+
+   The engine checks values dynamically at execution time; inference is
+   used by the binder and plan-property derivation to give derived columns
+   sensible declared types (and to catch gross mistakes early).  NULL
+   literals receive the dedicated [Datatype.Null] type which unifies with
+   everything. *)
+
+
+(** [infer ~typeof_col ~typeof_outer e] computes the declared type of [e].
+    [typeof_col]/[typeof_outer] resolve column references; the defaults
+    raise {!Errors.Name_error}. *)
+let rec infer ~(typeof_col : Expr.col_ref -> Datatype.t)
+    ~(typeof_outer : Expr.col_ref -> Datatype.t) (e : Expr.t) : Datatype.t =
+  let recur = infer ~typeof_col ~typeof_outer in
+  match e with
+  | Expr.Col r -> typeof_col r
+  | Expr.Outer r -> typeof_outer r
+  | Expr.Lit v -> (
+      match Value.type_of v with None -> Datatype.Null | Some t -> t)
+  | Expr.Unary (Expr.Neg, a) ->
+      let t = recur a in
+      if Datatype.is_numeric t then t
+      else Errors.type_errorf "unary minus over %s" (Datatype.to_string t)
+  | Expr.Unary ((Expr.Not | Expr.Is_null | Expr.Is_not_null), _) ->
+      Datatype.Bool
+  | Expr.Binary ((Expr.Add | Expr.Sub | Expr.Mul | Expr.Div), a, b) ->
+      let ta = recur a and tb = recur b in
+      if Datatype.is_numeric ta && Datatype.is_numeric tb then
+        Datatype.numeric_join ta tb
+      else
+        Errors.type_errorf "arithmetic over %s and %s"
+          (Datatype.to_string ta) (Datatype.to_string tb)
+  | Expr.Binary (Expr.Concat, _, _) -> Datatype.Str
+  | Expr.Binary
+      ( (Expr.Eq | Expr.Neq | Expr.Lt | Expr.Lte | Expr.Gt | Expr.Gte
+        | Expr.Nulleq),
+        a,
+        b ) ->
+      let ta = recur a and tb = recur b in
+      (match Datatype.unify ta tb with
+      | Some _ -> ()
+      | None ->
+          Errors.type_errorf "comparison between %s and %s"
+            (Datatype.to_string ta) (Datatype.to_string tb));
+      Datatype.Bool
+  | Expr.Binary ((Expr.And | Expr.Or), _, _) -> Datatype.Bool
+  | Expr.Case (whens, els) ->
+      let branch_types =
+        List.map (fun (_, v) -> recur v) whens
+        @ (match els with None -> [ Datatype.Null ] | Some e -> [ recur e ])
+      in
+      List.fold_left
+        (fun acc t ->
+          match Datatype.unify acc t with
+          | Some u -> u
+          | None ->
+              Errors.type_errorf "CASE branches have incompatible types %s, %s"
+                (Datatype.to_string acc) (Datatype.to_string t))
+        Datatype.Null branch_types
+
+let no_outer (r : Expr.col_ref) : Datatype.t =
+  Errors.name_errorf "outer reference %s in a non-correlated context"
+    (Expr.col_ref_to_string r)
+
+(** Infer against a concrete input schema; outer references are resolved
+    by searching [outer_schemas] innermost-first. *)
+let infer_with_schema ?(outer_schemas : Schema.t list = []) (schema : Schema.t)
+    (e : Expr.t) : Datatype.t =
+  let typeof_col (r : Expr.col_ref) =
+    (Schema.get schema (Schema.find ?qual:r.Expr.qual r.Expr.name schema))
+      .Schema.ctype
+  in
+  let typeof_outer (r : Expr.col_ref) =
+    let rec go = function
+      | [] -> no_outer r
+      | s :: rest -> (
+          match Schema.find_all ?qual:r.Expr.qual r.Expr.name s with
+          | [ i ] -> (Schema.get s i).Schema.ctype
+          | [] -> go rest
+          | _ :: _ :: _ ->
+              Errors.name_errorf "ambiguous outer reference %s"
+                (Expr.col_ref_to_string r))
+    in
+    go outer_schemas
+  in
+  infer ~typeof_col ~typeof_outer e
+
+(** Type of an aggregate over a given input schema. *)
+let infer_agg ?outer_schemas schema (a : Expr.agg) : Datatype.t =
+  let arg_ty =
+    Option.map (infer_with_schema ?outer_schemas schema) a.Expr.arg
+  in
+  Agg_state.result_type a arg_ty

@@ -1,0 +1,20 @@
+(** Static type inference for expressions.
+
+    The engine checks values dynamically at execution time; inference
+    gives derived columns sensible declared types and catches gross
+    mistakes early.  NULL literals receive {!Datatype.Null}, which
+    unifies with everything. *)
+
+val infer :
+  typeof_col:(Expr.col_ref -> Datatype.t) ->
+  typeof_outer:(Expr.col_ref -> Datatype.t) ->
+  Expr.t ->
+  Datatype.t
+(** @raise Errors.Type_error on ill-typed expressions. *)
+
+val infer_with_schema :
+  ?outer_schemas:Schema.t list -> Schema.t -> Expr.t -> Datatype.t
+(** Infer against a concrete input schema; outer references resolve
+    innermost-first through [outer_schemas]. *)
+
+val infer_agg : ?outer_schemas:Schema.t list -> Schema.t -> Expr.agg -> Datatype.t

@@ -1,0 +1,1 @@
+lib/optimizer/cost.ml: Catalog Expr Float List Option Plan Stats Table Value

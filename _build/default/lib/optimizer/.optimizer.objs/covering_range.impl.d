@@ -1,0 +1,1 @@
+lib/optimizer/covering_range.ml: Expr List Plan Schema String

@@ -1,0 +1,1 @@
+lib/optimizer/covering_range.mli: Expr Plan

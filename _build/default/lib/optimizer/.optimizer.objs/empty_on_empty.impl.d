@@ -1,0 +1,1 @@
+lib/optimizer/empty_on_empty.ml: List Plan String

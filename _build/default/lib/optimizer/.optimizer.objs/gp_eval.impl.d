@@ -1,0 +1,1 @@
+lib/optimizer/gp_eval.ml: Expr List Option Plan Schema Set String

@@ -1,0 +1,1 @@
+lib/optimizer/gp_eval.mli: Plan Schema

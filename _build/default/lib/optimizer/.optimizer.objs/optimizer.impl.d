@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Catalog Cost Errors List Plan Printf Rule_util Rules_basic Rules_decorrelate Rules_group_selection Rules_join String

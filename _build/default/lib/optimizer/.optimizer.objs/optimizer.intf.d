@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.mli: Catalog Plan Rule_util

@@ -1,0 +1,1 @@
+lib/optimizer/rule_util.ml: Catalog Expr List Plan Printf Props Schema String

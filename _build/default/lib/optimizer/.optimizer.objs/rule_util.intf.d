@@ -1,0 +1,1 @@
+lib/optimizer/rule_util.mli: Catalog Expr Plan Schema

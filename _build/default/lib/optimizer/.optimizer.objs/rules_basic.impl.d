@@ -1,0 +1,1 @@
+lib/optimizer/rules_basic.ml: Covering_range Empty_on_empty Expr Gp_eval List Plan Props Rule_util Schema String

@@ -1,0 +1,1 @@
+lib/optimizer/rules_basic.mli: Rule_util

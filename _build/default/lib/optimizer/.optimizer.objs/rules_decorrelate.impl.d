@@ -1,0 +1,1 @@
+lib/optimizer/rules_decorrelate.ml: Expr List Plan Rule_util Schema String

@@ -1,0 +1,1 @@
+lib/optimizer/rules_decorrelate.mli: Rule_util

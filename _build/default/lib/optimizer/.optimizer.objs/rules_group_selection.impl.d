@@ -1,0 +1,1 @@
+lib/optimizer/rules_group_selection.ml: Catalog Expr List Option Plan Props Rule_util Schema String Table

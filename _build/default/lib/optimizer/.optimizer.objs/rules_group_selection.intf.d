@@ -1,0 +1,1 @@
+lib/optimizer/rules_group_selection.mli: Catalog Plan Rule_util

@@ -1,0 +1,1 @@
+lib/optimizer/rules_join.ml: Expr Gp_eval List Plan Props Rule_util Schema Set String

@@ -1,0 +1,203 @@
+(* Cost model (paper Section 4.4).
+
+   The paper costs GApply as (cost of the per-group query on one group) x
+   (number of groups), with the number of groups equal to the number of
+   distinct values of the grouping columns and a uniformity assumption
+   giving the average group size.  We implement exactly that on top of a
+   textbook cardinality model:
+
+   - base-table cardinalities and per-column distinct counts come from
+     exact catalog statistics;
+   - selectivities: equality with a constant 1/distinct, column-column
+     equality 1/max(distinct), ranges interpolated from min/max (fallback
+     1/3), disjunction s1 + s2 - s1*s2, negation 1 - s;
+   - a group scan's cardinality is the enclosing GApply's average group
+     size (threaded through [ctx.group_cards]);
+   - cost unit = tuples touched. *)
+
+type ctx = {
+  cat : Catalog.t;
+  group_cards : (string * float) list;  (* var -> average group size *)
+  group_shrink : (string * float) list;
+      (* var -> |group| / |base with same key|, scales distinct counts *)
+}
+
+type estimate = { card : float; cost : float }
+
+let make_ctx cat = { cat; group_cards = []; group_shrink = [] }
+
+(* Base-table statistics for a column name: search the catalog (TPC-H
+   style schemas have globally unique column names; when several tables
+   share a name we take the first match — a documented approximation). *)
+let find_column_stats ctx name =
+  let tables = Catalog.table_names ctx.cat in
+  List.fold_left
+    (fun acc t ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          let stats = Catalog.stats_of ctx.cat t in
+          Option.map (fun c -> (stats, c)) (Stats.column_stats stats name))
+    None tables
+
+let distinct_of ctx name =
+  match find_column_stats ctx name with
+  | Some (_, c) -> float_of_int (max 1 c.Stats.distinct_count)
+  | None -> 10.
+
+(* ---------- predicate selectivity ---------- *)
+
+let rec selectivity ctx (e : Expr.t) : float =
+  match e with
+  | Expr.Lit (Value.Bool true) -> 1.
+  | Expr.Lit (Value.Bool false) -> 0.
+  | Expr.Binary (Expr.And, a, b) -> selectivity ctx a *. selectivity ctx b
+  | Expr.Binary (Expr.Or, a, b) ->
+      let sa = selectivity ctx a and sb = selectivity ctx b in
+      sa +. sb -. (sa *. sb)
+  | Expr.Unary (Expr.Not, a) -> 1. -. selectivity ctx a
+  | Expr.Binary ((Expr.Eq | Expr.Nulleq), Expr.Col r, Expr.Lit _)
+  | Expr.Binary ((Expr.Eq | Expr.Nulleq), Expr.Lit _, Expr.Col r) ->
+      1. /. distinct_of ctx r.Expr.name
+  | Expr.Binary ((Expr.Eq | Expr.Nulleq), Expr.Col a, Expr.Col b) ->
+      1.
+      /. Float.max (distinct_of ctx a.Expr.name) (distinct_of ctx b.Expr.name)
+  | Expr.Binary ((Expr.Lt | Expr.Lte), Expr.Col r, Expr.Lit v) ->
+      range_sel ctx r.Expr.name ~lower:true v
+  | Expr.Binary ((Expr.Gt | Expr.Gte), Expr.Col r, Expr.Lit v) ->
+      range_sel ctx r.Expr.name ~lower:false v
+  | Expr.Binary ((Expr.Lt | Expr.Lte), Expr.Lit v, Expr.Col r) ->
+      range_sel ctx r.Expr.name ~lower:false v
+  | Expr.Binary ((Expr.Gt | Expr.Gte), Expr.Lit v, Expr.Col r) ->
+      range_sel ctx r.Expr.name ~lower:true v
+  | Expr.Binary (Expr.Neq, _, _) -> 0.9
+  | Expr.Binary ((Expr.Lt | Expr.Lte | Expr.Gt | Expr.Gte), _, _) -> 1. /. 3.
+  | Expr.Unary (Expr.Is_null, _) -> 0.05
+  | Expr.Unary (Expr.Is_not_null, _) -> 0.95
+  | _ -> 0.5
+
+and range_sel ctx name ~lower v =
+  match find_column_stats ctx name with
+  | Some (stats, _) -> Stats.range_selectivity stats name ~lower v
+  | None -> 1. /. 3.
+
+(* ---------- plan estimation ---------- *)
+
+let product_distinct ctx refs =
+  List.fold_left
+    (fun acc (r : Expr.col_ref) ->
+      let d = distinct_of ctx r.Expr.name in
+      let d =
+        (* inside a group, a column's distinct count shrinks with the
+           group; approximate with the enclosing shrink factor *)
+        match ctx.group_shrink with
+        | [] -> d
+        | (_, f) :: _ -> Float.max 1. (d *. f)
+      in
+      acc *. d)
+    1. refs
+
+let sort_cost n = if n <= 1. then n else n *. (1. +. Float.log2 (Float.max 2. n))
+
+let rec estimate (ctx : ctx) (p : Plan.t) : estimate =
+  match p with
+  | Plan.Table_scan { table; _ } ->
+      let n =
+        match Catalog.find_table_opt ctx.cat table with
+        | Some t -> float_of_int (Table.cardinality t)
+        | None -> 1000.
+      in
+      { card = n; cost = n }
+  | Plan.Group_scan { var; _ } ->
+      let n =
+        match List.assoc_opt var ctx.group_cards with
+        | Some n -> n
+        | None -> 100.
+      in
+      { card = n; cost = n }
+  | Plan.Select { pred; input } ->
+      let e = estimate ctx input in
+      {
+        card = Float.max 0. (e.card *. selectivity ctx pred);
+        cost = e.cost +. e.card;
+      }
+  | Plan.Project { input; _ } ->
+      let e = estimate ctx input in
+      { card = e.card; cost = e.cost +. e.card }
+  | Plan.Alias { input; _ } -> estimate ctx input
+  | Plan.Join { pred; left; right; _ } ->
+      let l = estimate ctx left and r = estimate ctx right in
+      let eq_cols =
+        List.filter_map
+          (function
+            | Expr.Binary ((Expr.Eq | Expr.Nulleq), Expr.Col a, Expr.Col _) ->
+                Some a
+            | _ -> None)
+          (Expr.conjuncts pred)
+      in
+      let card =
+        if eq_cols = [] then l.card *. r.card *. selectivity ctx pred
+        else
+          let d = product_distinct ctx eq_cols in
+          Float.max 1. (l.card *. r.card /. Float.max 1. d)
+      in
+      let probe_cost =
+        if eq_cols = [] then l.card *. r.card else l.card +. r.card
+      in
+      { card; cost = l.cost +. r.cost +. probe_cost +. card }
+  | Plan.Group_by { keys; input; _ } ->
+      let e = estimate ctx input in
+      let groups = Float.min e.card (product_distinct ctx keys) in
+      { card = Float.max 1. groups; cost = e.cost +. e.card +. groups }
+  | Plan.Aggregate { input; _ } ->
+      let e = estimate ctx input in
+      { card = 1.; cost = e.cost +. e.card }
+  | Plan.Distinct input ->
+      let e = estimate ctx input in
+      { card = Float.max 1. (e.card /. 2.); cost = e.cost +. e.card }
+  | Plan.Order_by { input; _ } ->
+      let e = estimate ctx input in
+      { card = e.card; cost = e.cost +. sort_cost e.card }
+  | Plan.Union_all branches ->
+      List.fold_left
+        (fun acc b ->
+          let e = estimate ctx b in
+          { card = acc.card +. e.card; cost = acc.cost +. e.cost })
+        { card = 0.; cost = 0. }
+        branches
+  | Plan.Apply { outer; inner } ->
+      let o = estimate ctx outer in
+      let i = estimate ctx inner in
+      {
+        card = o.card *. Float.max 1. i.card;
+        cost = o.cost +. (Float.max 1. o.card *. i.cost);
+      }
+  | Plan.Exists { input; _ } ->
+      let e = estimate ctx input in
+      (* early termination on the first tuple, charged at half *)
+      { card = 1.; cost = e.cost /. 2. }
+  | Plan.G_apply { gcols; var; outer; pgq; _ } ->
+      let o = estimate ctx outer in
+      let groups =
+        Float.max 1. (Float.min o.card (product_distinct ctx gcols))
+      in
+      let avg_group = Float.max 1. (o.card /. groups) in
+      let shrink = avg_group /. Float.max 1. o.card in
+      let ctx' =
+        {
+          ctx with
+          group_cards = (var, avg_group) :: ctx.group_cards;
+          group_shrink = (var, shrink) :: ctx.group_shrink;
+        }
+      in
+      let pgq_est = estimate ctx' pgq in
+      let partition_cost = o.card in
+      {
+        card = groups *. Float.max 1. pgq_est.card;
+        cost = o.cost +. partition_cost +. (groups *. pgq_est.cost);
+      }
+
+(** Estimated cost of a plan against a catalog. *)
+let plan_cost cat p = (estimate (make_ctx cat) p).cost
+
+let plan_cardinality cat p = (estimate (make_ctx cat) p).card

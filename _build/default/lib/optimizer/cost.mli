@@ -1,0 +1,33 @@
+(** Cost model (paper Section 4.4).
+
+    GApply is costed as (per-group query cost on one group) x (number of
+    groups), with the group count equal to the distinct values of the
+    grouping columns and the uniformity assumption giving the average
+    group size.  Underneath sits a textbook cardinality model over the
+    exact catalog statistics.  Cost unit: tuples touched. *)
+
+type ctx = {
+  cat : Catalog.t;
+  group_cards : (string * float) list;
+      (** relation-valued variable -> average group size *)
+  group_shrink : (string * float) list;
+      (** variable -> |group| / |input|, scales distinct counts inside
+          per-group queries *)
+}
+
+type estimate = { card : float; cost : float }
+
+val make_ctx : Catalog.t -> ctx
+
+val distinct_of : ctx -> string -> float
+(** Distinct count of a column, resolved against base-table statistics
+    by name (approximation documented in the implementation). *)
+
+val selectivity : ctx -> Expr.t -> float
+(** Equality 1/distinct, column-column 1/max, ranges from min/max
+    statistics (1/3 fallback), AND multiplies, OR adds, NOT complements. *)
+
+val estimate : ctx -> Plan.t -> estimate
+
+val plan_cost : Catalog.t -> Plan.t -> float
+val plan_cardinality : Catalog.t -> Plan.t -> float

@@ -1,0 +1,155 @@
+(* Covering-range analysis (paper Section 4.1, Theorem 1).
+
+   The covering range of an operator in a per-group query is a selection
+   condition over the group relation such that running the subtree on the
+   covered subset of the group is equivalent to running it on the whole
+   group.  The rules, from the paper:
+
+   - scan (of the group): the whole group (condition "true");
+   - select: if it has an apply/groupby/aggregate descendant, its child's
+     range; otherwise its child's range ANDed with its own condition;
+   - every other unary operator: its child's range;
+   - apply, union, union all: the disjunction of the children's ranges.
+
+   Two soundness refinements beyond the paper's sketch:
+   - a select condition participates only when every column it references
+     is *transparent* — i.e. reaches the select unchanged from the group
+     scan under its original name.  Conditions over computed or renamed
+     columns are dropped, which only weakens (enlarges) the range and is
+     therefore still sound (Theorem 1 applies to any superset of the
+     minimal covering set);
+   - unhandled shapes (nested GApply, table scans mixed in) conservatively
+     yield [Whole]. *)
+
+type range =
+  | Whole                (** the subtree may need every row of the group *)
+  | Cond of Expr.t       (** rows satisfying this condition suffice *)
+
+type analysis = {
+  range : range;
+  transparent : string list;
+      (* group columns that reach this node's output unchanged *)
+  complicated : bool;
+      (* subtree contains apply / groupby / aggregate / gapply *)
+}
+
+let cond_false = Expr.bool false
+
+let or_range a b =
+  match (a, b) with
+  | Whole, _ | _, Whole -> Whole
+  | Cond x, Cond y ->
+      if Expr.equal x cond_false then Cond y
+      else if Expr.equal y cond_false then Cond x
+      else Cond (Expr.( ||| ) x y)
+
+let and_range r pred =
+  match r with
+  | Whole -> Cond pred
+  | Cond x ->
+      if Expr.equal x cond_false then Cond cond_false
+      else Cond (Expr.( &&& ) x pred)
+
+let pred_is_transparent transparent pred =
+  (not (Expr.references_outer pred))
+  && List.for_all
+       (fun (r : Expr.col_ref) -> List.mem r.Expr.name transparent)
+       (Expr.columns pred)
+
+let rec analyze ~var (p : Plan.t) : analysis =
+  match p with
+  | Plan.Group_scan g when String.equal g.var var ->
+      {
+        range = Whole;
+        transparent = Schema.names g.schema;
+        complicated = false;
+      }
+  | Plan.Group_scan _ | Plan.Table_scan _ ->
+      (* does not read the group: needs no group rows at all *)
+      { range = Cond cond_false; transparent = []; complicated = false }
+  | Plan.Select { pred; input } ->
+      let a = analyze ~var input in
+      let range =
+        if a.complicated then a.range
+        else if pred_is_transparent a.transparent pred then
+          and_range a.range pred
+        else a.range
+      in
+      { a with range }
+  | Plan.Project { items; input } ->
+      let a = analyze ~var input in
+      let transparent =
+        List.filter_map
+          (fun (e, name) ->
+            match e with
+            | Expr.Col r
+              when String.equal r.Expr.name name
+                   && List.mem r.Expr.name a.transparent ->
+                Some name
+            | _ -> None)
+          items
+      in
+      { a with transparent }
+  | Plan.Distinct input
+  | Plan.Order_by { input; _ }
+  | Plan.Alias { input; _ } ->
+      analyze ~var input
+  | Plan.Group_by { keys; input; _ } ->
+      let a = analyze ~var input in
+      let transparent =
+        List.filter_map
+          (fun (r : Expr.col_ref) ->
+            if List.mem r.Expr.name a.transparent then Some r.Expr.name
+            else None)
+          keys
+      in
+      { range = a.range; transparent; complicated = true }
+  | Plan.Aggregate { input; _ } ->
+      let a = analyze ~var input in
+      { range = a.range; transparent = []; complicated = true }
+  | Plan.Exists { input; _ } ->
+      let a = analyze ~var input in
+      { a with transparent = [] }
+  | Plan.Apply { outer; inner } ->
+      let ao = analyze ~var outer and ai = analyze ~var inner in
+      (* output = outer columns ++ inner columns; keep names that are
+         transparent on exactly one side to avoid ambiguity *)
+      let both = List.filter (fun n -> List.mem n ai.transparent) ao.transparent in
+      let transparent =
+        List.filter (fun n -> not (List.mem n both)) ao.transparent
+        @ List.filter (fun n -> not (List.mem n both)) ai.transparent
+      in
+      {
+        range = or_range ao.range ai.range;
+        transparent;
+        complicated = true;
+      }
+  | Plan.Union_all branches ->
+      let analyses = List.map (analyze ~var) branches in
+      let range =
+        List.fold_left
+          (fun acc a -> or_range acc a.range)
+          (Cond cond_false) analyses
+      in
+      let transparent =
+        match analyses with
+        | [] -> []
+        | first :: rest ->
+            List.filter
+              (fun n ->
+                List.for_all (fun a -> List.mem n a.transparent) rest)
+              first.transparent
+      in
+      {
+        range;
+        transparent;
+        complicated = List.exists (fun a -> a.complicated) analyses;
+      }
+  | Plan.Join _ | Plan.G_apply _ ->
+      (* joins do not occur in per-group queries per the paper's
+         restriction; nested GApply can drop whole sub-groups, which the
+         range formalism does not capture — be conservative *)
+      { range = Whole; transparent = []; complicated = true }
+
+(** Covering range of a per-group query for variable [var]. *)
+let of_pgq ~var (pgq : Plan.t) : range = (analyze ~var pgq).range

@@ -1,0 +1,26 @@
+(** Covering-range analysis (paper Section 4.1, Theorem 1).
+
+    The covering range of a per-group query is a selection condition over
+    the group relation such that running the query on the covered subset
+    of any group is equivalent to running it on the whole group.  It
+    drives the selection-before-GApply rule (together with
+    {!Empty_on_empty}). *)
+
+type range =
+  | Whole                (** the query may need every row of the group *)
+  | Cond of Expr.t       (** rows satisfying this condition suffice *)
+
+type analysis = {
+  range : range;
+  transparent : string list;
+      (** group columns that reach the analysed node unchanged *)
+  complicated : bool;
+      (** subtree contains apply / groupby / aggregate / GApply *)
+}
+
+val analyze : var:string -> Plan.t -> analysis
+
+val of_pgq : var:string -> Plan.t -> range
+(** Covering range of a per-group query over variable [var].  The result
+    is sound under weakening: dropping inexpressible conditions only
+    enlarges the covered subset (see Theorem 1). *)

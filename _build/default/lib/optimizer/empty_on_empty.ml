@@ -1,0 +1,41 @@
+(* The emptyOnEmpty analysis (paper Section 4.1).
+
+   [check ~var pgq] decides whether the per-group query produces an empty
+   result whenever the group bound to [var] is empty — the side condition
+   of the selection-before-GApply rule: pushing the covering range into
+   the outer query means the PGQ is never invoked on an emptied group, so
+   PGQ(empty) = empty must hold for the rewrite to be exact.
+
+   Per the paper:
+   - scan: true;
+   - select, project, distinct, groupby, orderby, exists: child's value;
+   - aggregate: false (count-star of the empty relation is a row);
+   - apply: the outer child's value;
+   - union / union all: true iff true for all children.
+
+   Extensions for our full operator set:
+   - a NOT EXISTS returns a row on empty input: false;
+   - a scan of a table or of a *different* group variable does not shrink
+     when this group empties: false (conservative);
+   - a nested GApply partitioning the emptied group forms no groups:
+     its outer child's value;
+   - join: true when it holds for either child (a join is empty as soon
+     as either side is). *)
+
+let rec check ~var (p : Plan.t) : bool =
+  match p with
+  | Plan.Group_scan g -> String.equal g.var var
+  | Plan.Table_scan _ -> false
+  | Plan.Select { input; _ }
+  | Plan.Project { input; _ }
+  | Plan.Distinct input
+  | Plan.Group_by { input; _ }
+  | Plan.Order_by { input; _ }
+  | Plan.Alias { input; _ } ->
+      check ~var input
+  | Plan.Exists { input; negated } -> (not negated) && check ~var input
+  | Plan.Aggregate _ -> false
+  | Plan.Apply { outer; _ } -> check ~var outer
+  | Plan.Union_all branches -> List.for_all (check ~var) branches
+  | Plan.Join { left; right; _ } -> check ~var left || check ~var right
+  | Plan.G_apply { outer; _ } -> check ~var outer

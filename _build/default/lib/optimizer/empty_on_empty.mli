@@ -1,0 +1,12 @@
+(** The emptyOnEmpty analysis (paper Section 4.1): does a per-group
+    query produce an empty result whenever its group is empty?
+
+    This is the side condition of the selection-before-GApply rule:
+    pushing the covering range into the outer query means the per-group
+    query is never invoked on an emptied group, so PGQ(empty) = empty
+    must hold for the rewrite to be exact (e.g. count-star of the empty
+    group is a row, not nothing). *)
+
+val check : var:string -> Plan.t -> bool
+(** Sound: [true] implies the query really is empty on the empty group
+    (verified by a qcheck property against the reference evaluator). *)

@@ -1,0 +1,143 @@
+(* Group-evaluation (gp-eval) column analysis (paper Section 4.3).
+
+   The gp-eval columns of a per-group query are the columns *needed to
+   evaluate* it: selection columns, grouping columns, aggregated and
+   ordering columns — but not columns that are merely projected through,
+   because those can be re-attached by later joins.  Per the paper:
+
+   - scan: empty set;
+   - select: child's set plus the selection's columns;
+   - groupby: child's set plus its grouping columns and returned columns;
+   - aggregate / orderby: child's set plus aggregated / ordering columns;
+   - other unary operators: child's set;
+   - apply: union of both children;
+   - union / union all: union of all children. *)
+
+module Sset = Set.Make (String)
+
+let cols_of_expr e = Sset.of_list (Expr.column_names e)
+
+let cols_of_agg (a : Expr.agg) =
+  match a.Expr.arg with None -> Sset.empty | Some e -> cols_of_expr e
+
+let rec eval_cols (p : Plan.t) : Sset.t =
+  match p with
+  | Plan.Table_scan _ | Plan.Group_scan _ -> Sset.empty
+  | Plan.Select { pred; input } ->
+      Sset.union (eval_cols input) (cols_of_expr pred)
+  | Plan.Project { input; _ } | Plan.Distinct input | Plan.Alias { input; _ }
+    ->
+      eval_cols input
+  | Plan.Group_by { keys; aggs; input } ->
+      let keys_set =
+        Sset.of_list (List.map (fun (r : Expr.col_ref) -> r.Expr.name) keys)
+      in
+      let agg_set =
+        List.fold_left
+          (fun acc (a, _) -> Sset.union acc (cols_of_agg a))
+          Sset.empty aggs
+      in
+      Sset.union (eval_cols input) (Sset.union keys_set agg_set)
+  | Plan.Aggregate { aggs; input } ->
+      List.fold_left
+        (fun acc (a, _) -> Sset.union acc (cols_of_agg a))
+        (eval_cols input) aggs
+  | Plan.Order_by { keys; input } ->
+      List.fold_left
+        (fun acc (e, _) -> Sset.union acc (cols_of_expr e))
+        (eval_cols input) keys
+  | Plan.Exists { input; _ } -> eval_cols input
+  | Plan.Apply { outer; inner } ->
+      Sset.union (eval_cols outer) (eval_cols inner)
+  | Plan.Union_all branches ->
+      List.fold_left
+        (fun acc b -> Sset.union acc (eval_cols b))
+        Sset.empty branches
+  | Plan.Join { pred; left; right; _ } ->
+      Sset.union (cols_of_expr pred)
+        (Sset.union (eval_cols left) (eval_cols right))
+  | Plan.G_apply { gcols; outer; pgq; _ } ->
+      let keys_set =
+        Sset.of_list (List.map (fun (r : Expr.col_ref) -> r.Expr.name) gcols)
+      in
+      Sset.union keys_set (Sset.union (eval_cols outer) (eval_cols pgq))
+
+(** gp-eval columns of a per-group query, restricted to columns of the
+    group relation (references to columns computed inside the PGQ — e.g.
+    an aggregate bound by an Apply — are not group columns and are
+    dropped). *)
+let of_pgq ~group_schema (pgq : Plan.t) : string list =
+  let group_cols = Sset.of_list (Schema.names group_schema) in
+  Sset.elements (Sset.inter (eval_cols pgq) group_cols)
+
+(** All group columns referenced anywhere in the per-group query,
+    including pass-through projections — the column set the
+    projection-before-GApply rule must retain.  [needs_all] is true when
+    a group scan's full row can reach the PGQ output unprojected. *)
+let referenced_and_needs_all ~group_schema (pgq : Plan.t) :
+    string list * bool =
+  let group_cols = Sset.of_list (Schema.names group_schema) in
+  let referenced = ref Sset.empty in
+  let note_expr e =
+    List.iter
+      (fun (r : Expr.col_ref) ->
+        if Sset.mem r.Expr.name group_cols then
+          referenced := Sset.add r.Expr.name !referenced)
+      (Expr.columns e)
+  in
+  let note_agg (a : Expr.agg) = Option.iter note_expr a.Expr.arg in
+  (* needs_all: does the subtree output contain the raw group row? *)
+  let rec go (p : Plan.t) : bool =
+    match p with
+    | Plan.Group_scan _ -> true
+    | Plan.Table_scan _ -> false
+    | Plan.Select { pred; input } ->
+        note_expr pred;
+        go input
+    | Plan.Project { items; input } ->
+        List.iter (fun (e, _) -> note_expr e) items;
+        ignore (go input);
+        false
+    | Plan.Distinct input | Plan.Alias { input; _ } -> go input
+    | Plan.Order_by { keys; input } ->
+        List.iter (fun (e, _) -> note_expr e) keys;
+        go input
+    | Plan.Group_by { keys; aggs; input } ->
+        List.iter
+          (fun (r : Expr.col_ref) ->
+            if Sset.mem r.Expr.name group_cols then
+              referenced := Sset.add r.Expr.name !referenced)
+          keys;
+        List.iter (fun (a, _) -> note_agg a) aggs;
+        ignore (go input);
+        false
+    | Plan.Aggregate { aggs; input } ->
+        List.iter (fun (a, _) -> note_agg a) aggs;
+        ignore (go input);
+        false
+    | Plan.Exists { input; _ } ->
+        ignore (go input);
+        false
+    | Plan.Apply { outer; inner } ->
+        let o = go outer in
+        let i = go inner in
+        o || i
+    | Plan.Union_all branches ->
+        List.fold_left (fun acc b -> go b || acc) false branches
+    | Plan.Join { pred; left; right; _ } ->
+        note_expr pred;
+        let l = go left in
+        let r = go right in
+        l || r
+    | Plan.G_apply { gcols; outer; pgq; _ } ->
+        List.iter
+          (fun (r : Expr.col_ref) ->
+            if Sset.mem r.Expr.name group_cols then
+              referenced := Sset.add r.Expr.name !referenced)
+          gcols;
+        let o = go outer in
+        ignore (go pgq);
+        o
+  in
+  let needs_all = go pgq in
+  (Sset.elements !referenced, needs_all)

@@ -1,0 +1,18 @@
+(** Group-evaluation (gp-eval) column analysis (paper Section 4.3).
+
+    The gp-eval columns of a per-group query are the columns needed to
+    *evaluate* it — selection, grouping, aggregated and ordering columns
+    — but not columns merely projected through, because those can be
+    re-attached by later joins.  The invariant-grouping rule requires
+    the gp-eval columns to be present at the node GApply moves above. *)
+
+val of_pgq : group_schema:Schema.t -> Plan.t -> string list
+(** gp-eval columns, restricted to actual group columns (references to
+    columns computed inside the query are dropped). *)
+
+val referenced_and_needs_all :
+  group_schema:Schema.t -> Plan.t -> string list * bool
+(** All group columns referenced anywhere in the query (including
+    pass-through projections) — what projection-before-GApply must keep —
+    together with a flag telling whether a group scan's full row reaches
+    the output unprojected (in which case nothing can be cut). *)

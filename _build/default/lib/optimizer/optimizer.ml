@@ -1,0 +1,134 @@
+(* The rewrite driver (paper Section 4.4, "Integrating the Rules into an
+   Optimizer").
+
+   Heuristic rules (the paper's "basic" rules plus the traditional
+   normalisation rules) are applied exhaustively; they strictly push
+   GApply down, eliminate it, or add selections/projections to the outer
+   tree, none of which any other rule reverses, so the iteration
+   terminates (the paper's termination argument).
+
+   Cost-based rules (group selection, GApply-vs-join moves) generate an
+   alternative plan which is kept only when the Section 4.4 cost estimate
+   drops.  [force_rule] bypasses the comparison — the Table 1 benchmark
+   uses it to measure a rule's effect across a parameter sweep including
+   the regions where it loses. *)
+
+type trace_entry = { rule_name : string; cost_before : float; cost_after : float }
+
+type result = { plan : Plan.t; trace : trace_entry list }
+
+let heuristic_rules : Rule_util.rule list =
+  [
+    Rules_basic.merge_selects;
+    Rules_decorrelate.decorrelate_scalar_agg;
+    Rules_basic.select_through_project;
+    Rules_basic.select_pushdown_join;
+    Rules_basic.sigma_over_gapply;
+    Rules_basic.pi_over_gapply;
+    Rules_basic.projection_before_gapply;
+    Rules_basic.selection_before_gapply;
+    Rules_basic.gapply_to_groupby;
+    Rules_basic.eliminate_identity_project;
+  ]
+
+let cost_based_rules : Rule_util.rule list =
+  [
+    Rules_group_selection.group_selection_exists;
+    Rules_group_selection.group_selection_aggregate;
+    Rules_join.invariant_grouping;
+    Rules_join.pull_above_join;
+  ]
+
+let all_rules = heuristic_rules @ cost_based_rules
+
+let find_rule name =
+  match
+    List.find_opt (fun (r : Rule_util.rule) -> String.equal r.name name)
+      all_rules
+  with
+  | Some r -> r
+  | None -> Errors.plan_errorf "unknown optimizer rule %s" name
+
+(** Fire one named rule once (first match, top-down), ignoring cost. *)
+let force_rule name cat plan = Rule_util.apply_once (find_rule name) cat plan
+
+(** Fire one named rule exhaustively, ignoring cost. *)
+let force_rule_exhaustively name cat plan =
+  fst (Rule_util.apply_exhaustively (find_rule name) cat plan)
+
+let apply_heuristics ?(rules = heuristic_rules) ?(max_passes = 10) cat plan
+    trace =
+  let trace = ref trace in
+  (* bounded fixpoint: the rules are designed not to cycle (they only
+     push computation down or eliminate GApply), but the bound protects
+     the driver against any unforeseen interaction *)
+  let rec pass n plan changed =
+    if n >= max_passes then plan
+    else
+      let plan, changed =
+        List.fold_left
+          (fun (plan, changed) (rule : Rule_util.rule) ->
+            let plan', fired = Rule_util.apply_exhaustively rule cat plan in
+            if fired > 0 then begin
+              trace :=
+                {
+                  rule_name = rule.name;
+                  cost_before = Cost.plan_cost cat plan;
+                  cost_after = Cost.plan_cost cat plan';
+                }
+                :: !trace;
+              (plan', true)
+            end
+            else (plan, changed))
+          (plan, changed) rules
+      in
+      if changed then pass (n + 1) plan false else plan
+  in
+  let plan = pass 0 plan false in
+  (plan, !trace)
+
+let apply_cost_based ?(rules = cost_based_rules) cat plan trace =
+  let trace = ref trace in
+  let plan =
+    List.fold_left
+      (fun plan (rule : Rule_util.rule) ->
+        match Rule_util.apply_once rule cat plan with
+        | None -> plan
+        | Some candidate ->
+            let before = Cost.plan_cost cat plan in
+            let after = Cost.plan_cost cat candidate in
+            if after < before then begin
+              trace :=
+                {
+                  rule_name = rule.name;
+                  cost_before = before;
+                  cost_after = after;
+                }
+                :: !trace;
+              candidate
+            end
+            else plan)
+      plan rules
+  in
+  (plan, !trace)
+
+(** Full optimization: heuristic fixpoint, then cost-based alternatives,
+    iterated (bounded) until stable. *)
+let optimize ?(max_rounds = 8) (cat : Catalog.t) (plan : Plan.t) : result =
+  let rec loop round plan trace =
+    if round >= max_rounds then { plan; trace = List.rev trace }
+    else
+      let plan1, trace = apply_heuristics cat plan trace in
+      let plan2, trace = apply_cost_based cat plan1 trace in
+      if Plan.equal plan2 plan then { plan = plan2; trace = List.rev trace }
+      else loop (round + 1) plan2 trace
+  in
+  loop 0 plan []
+
+let trace_to_string trace =
+  String.concat "\n"
+    (List.map
+       (fun { rule_name; cost_before; cost_after } ->
+         Printf.sprintf "%-28s cost %.0f -> %.0f" rule_name cost_before
+           cost_after)
+       trace)

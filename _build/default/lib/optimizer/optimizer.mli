@@ -1,0 +1,37 @@
+(** The rewrite driver (paper Section 4.4, "Integrating the Rules into an
+    Optimizer").
+
+    Heuristic rules (the basic Section 4.1 rules plus traditional
+    normalisation) are applied exhaustively; they only push computation
+    down or eliminate GApply, so iteration terminates.  Cost-based rules
+    (group selection, GApply-vs-join moves) are adopted only when the
+    Section 4.4 cost estimate drops; {!force_rule} bypasses the
+    comparison, which the Table 1 benchmark uses to measure a rule across
+    a sweep including the settings where it loses. *)
+
+type trace_entry = {
+  rule_name : string;
+  cost_before : float;
+  cost_after : float;
+}
+
+type result = { plan : Plan.t; trace : trace_entry list }
+
+val heuristic_rules : Rule_util.rule list
+val cost_based_rules : Rule_util.rule list
+val all_rules : Rule_util.rule list
+
+val find_rule : string -> Rule_util.rule
+(** @raise Errors.Plan_error on unknown rule names. *)
+
+val force_rule : string -> Catalog.t -> Plan.t -> Plan.t option
+(** Fire one named rule once (first match, top-down), ignoring cost. *)
+
+val force_rule_exhaustively : string -> Catalog.t -> Plan.t -> Plan.t
+(** Fire one named rule to fixpoint (bounded), ignoring cost. *)
+
+val optimize : ?max_rounds:int -> Catalog.t -> Plan.t -> result
+(** Full optimization: heuristic fixpoint, then cost-based alternatives,
+    iterated until stable. *)
+
+val trace_to_string : trace_entry list -> string

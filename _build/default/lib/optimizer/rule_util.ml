@@ -1,0 +1,109 @@
+(* Shared plumbing for transformation rules. *)
+
+type rule = {
+  name : string;
+  description : string;
+  cost_based : bool;
+      (** true when the rule is not always beneficial and the driver
+          should keep the rewrite only if the estimated cost drops
+          (paper Table 1 distinguishes exactly these) *)
+  transform : Catalog.t -> Plan.t -> Plan.t option;
+      (** attempt to fire at the given node; [None] when inapplicable *)
+}
+
+let make ~name ~description ?(cost_based = false) transform =
+  { name; description; cost_based; transform }
+
+(** Try [rule] at every node, top-down; rewrite the first match. *)
+let apply_once (rule : rule) (cat : Catalog.t) (plan : Plan.t) :
+    Plan.t option =
+  let rec go p =
+    match rule.transform cat p with
+    | Some p' -> Some p'
+    | None ->
+        let rec try_children before = function
+          | [] -> None
+          | child :: rest -> (
+              match go child with
+              | Some child' ->
+                  Some
+                    (Plan.with_children p
+                       (List.rev_append before (child' :: rest)))
+              | None -> try_children (child :: before) rest)
+        in
+        try_children [] (Plan.children p)
+  in
+  go plan
+
+(** Exhaustively apply [rule] everywhere (bounded to avoid pathological
+    non-termination; the paper's rules all strictly reduce or eliminate
+    GApply so the bound is never hit in practice). *)
+let apply_exhaustively ?(max_steps = 64) rule cat plan =
+  let rec loop n plan fired =
+    if n >= max_steps then (plan, fired)
+    else
+      match apply_once rule cat plan with
+      | Some plan' -> loop (n + 1) plan' (fired + 1)
+      | None -> (plan, fired)
+  in
+  loop 0 plan 0
+
+(* ---------- small helpers used by several rules ---------- *)
+
+let names_of_refs refs =
+  List.map (fun (r : Expr.col_ref) -> r.Expr.name) refs
+
+let no_duplicates names =
+  let sorted = List.sort String.compare names in
+  let rec go = function
+    | a :: (b :: _ as rest) -> (not (String.equal a b)) && go rest
+    | _ -> true
+  in
+  go sorted
+
+(** Column references for every column of [schema], qualified by source
+    when available (so they stay unambiguous after joins). *)
+let refs_of_schema (schema : Schema.t) : Expr.col_ref list =
+  List.map
+    (fun (c : Schema.column) -> Expr.col ?qual:c.Schema.source c.Schema.cname)
+    (Schema.to_list schema)
+
+(** Identity projection items for [schema]. *)
+let identity_items (schema : Schema.t) : (Expr.t * string) list =
+  List.map
+    (fun (c : Schema.column) ->
+      (Expr.Col (Expr.col ?qual:c.Schema.source c.Schema.cname), c.Schema.cname))
+    (Schema.to_list schema)
+
+(** Does every column reference of [e] resolve (by plain name) within
+    [names]?  Outer references disqualify. *)
+let expr_within_names names (e : Expr.t) =
+  (not (Expr.references_outer e))
+  && List.for_all
+       (fun (r : Expr.col_ref) -> List.mem r.Expr.name names)
+       (Expr.columns e)
+
+(** Fresh, collision-free renamings for group-selection join keys. *)
+let gsel_name i name = Printf.sprintf "__gsel%d_%s" i name
+
+(** [schema_of plan] with plan errors turned into rule inapplicability. *)
+let try_schema plan = try Some (Props.schema_of plan) with _ -> None
+
+(** Containment of [needle]'s conjuncts in some Select node of [plan],
+    up to column qualifiers — used to avoid re-firing selection-insertion
+    rules after classic pushdown has moved (and re-qualified) the
+    selection. *)
+let selection_already_present needle plan =
+  let needle_conjuncts = Expr.conjuncts needle in
+  Plan.fold
+    (fun acc node ->
+      acc
+      ||
+      match node with
+      | Plan.Select { pred; _ } ->
+          let have = Expr.conjuncts pred in
+          List.for_all
+            (fun c -> List.exists (Expr.equal_modulo_quals c) have)
+            needle_conjuncts
+      | _ -> false)
+    false plan

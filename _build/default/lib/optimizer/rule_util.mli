@@ -1,0 +1,38 @@
+(** Plumbing shared by the transformation rules. *)
+
+type rule = {
+  name : string;
+  description : string;
+  cost_based : bool;
+      (** the rule is not always beneficial; the driver keeps its rewrite
+          only when the Section 4.4 estimate drops (the paper's Table 1
+          distinguishes exactly these rules) *)
+  transform : Catalog.t -> Plan.t -> Plan.t option;
+      (** attempt to fire at the given node; [None] when inapplicable *)
+}
+
+val make :
+  name:string ->
+  description:string ->
+  ?cost_based:bool ->
+  (Catalog.t -> Plan.t -> Plan.t option) ->
+  rule
+
+val apply_once : rule -> Catalog.t -> Plan.t -> Plan.t option
+(** Try at every node, top-down; rewrite the first match. *)
+
+val apply_exhaustively :
+  ?max_steps:int -> rule -> Catalog.t -> Plan.t -> Plan.t * int
+(** Apply everywhere to (bounded) fixpoint; returns the number of
+    firings. *)
+
+(** {1 Helpers used by several rules} *)
+
+val names_of_refs : Expr.col_ref list -> string list
+val no_duplicates : string list -> bool
+val refs_of_schema : Schema.t -> Expr.col_ref list
+val identity_items : Schema.t -> (Expr.t * string) list
+val expr_within_names : string list -> Expr.t -> bool
+val gsel_name : int -> string -> string
+val try_schema : Plan.t -> Schema.t option
+val selection_already_present : Expr.t -> Plan.t -> bool

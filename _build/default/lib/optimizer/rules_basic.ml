@@ -1,0 +1,311 @@
+(* Basic GApply rules (paper Section 4 preamble and Section 4.1) plus the
+   traditional select/project normalisation rules the paper assumes
+   ("the annotated join tree representation": selections and projections
+   pushed down in the outer query). *)
+
+open Rule_util
+
+(* ---------- PGQ-free rules over GApply ---------- *)
+
+(* sigma(RE1 GA_C RE2) = RE1 GA_C sigma(RE2)   when the predicate only
+   involves columns returned by RE2.  Extension (documented in DESIGN.md):
+   conjuncts over the *grouping* columns may instead move to the outer
+   input, because group keys are constant within a group. *)
+let sigma_over_gapply =
+  make ~name:"sigma-over-gapply"
+    ~description:"push a selection above GApply into the per-group query"
+    (fun _cat plan ->
+      match plan with
+      | Plan.Select
+          { pred; input = Plan.G_apply ({ gcols; outer; pgq; _ } as g) } -> (
+          match (try_schema pgq, try_schema outer) with
+          | Some pgq_schema, Some _ ->
+              let pgq_names = Schema.names pgq_schema in
+              let gcol_names = names_of_refs gcols in
+              if not (no_duplicates (gcol_names @ pgq_names)) then None
+              else
+                let inner_preds, outer_preds, stuck =
+                  List.fold_left
+                    (fun (i, o, s) c ->
+                      if expr_within_names pgq_names c then (c :: i, o, s)
+                      else if expr_within_names gcol_names c then
+                        (i, c :: o, s)
+                      else (i, o, c :: s))
+                    ([], [], []) (Expr.conjuncts pred)
+                in
+                if inner_preds = [] && outer_preds = [] then None
+                else
+                  let pgq =
+                    match inner_preds with
+                    | [] -> pgq
+                    | ps -> Plan.select (Expr.conjoin (List.rev ps)) pgq
+                  in
+                  let outer =
+                    match outer_preds with
+                    | [] -> outer
+                    | ps -> Plan.select (Expr.conjoin (List.rev ps)) outer
+                  in
+                  let rewritten = Plan.G_apply { g with outer; pgq } in
+                  Some
+                    (match stuck with
+                    | [] -> rewritten
+                    | ps -> Plan.select (Expr.conjoin (List.rev ps)) rewritten)
+          | _ -> None)
+      | _ -> None)
+
+(* pi_{C u B}(RE1 GA_C RE2) = RE1 GA_C pi_B(RE2): narrow the per-group
+   query to the columns the projection actually consumes; the original
+   projection stays on top for ordering/renaming and is cleaned up by
+   [eliminate_identity_project] when it becomes the identity. *)
+let pi_over_gapply =
+  make ~name:"pi-over-gapply"
+    ~description:"narrow the per-group query to projected columns"
+    (fun _cat plan ->
+      match plan with
+      | Plan.Project
+          { items; input = Plan.G_apply ({ gcols; pgq; _ } as g) } -> (
+          match try_schema pgq with
+          | None -> None
+          | Some pgq_schema ->
+              let pgq_names = Schema.names pgq_schema in
+              let gcol_names = names_of_refs gcols in
+              if not (no_duplicates (gcol_names @ pgq_names)) then None
+              else
+                let used =
+                  List.concat_map (fun (e, _) -> Expr.column_names e) items
+                in
+                let needed =
+                  List.filter (fun n -> List.mem n used) pgq_names
+                in
+                if List.length needed >= List.length pgq_names then None
+                else if needed = [] then None
+                else
+                  let narrow =
+                    Plan.project
+                      (List.map (fun n -> (Expr.column n, n)) needed)
+                      pgq
+                  in
+                  Some
+                    (Plan.Project
+                       { items; input = Plan.G_apply { g with pgq = narrow } }))
+      | _ -> None)
+
+(* ---------- Placing projections before GApply (Section 4.1) ---------- *)
+
+(* Only the grouping columns and the columns referenced somewhere in the
+   per-group query need to be produced by the outer query. *)
+let projection_before_gapply =
+  make ~name:"projection-before-gapply"
+    ~description:
+      "project the outer input to the grouping columns plus the columns \
+       the per-group query references"
+    (fun _cat plan ->
+      match plan with
+      | Plan.G_apply ({ gcols; var; outer; pgq; _ } as g) -> (
+          match try_schema outer with
+          | None -> None
+          | Some outer_schema ->
+              let referenced, needs_all =
+                Gp_eval.referenced_and_needs_all ~group_schema:outer_schema
+                  pgq
+              in
+              if needs_all || Plan.contains_table_scan pgq then None
+              else
+                let keep_names =
+                  List.sort_uniq String.compare
+                    (names_of_refs gcols @ referenced)
+                in
+                let all_names = Schema.names outer_schema in
+                if not (no_duplicates all_names) then None
+                else if List.length keep_names >= List.length all_names then
+                  None
+                else
+                  (* keep original column order *)
+                  let kept_cols =
+                    List.filter
+                      (fun (c : Schema.column) ->
+                        List.mem c.Schema.cname keep_names)
+                      (Schema.to_list outer_schema)
+                  in
+                  let items =
+                    List.map
+                      (fun (c : Schema.column) ->
+                        ( Expr.Col
+                            (Expr.col ?qual:c.Schema.source c.Schema.cname),
+                          c.Schema.cname ))
+                      kept_cols
+                  in
+                  let outer = Plan.project items outer in
+                  let new_schema = Props.schema_of outer in
+                  (* the projected schema loses table qualifiers, so strip
+                     qualifiers from the per-group query's references and
+                     from the grouping columns (sound: we verified above
+                     that all outer column names are unique) *)
+                  let strip_expr =
+                    Expr.map (function
+                      | Expr.Col r -> Expr.Col { r with Expr.qual = None }
+                      | e -> e)
+                  in
+                  let strip_ref (r : Expr.col_ref) =
+                    { r with Expr.qual = None }
+                  in
+                  let pgq =
+                    Plan.rewrite_exprs ~f_expr:strip_expr ~f_ref:strip_ref pgq
+                  in
+                  let pgq =
+                    Props.retarget_group_scans ~var ~schema:new_schema pgq
+                  in
+                  let gcols = List.map strip_ref gcols in
+                  Some (Plan.G_apply { g with gcols; outer; pgq }))
+      | _ -> None)
+
+(* ---------- Placing selections before GApply (Section 4.1) ---------- *)
+
+(* Push the covering range of the per-group query into the outer query,
+   provided PGQ(empty) = empty.  The inserted selection is then moved
+   down by the traditional pushdown rules. *)
+let selection_before_gapply =
+  make ~name:"selection-before-gapply"
+    ~description:
+      "insert the per-group query's covering range as a selection on the \
+       outer input (requires emptyOnEmpty)"
+    (fun _cat plan ->
+      match plan with
+      | Plan.G_apply ({ var; outer; pgq; _ } as g) -> (
+          match Covering_range.of_pgq ~var pgq with
+          | Covering_range.Whole -> None
+          | Covering_range.Cond sigma ->
+              if Expr.equal sigma (Expr.bool false) then None
+              else if not (Empty_on_empty.check ~var pgq) then None
+              else if selection_already_present sigma outer then None
+              else Some (Plan.G_apply { g with outer = Plan.select sigma outer }))
+      | _ -> None)
+
+(* ---------- Converting GApply to groupby (Section 4.1) ---------- *)
+
+let gapply_to_groupby =
+  make ~name:"gapply-to-groupby"
+    ~description:
+      "replace GApply whose per-group query is a plain aggregation (or a \
+       plain group-by) with an ordinary groupby"
+    (fun _cat plan ->
+      match plan with
+      | Plan.G_apply { gcols; var; outer; pgq; _ } -> (
+          match pgq with
+          | Plan.Aggregate { aggs; input = Plan.Group_scan gs }
+            when String.equal gs.var var ->
+              Some (Plan.group_by gcols aggs outer)
+          | Plan.Group_by { keys; aggs; input = Plan.Group_scan gs }
+            when String.equal gs.var var ->
+              Some (Plan.group_by (gcols @ keys) aggs outer)
+          | _ -> None)
+      | _ -> None)
+
+(* ---------- traditional normalisation rules ---------- *)
+
+let merge_selects =
+  make ~name:"merge-selects" ~description:"fuse adjacent selections"
+    (fun _cat plan ->
+      match plan with
+      | Plan.Select { pred = p1; input = Plan.Select { pred = p2; input } }
+        ->
+          Some (Plan.select (Expr.( &&& ) p2 p1) input)
+      | _ -> None)
+
+(* Push selection conjuncts below a join when they reference only one
+   side (part of the annotated-join-tree normalisation of Section 4). *)
+let select_pushdown_join =
+  make ~name:"select-pushdown-join"
+    ~description:"push one-sided selection conjuncts below a join"
+    (fun _cat plan ->
+      match plan with
+      | Plan.Select { pred; input = Plan.Join ({ left; right; _ } as j) }
+        -> (
+          match (try_schema left, try_schema right) with
+          | Some ls, Some rs ->
+              let lnames = Schema.names ls and rnames = Schema.names rs in
+              if not (no_duplicates (lnames @ rnames)) then None
+              else
+                let lp, rp, stay =
+                  List.fold_left
+                    (fun (l, r, s) c ->
+                      if expr_within_names lnames c then (c :: l, r, s)
+                      else if expr_within_names rnames c then (l, c :: r, s)
+                      else (l, r, c :: s))
+                    ([], [], []) (Expr.conjuncts pred)
+                in
+                if lp = [] && rp = [] then None
+                else
+                  let left =
+                    match lp with
+                    | [] -> left
+                    | ps -> Plan.select (Expr.conjoin (List.rev ps)) left
+                  in
+                  let right =
+                    match rp with
+                    | [] -> right
+                    | ps -> Plan.select (Expr.conjoin (List.rev ps)) right
+                  in
+                  let joined = Plan.Join { j with left; right } in
+                  Some
+                    (match stay with
+                    | [] -> joined
+                    | ps -> Plan.select (Expr.conjoin (List.rev ps)) joined)
+          | _ -> None)
+      | _ -> None)
+
+(* Push a selection through a projection by substituting the projection's
+   defining expressions into the predicate (sound because expressions are
+   pure). *)
+let select_through_project =
+  make ~name:"select-through-project"
+    ~description:"commute a selection below a projection"
+    (fun _cat plan ->
+      match plan with
+      | Plan.Select { pred; input = Plan.Project { items; input } } ->
+          let lookup (r : Expr.col_ref) =
+            match
+              List.filter (fun (_, name) -> String.equal name r.Expr.name)
+                items
+            with
+            | [ (e, _) ] -> Some e
+            | _ -> None
+          in
+          let ok = ref true in
+          let pred' =
+            Expr.map
+              (function
+                | Expr.Col r as e -> (
+                    match lookup r with
+                    | Some def -> def
+                    | None ->
+                        ok := false;
+                        e)
+                | e -> e)
+              pred
+          in
+          if !ok then
+            Some (Plan.project items (Plan.select pred' input))
+          else None
+      | _ -> None)
+
+let eliminate_identity_project =
+  make ~name:"eliminate-identity-project"
+    ~description:"drop projections that are the identity on their input"
+    (fun _cat plan ->
+      match plan with
+      | Plan.Project { items; input } -> (
+          match try_schema input with
+          | Some s
+            when List.length items = Schema.arity s
+                 && List.for_all2
+                      (fun (e, name) (c : Schema.column) ->
+                        String.equal name c.Schema.cname
+                        &&
+                        match e with
+                        | Expr.Col r -> String.equal r.Expr.name c.Schema.cname
+                        | _ -> false)
+                      items (Schema.to_list s) ->
+              Some input
+          | _ -> None)
+      | _ -> None)

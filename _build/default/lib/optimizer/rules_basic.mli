@@ -1,0 +1,28 @@
+(** The basic GApply rules (paper Section 4.1 and the two PGQ-free rules
+    of the Section 4 preamble), plus the traditional select/project
+    normalisation the paper's annotated-join-tree form assumes. *)
+
+val sigma_over_gapply : Rule_util.rule
+(** sigma(RE1 GA_C RE2) = RE1 GA_C sigma(RE2) when the predicate only
+    involves columns returned by RE2; conjuncts over grouping columns
+    move to the outer input instead (documented extension). *)
+
+val pi_over_gapply : Rule_util.rule
+(** pi_(C u B)(RE1 GA_C RE2) = RE1 GA_C pi_B(RE2). *)
+
+val projection_before_gapply : Rule_util.rule
+(** Project the outer input to the grouping columns plus the columns the
+    per-group query references. *)
+
+val selection_before_gapply : Rule_util.rule
+(** Insert the PGQ's covering range as a selection on the outer input
+    (Theorem 1; requires emptyOnEmpty). *)
+
+val gapply_to_groupby : Rule_util.rule
+(** Replace GApply whose PGQ is a plain aggregation (or plain group-by)
+    with an ordinary groupby. *)
+
+val merge_selects : Rule_util.rule
+val select_through_project : Rule_util.rule
+val select_pushdown_join : Rule_util.rule
+val eliminate_identity_project : Rule_util.rule

@@ -1,0 +1,6 @@
+(** Decorrelation of scalar-aggregate subqueries (Galindo-Legaria &
+    Joshi [12]): a correlated scalar aggregate under a null-rejecting
+    comparison becomes groupby + join, giving the paper's verbatim
+    Section 2 SQL the asymptotics of the hand-decorrelated baselines. *)
+
+val decorrelate_scalar_agg : Rule_util.rule

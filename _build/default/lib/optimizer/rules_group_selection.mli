@@ -1,0 +1,22 @@
+(** Group-selection rules (paper Section 4.2, Figures 5-6): queries that
+    keep or drop whole groups based on a predicate are rewritten to
+    evaluate the predicate first and rebuild only the qualifying groups.
+    Both rules are cost-based (Table 1: average differs from average
+    over wins).
+
+    The join-back uses null-safe equality (GApply groups NULL keys
+    together) and prunes redundant FK joins from the qualifying-keys
+    phase. *)
+
+val prune_fk_joins :
+  Catalog.t -> needed:string list -> Plan.t -> Plan.t
+(** Drop foreign-key joins whose right side contributes no needed
+    column (sound: an FK join neither filters nor duplicates the left
+    multiset). *)
+
+val group_selection_exists : Rule_util.rule
+(** Existential predicate (Figure 5). *)
+
+val group_selection_aggregate : Rule_util.rule
+(** Aggregate predicate: one accumulator per group (groupby + having)
+    instead of materialised groups. *)

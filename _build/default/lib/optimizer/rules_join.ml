@@ -1,0 +1,254 @@
+(* GApply vs. joins (paper Section 4.3).
+
+   - invariant grouping (Theorem 2): push a GApply below a foreign-key
+     join when the join's left side already carries the grouping columns
+     and the gp-eval columns, and the left-side join columns are grouping
+     columns.  The per-group query is *adapted* by removing the columns
+     that are no longer available (they re-attach through the join).
+
+   - pull GApply above a join (the rule of Galindo-Legaria & Joshi [12]
+     referenced by the paper): the inverse move, valid under the same
+     foreign-key condition; the right side's columns are constant within
+     a group, so the adapted per-group query re-attaches them with a
+     distinct-projection Apply. *)
+
+open Rule_util
+
+module Sset = Set.Make (String)
+
+(* ---------- adaptation of the per-group query (Section 4.3) ---------- *)
+
+(* Remove from all project lists every column that references a name in
+   [dropped]; fail (None) if a projection would become empty or a
+   non-projection operator references a dropped column. *)
+let adapt_pgq ~var ~new_schema ~dropped pgq =
+  let refs_dropped e =
+    List.exists
+      (fun (r : Expr.col_ref) -> Sset.mem r.Expr.name dropped)
+      (Expr.columns e)
+  in
+  let agg_refs_dropped (a : Expr.agg) =
+    match a.Expr.arg with None -> false | Some e -> refs_dropped e
+  in
+  let exception Unavailable in
+  let rec go p =
+    match p with
+    | Plan.Group_scan g when String.equal g.var var ->
+        Plan.Group_scan { g with schema = new_schema }
+    | Plan.Group_scan _ | Plan.Table_scan _ -> p
+    | Plan.Select { pred; input } ->
+        if refs_dropped pred then raise Unavailable
+        else Plan.select pred (go input)
+    | Plan.Project { items; input } ->
+        let kept = List.filter (fun (e, _) -> not (refs_dropped e)) items in
+        if kept = [] then raise Unavailable
+        else Plan.project kept (go input)
+    | Plan.Distinct input -> Plan.distinct (go input)
+    | Plan.Alias { alias; input } -> Plan.alias alias (go input)
+    | Plan.Order_by { keys; input } ->
+        if List.exists (fun (e, _) -> refs_dropped e) keys then
+          raise Unavailable
+        else Plan.order_by keys (go input)
+    | Plan.Group_by { keys; aggs; input } ->
+        if
+          List.exists
+            (fun (r : Expr.col_ref) -> Sset.mem r.Expr.name dropped)
+            keys
+          || List.exists (fun (a, _) -> agg_refs_dropped a) aggs
+        then raise Unavailable
+        else Plan.group_by keys aggs (go input)
+    | Plan.Aggregate { aggs; input } ->
+        if List.exists (fun (a, _) -> agg_refs_dropped a) aggs then
+          raise Unavailable
+        else Plan.aggregate aggs (go input)
+    | Plan.Exists { input; negated } -> Plan.exists ~negated (go input)
+    | Plan.Apply { outer; inner } -> Plan.apply (go outer) (go inner)
+    | Plan.Union_all branches -> Plan.union_all (List.map go branches)
+    | Plan.Join _ | Plan.G_apply _ -> raise Unavailable
+  in
+  match go pgq with p -> Some p | exception Unavailable -> None
+
+(* Union-branch alignment check: adapted branches must agree on output
+   names (dropping different columns per branch would misalign them). *)
+let union_branches_aligned pgq =
+  try
+    ignore (Props.validate pgq);
+    true
+  with _ -> false
+
+(* ---------- invariant grouping: push GApply below an FK join ---------- *)
+
+let invariant_grouping =
+  make ~name:"invariant-grouping" ~cost_based:true
+    ~description:
+      "push GApply below a foreign-key join whose left side has the \
+       grouping and gp-eval columns (Theorem 2)"
+    (fun _cat plan ->
+      match plan with
+      | Plan.G_apply
+          {
+            gcols;
+            var;
+            outer =
+              Plan.Join
+                ({ pred; fk = Some Plan.Left_to_right; left; right } as j);
+            pgq;
+            _;
+          } -> (
+          match (try_schema left, try_schema right) with
+          | Some left_schema, Some right_schema -> (
+              let left_names = Schema.names left_schema in
+              let right_names = Schema.names right_schema in
+              let join_schema = Schema.concat left_schema right_schema in
+              let join_names = Schema.names join_schema in
+              if not (no_duplicates join_names) then None
+              else if
+                (* 1. grouping columns live on the left side *)
+                not
+                  (List.for_all
+                     (fun (r : Expr.col_ref) ->
+                       List.mem r.Expr.name left_names)
+                     gcols)
+              then None
+              else if
+                (* 1b. gp-eval columns live on the left side *)
+                not
+                  (List.for_all
+                     (fun n -> List.mem n left_names)
+                     (Gp_eval.of_pgq ~group_schema:join_schema pgq))
+              then None
+              else if
+                (* 2. every left-side join column is a grouping column *)
+                not
+                  (let gcol_names = names_of_refs gcols in
+                   List.for_all
+                     (fun (r : Expr.col_ref) ->
+                       (not (List.mem r.Expr.name left_names))
+                       || List.mem r.Expr.name gcol_names)
+                     (Expr.columns pred))
+              then None
+              else
+                let original_out_names =
+                  names_of_refs gcols @ Schema.names (Props.schema_of pgq)
+                in
+                if not (no_duplicates original_out_names) then None
+                else
+                  let dropped = Sset.of_list right_names in
+                  match
+                    adapt_pgq ~var ~new_schema:left_schema ~dropped pgq
+                  with
+                  | None -> None
+                  | Some adapted when not (union_branches_aligned adapted) ->
+                      None
+                  | Some adapted ->
+                      let inner_ga =
+                        Plan.g_apply ~gcols ~var ~outer:left ~pgq:adapted
+                      in
+                      let adapted_out_names =
+                        try
+                          names_of_refs gcols
+                          @ Schema.names (Props.schema_of adapted)
+                        with _ -> []
+                      in
+                      if adapted_out_names = [] then None
+                      else if
+                        (* columns that disappeared must be recoverable
+                           from the right side by name *)
+                        not
+                          (List.for_all
+                             (fun n ->
+                               List.mem n adapted_out_names
+                               || List.mem n right_names)
+                             original_out_names)
+                      then None
+                      else
+                        let new_join =
+                          Plan.Join { j with left = inner_ga; right }
+                        in
+                        let right_source name =
+                          let i = Schema.find name right_schema in
+                          (Schema.get right_schema i).Schema.source
+                        in
+                        let items =
+                          List.map
+                            (fun n ->
+                              if List.mem n adapted_out_names then
+                                (Expr.column n, n)
+                              else
+                                ( Expr.Col (Expr.col ?qual:(right_source n) n),
+                                  n ))
+                            original_out_names
+                        in
+                        Some (Plan.project items new_join))
+          | _ -> None)
+      | _ -> None)
+
+(* ---------- pull GApply above an FK join ---------- *)
+
+let pull_above_join =
+  make ~name:"pull-gapply-above-join" ~cost_based:true
+    ~description:
+      "pull GApply above a foreign-key join (Galindo-Legaria & Joshi); \
+       the right side's columns are re-attached inside the per-group \
+       query"
+    (fun _cat plan ->
+      match plan with
+      | Plan.Join
+          ({
+             pred;
+             fk = Some Plan.Left_to_right;
+             left = Plan.G_apply { gcols; var; outer; pgq; _ };
+             right;
+           } as j) -> (
+          match (try_schema outer, try_schema right) with
+          | Some outer_schema, Some right_schema -> (
+              let gcol_names = names_of_refs gcols in
+              let outer_names = Schema.names outer_schema in
+              let right_names = Schema.names right_schema in
+              let new_outer_schema =
+                Schema.concat outer_schema right_schema
+              in
+              if not (no_duplicates (outer_names @ right_names)) then None
+              else if
+                (* the join predicate over the GApply output may only
+                   touch grouping columns (left) and right columns *)
+                not
+                  (List.for_all
+                     (fun (r : Expr.col_ref) ->
+                       List.mem r.Expr.name gcol_names
+                       || List.mem r.Expr.name right_names)
+                     (Expr.columns pred))
+                || Expr.references_outer pred
+              then None
+              else
+                let new_outer = Plan.Join { j with left = outer; right } in
+                let widened_pgq =
+                  Props.retarget_group_scans ~var ~schema:new_outer_schema
+                    pgq
+                in
+                let right_items =
+                  List.map
+                    (fun (c : Schema.column) ->
+                      ( Expr.Col
+                          (Expr.col ?qual:c.Schema.source c.Schema.cname),
+                        c.Schema.cname ))
+                    (Schema.to_list right_schema)
+                in
+                let attach_right =
+                  Plan.distinct
+                    (Plan.project right_items
+                       (Plan.group_scan ~var new_outer_schema))
+                in
+                let new_pgq = Plan.apply widened_pgq attach_right in
+                match
+                  (* sanity: the rewritten plan must still resolve *)
+                  try_schema
+                    (Plan.g_apply ~gcols ~var ~outer:new_outer ~pgq:new_pgq)
+                with
+                | Some _ ->
+                    Some
+                      (Plan.g_apply ~gcols ~var ~outer:new_outer
+                         ~pgq:new_pgq)
+                | None -> None)
+          | _ -> None)
+      | _ -> None)

@@ -1,0 +1,11 @@
+(** GApply vs. joins (paper Section 4.3). *)
+
+val invariant_grouping : Rule_util.rule
+(** Theorem 2: push GApply below a foreign-key join whose left side has
+    the grouping and gp-eval columns; the per-group query is adapted by
+    removing columns that re-attach through the join. *)
+
+val pull_above_join : Rule_util.rule
+(** The inverse move (Galindo-Legaria & Joshi [12]): the right side's
+    columns are constant within a group and re-attach inside the
+    per-group query via a distinct projection. *)

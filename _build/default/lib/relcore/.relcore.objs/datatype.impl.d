@@ -1,0 +1,1 @@
+lib/relcore/datatype.ml: Format String

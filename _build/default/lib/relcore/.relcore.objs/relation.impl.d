@@ -1,0 +1,1 @@
+lib/relcore/relation.ml: Array Errors Format Hashtbl List Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relcore/relation.mli: Format Schema Tuple

@@ -1,0 +1,1 @@
+lib/relcore/schema.ml: Array Datatype Errors Format List String

@@ -1,0 +1,1 @@
+lib/relcore/schema.mli: Datatype Format

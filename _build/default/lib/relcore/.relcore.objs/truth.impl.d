@@ -1,0 +1,1 @@
+lib/relcore/truth.ml: Format

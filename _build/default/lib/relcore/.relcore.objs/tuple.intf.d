@@ -1,0 +1,1 @@
+lib/relcore/tuple.mli: Format Hashtbl Value

@@ -1,0 +1,1 @@
+lib/relcore/value.ml: Buffer Datatype Errors Format Hashtbl Printf String Truth

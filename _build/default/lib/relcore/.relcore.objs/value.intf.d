@@ -1,0 +1,1 @@
+lib/relcore/value.mli: Datatype Format Truth

@@ -1,0 +1,55 @@
+(* SQL datatypes supported by the engine.
+
+   The engine is dynamically checked at execution time but plans carry
+   declared types so the binder can reject ill-typed queries early. *)
+
+type t =
+  | Int
+  | Float
+  | Str
+  | Bool
+  | Null  (** type of an all-NULL column, e.g. a NULL literal padding an
+              outer-union branch; unifies with every other type *)
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Int -> "INT"
+  | Float -> "FLOAT"
+  | Str -> "VARCHAR"
+  | Bool -> "BOOL"
+  | Null -> "NULL"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" | "BIGINT" -> Some Int
+  | "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" -> Some Float
+  | "VARCHAR" | "CHAR" | "TEXT" | "STRING" -> Some Str
+  | "BOOL" | "BOOLEAN" -> Some Bool
+  | _ -> None
+
+(** [is_numeric t] holds for types usable in arithmetic and aggregates
+    such as [sum]/[avg]; the [Null] type is vacuously numeric. *)
+let is_numeric = function Int | Float | Null -> true | Str | Bool -> false
+
+(** Result type of an arithmetic operation over two numeric types:
+    int op int = int, anything involving float = float. *)
+let numeric_join a b =
+  match (a, b) with
+  | Null, t | t, Null -> t
+  | Int, Int -> Int
+  | (Int | Float), (Int | Float) -> Float
+  | _ -> invalid_arg "Datatype.numeric_join: non-numeric operand"
+
+(** Least upper bound used when unifying union-branch columns.
+    [None] when the types are incompatible. *)
+let unify a b =
+  match (a, b) with
+  | Null, t | t, Null -> Some t
+  | Int, Int -> Some Int
+  | (Int | Float), (Int | Float) -> Some Float
+  | Str, Str -> Some Str
+  | Bool, Bool -> Some Bool
+  | (Int | Float | Str | Bool), _ -> None

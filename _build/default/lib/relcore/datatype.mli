@@ -1,0 +1,34 @@
+(** SQL datatypes.
+
+    The engine checks values dynamically at execution time; declared
+    types are used by the binder and plan-property derivation. *)
+
+type t =
+  | Int
+  | Float
+  | Str
+  | Bool
+  | Null
+      (** type of an all-NULL column (e.g. a NULL literal padding an
+          outer-union branch); unifies with every other type *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t option
+(** Recognises the usual SQL spellings (INT/INTEGER/BIGINT, FLOAT/REAL/
+    DOUBLE/DECIMAL/NUMERIC, VARCHAR/CHAR/TEXT/STRING, BOOL/BOOLEAN),
+    case-insensitively. *)
+
+val is_numeric : t -> bool
+(** Holds for [Int], [Float] and (vacuously) [Null]. *)
+
+val numeric_join : t -> t -> t
+(** Result type of arithmetic: int op int = int, anything involving
+    float = float; [Null] is absorbed.
+    @raise Invalid_argument on non-numeric operands. *)
+
+val unify : t -> t -> t option
+(** Least upper bound used when unifying union-branch columns; [None]
+    when incompatible. *)

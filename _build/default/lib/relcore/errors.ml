@@ -1,0 +1,43 @@
+(* Engine-wide error reporting.
+
+   Every layer of the engine raises one of these exceptions; user-facing
+   entry points (the CLI, the [Engine] facade) catch them and render the
+   payload.  We deliberately use distinct exceptions per phase so tests can
+   assert on the failure class. *)
+
+exception Type_error of string
+(** A value or expression was used at the wrong type. *)
+
+exception Name_error of string
+(** An unresolvable or ambiguous column / table / variable name. *)
+
+exception Parse_error of string
+(** Raised by the SQL lexer/parser with position information. *)
+
+exception Plan_error of string
+(** A malformed logical plan (bad arity, unknown column, ...). *)
+
+exception Exec_error of string
+(** A runtime evaluation failure. *)
+
+let type_errorf fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+let name_errorf fmt = Format.kasprintf (fun s -> raise (Name_error s)) fmt
+let parse_errorf fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+let plan_errorf fmt = Format.kasprintf (fun s -> raise (Plan_error s)) fmt
+let exec_errorf fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
+
+(** Render any engine exception as a one-line message; re-raises foreign
+    exceptions. *)
+let to_string = function
+  | Type_error m -> "type error: " ^ m
+  | Name_error m -> "name error: " ^ m
+  | Parse_error m -> "parse error: " ^ m
+  | Plan_error m -> "plan error: " ^ m
+  | Exec_error m -> "execution error: " ^ m
+  | e -> raise e
+
+let is_engine_error = function
+  | Type_error _ | Name_error _ | Parse_error _ | Plan_error _ | Exec_error _
+    ->
+      true
+  | _ -> false

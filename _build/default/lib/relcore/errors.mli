@@ -1,0 +1,23 @@
+(** Engine-wide error reporting.
+
+    Each processing phase raises its own exception so tests and callers
+    can distinguish failure classes; user-facing entry points render the
+    payload with {!to_string}. *)
+
+exception Type_error of string
+exception Name_error of string
+exception Parse_error of string
+exception Plan_error of string
+exception Exec_error of string
+
+val type_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val name_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val parse_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val plan_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val exec_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val to_string : exn -> string
+(** Render an engine exception as a one-line message; re-raises foreign
+    exceptions. *)
+
+val is_engine_error : exn -> bool

@@ -1,0 +1,130 @@
+(* Materialised relations: a schema plus an ordered multiset of rows.
+
+   The engine follows SQL multiset semantics (Section 3 of the paper):
+   duplicates are preserved everywhere and eliminated only by an explicit
+   [distinct].  Row order is an artifact of evaluation; [equal_as_multiset]
+   is the semantic comparison used throughout the test suite. *)
+
+type t = { schema : Schema.t; rows : Tuple.t array }
+
+let make schema rows = { schema; rows = Array.of_list rows }
+let of_array schema rows = { schema; rows }
+let empty schema = { schema; rows = [||] }
+
+let schema r = r.schema
+let rows r = Array.to_list r.rows
+let rows_array r = r.rows
+let cardinality r = Array.length r.rows
+let is_empty r = Array.length r.rows = 0
+
+let iter f r = Array.iter f r.rows
+let fold f init r = Array.fold_left f init r.rows
+let map_rows f r = { r with rows = Array.map f r.rows }
+let filter_rows f r =
+  { r with rows = Array.of_list (List.filter f (Array.to_list r.rows)) }
+
+let append a b =
+  if Schema.arity a.schema <> Schema.arity b.schema then
+    Errors.plan_errorf "Relation.append: arity mismatch (%d vs %d)"
+      (Schema.arity a.schema) (Schema.arity b.schema);
+  { a with rows = Array.append a.rows b.rows }
+
+(** Project both schema and rows onto the column indexes [idxs]. *)
+let project idxs r =
+  {
+    schema = Schema.project idxs r.schema;
+    rows = Array.map (Tuple.project idxs) r.rows;
+  }
+
+(** Stable sort by the given tuple comparison. *)
+let sort_by cmp r =
+  let rows = Array.copy r.rows in
+  let tagged = Array.mapi (fun i t -> (i, t)) rows in
+  Array.sort
+    (fun (i, a) (j, b) ->
+      let c = cmp a b in
+      if c <> 0 then c else compare i j)
+    tagged;
+  { r with rows = Array.map snd tagged }
+
+(** Duplicate elimination under the total value order (SQL DISTINCT). *)
+let distinct r =
+  let seen = Hashtbl.create 64 in
+  let keep = ref [] in
+  Array.iter
+    (fun row ->
+      let h = Tuple.hash row in
+      let bucket = try Hashtbl.find seen h with Not_found -> [] in
+      if not (List.exists (Tuple.equal row) bucket) then begin
+        Hashtbl.replace seen h (row :: bucket);
+        keep := row :: !keep
+      end)
+    r.rows;
+  { r with rows = Array.of_list (List.rev !keep) }
+
+(** Multiset equality: same rows with the same multiplicities,
+    irrespective of order. *)
+let equal_as_multiset a b =
+  Array.length a.rows = Array.length b.rows
+  && Schema.arity a.schema = Schema.arity b.schema
+  &&
+  let sort r =
+    let c = Array.copy r.rows in
+    Array.sort Tuple.compare c;
+    c
+  in
+  let xa = sort a and xb = sort b in
+  Array.for_all2 Tuple.equal xa xb
+
+let equal_as_list a b =
+  Array.length a.rows = Array.length b.rows
+  && Array.for_all2 Tuple.equal a.rows b.rows
+
+(** Pretty-print as an aligned ASCII table (used by the CLI and examples). *)
+let pp ppf r =
+  let headers =
+    Array.map
+      (fun (c : Schema.column) ->
+        match c.Schema.source with
+        | None -> c.Schema.cname
+        | Some s -> s ^ "." ^ c.Schema.cname)
+      r.schema
+  in
+  let ncols = Array.length headers in
+  let width = Array.map String.length headers in
+  let cells =
+    Array.map
+      (fun row ->
+        Array.mapi
+          (fun i v ->
+            let s = Value.to_string v in
+            if String.length s > width.(i) then width.(i) <- String.length s;
+            s)
+          (Array.sub row 0 ncols))
+      r.rows
+  in
+  let line ppf () =
+    for i = 0 to ncols - 1 do
+      Format.fprintf ppf "+%s" (String.make (width.(i) + 2) '-')
+    done;
+    Format.fprintf ppf "+@\n"
+  in
+  let row ppf cells =
+    for i = 0 to ncols - 1 do
+      Format.fprintf ppf "| %-*s " width.(i) cells.(i)
+    done;
+    Format.fprintf ppf "|@\n"
+  in
+  if ncols = 0 then
+    Format.fprintf ppf "(%d row(s) over the empty schema)@\n"
+      (Array.length r.rows)
+  else begin
+    line ppf ();
+    row ppf headers;
+    line ppf ();
+    Array.iter (row ppf) cells;
+    line ppf ();
+    Format.fprintf ppf "(%d row(s))@\n" (Array.length r.rows)
+  end
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,93 @@
+(* Schemas: ordered lists of typed, optionally qualified columns.
+
+   A column's [source] is the table alias it came from (or [None] for
+   computed columns); resolution accepts either a qualified reference
+   ("ps1.ps_suppkey") or a bare name, and reports ambiguity when a bare
+   name matches several columns. *)
+
+type column = {
+  source : string option;  (** table alias the column originates from *)
+  cname : string;          (** column name, lowercase by convention *)
+  ctype : Datatype.t;
+}
+
+type t = column array
+
+let column ?source cname ctype = { source; cname; ctype }
+
+let of_list cols : t = Array.of_list cols
+let to_list (s : t) = Array.to_list s
+let arity (s : t) = Array.length s
+let get (s : t) i = s.(i)
+let empty : t = [||]
+
+let names (s : t) = Array.to_list (Array.map (fun c -> c.cname) s)
+let types (s : t) = Array.to_list (Array.map (fun c -> c.ctype) s)
+
+let column_matches ~qual ~name c =
+  String.equal c.cname name
+  && match qual with
+     | None -> true
+     | Some q -> ( match c.source with
+                   | Some s -> String.equal s q
+                   | None -> false )
+
+(** [find_all ?qual name s] is the list of indexes matching the
+    (possibly qualified) reference. *)
+let find_all ?qual name (s : t) =
+  let acc = ref [] in
+  for i = Array.length s - 1 downto 0 do
+    if column_matches ~qual ~name s.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let ref_to_string qual name =
+  match qual with None -> name | Some q -> q ^ "." ^ name
+
+(** [find ?qual name s] resolves a column reference to its index.
+    @raise Errors.Name_error when unknown or ambiguous. *)
+let find ?qual name (s : t) =
+  match find_all ?qual name s with
+  | [ i ] -> i
+  | [] -> Errors.name_errorf "unknown column %s" (ref_to_string qual name)
+  | _ :: _ :: _ ->
+      Errors.name_errorf "ambiguous column %s" (ref_to_string qual name)
+
+let mem ?qual name (s : t) = find_all ?qual name s <> []
+
+(** Concatenation for joins / applies: left columns then right columns. *)
+let concat (a : t) (b : t) : t = Array.append a b
+
+(** [project idxs s] keeps the columns at [idxs], in that order. *)
+let project idxs (s : t) : t =
+  Array.of_list (List.map (fun i -> s.(i)) idxs)
+
+(** [rename_source alias s] stamps every column as coming from [alias]
+    (used when a FROM item is aliased). *)
+let rename_source alias (s : t) : t =
+  Array.map (fun c -> { c with source = Some alias }) s
+
+(** Drop qualifiers — used when a derived table exports its columns. *)
+let anonymous_sources (s : t) : t =
+  Array.map (fun c -> { c with source = None }) s
+
+let equal_modulo_sources (a : t) (b : t) =
+  arity a = arity b
+  && Array.for_all2
+       (fun x y ->
+         String.equal x.cname y.cname && Datatype.equal x.ctype y.ctype)
+       a b
+
+let pp_column ppf c =
+  match c.source with
+  | None -> Format.fprintf ppf "%s:%a" c.cname Datatype.pp c.ctype
+  | Some s -> Format.fprintf ppf "%s.%s:%a" s c.cname Datatype.pp c.ctype
+
+let pp ppf (s : t) =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_column)
+    (Array.to_list s)
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,52 @@
+(** Schemas: ordered arrays of typed, optionally qualified columns.
+
+    A column's [source] is the table alias it came from ([None] for
+    computed columns).  Resolution accepts either a qualified reference
+    ("ps1.ps_suppkey") or a bare name, and reports ambiguity when a bare
+    name matches several columns. *)
+
+type column = {
+  source : string option;  (** table alias the column originates from *)
+  cname : string;          (** column name *)
+  ctype : Datatype.t;
+}
+
+type t = column array
+
+val column : ?source:string -> string -> Datatype.t -> column
+val of_list : column list -> t
+val to_list : t -> column list
+val arity : t -> int
+val get : t -> int -> column
+val empty : t
+
+val names : t -> string list
+val types : t -> Datatype.t list
+
+val find_all : ?qual:string -> string -> t -> int list
+(** All indexes matching a (possibly qualified) reference. *)
+
+val find : ?qual:string -> string -> t -> int
+(** Resolve a column reference to its index.
+    @raise Errors.Name_error when unknown or ambiguous. *)
+
+val mem : ?qual:string -> string -> t -> bool
+
+val concat : t -> t -> t
+(** Concatenation for joins / applies: left columns then right. *)
+
+val project : int list -> t -> t
+(** Keep the columns at the given indexes, in that order. *)
+
+val rename_source : string -> t -> t
+(** Stamp every column as coming from the given alias. *)
+
+val anonymous_sources : t -> t
+(** Drop all qualifiers. *)
+
+val equal_modulo_sources : t -> t -> bool
+(** Same names and types, ignoring qualifiers. *)
+
+val pp_column : Format.formatter -> column -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,35 @@
+(* SQL three-valued logic.
+
+   Predicates over values containing NULL evaluate to [Unknown]; a WHERE
+   clause keeps a row only when its predicate is [True].  The tables below
+   are the standard Kleene tables used by SQL. *)
+
+type t = True | False | Unknown
+
+let of_bool b = if b then True else False
+
+(** [to_bool t] is the WHERE-clause interpretation: only [True] passes. *)
+let to_bool = function True -> true | False | Unknown -> false
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | True -> "true"
+  | False -> "false"
+  | Unknown -> "unknown"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let not_ = function True -> False | False -> True | Unknown -> Unknown
+
+let and_ a b =
+  match (a, b) with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _ -> Unknown
+
+let or_ a b =
+  match (a, b) with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | _ -> Unknown

@@ -1,0 +1,16 @@
+(** SQL three-valued logic (the standard Kleene tables). *)
+
+type t = True | False | Unknown
+
+val of_bool : bool -> t
+
+val to_bool : t -> bool
+(** WHERE-clause interpretation: only [True] passes. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t

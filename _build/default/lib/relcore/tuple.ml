@@ -1,0 +1,54 @@
+(* Tuples are flat value arrays positionally aligned with a schema. *)
+
+type t = Value.t array
+
+let of_list vs : t = Array.of_list vs
+let to_list (t : t) = Array.to_list t
+let arity (t : t) = Array.length t
+let get (t : t) i = t.(i)
+let empty : t = [||]
+
+let concat (a : t) (b : t) : t = Array.append a b
+
+(** Shallow copy, used when an operator materialises rows into a
+    temporary relation (e.g. GApply's partition phase). *)
+let copy (t : t) : t = Array.copy t
+
+let project idxs (t : t) : t =
+  Array.of_list (List.map (fun i -> t.(i)) idxs)
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all2 Value.equal_total a b
+
+(** Lexicographic total order using [Value.compare_total]. *)
+let compare (a : t) (b : t) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i = n then Stdlib.compare (Array.length a) (Array.length b)
+    else
+      let c = Value.compare_total a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let hash (t : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 t
+
+(** Hash tables keyed on tuples under the engine's total value order
+    (so [Int 1] and [Float 1.0] hash and compare alike, unlike OCaml's
+    polymorphic equality). *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (Array.to_list t)
+
+let to_string t = Format.asprintf "%a" pp t

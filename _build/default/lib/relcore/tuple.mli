@@ -1,0 +1,33 @@
+(** Tuples: flat value arrays positionally aligned with a schema. *)
+
+type t = Value.t array
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val arity : t -> int
+val get : t -> int -> Value.t
+val empty : t
+
+val concat : t -> t -> t
+
+val copy : t -> t
+(** Shallow copy, used when an operator materialises rows into a
+    temporary relation (e.g. GApply's partition phase). *)
+
+val project : int list -> t -> t
+
+val equal : t -> t -> bool
+(** Pointwise {!Value.equal_total} (NULLs compare equal). *)
+
+val compare : t -> t -> int
+(** Lexicographic {!Value.compare_total}. *)
+
+val hash : t -> int
+(** Compatible with {!equal}. *)
+
+(** Hash tables keyed on tuples under {!equal}/{!hash} (the total value
+    order, where [Int 1] and [Float 1.0] coincide). *)
+module Tbl : Hashtbl.S with type key = t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

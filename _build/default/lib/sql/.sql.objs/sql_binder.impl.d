@@ -1,0 +1,1 @@
+lib/sql/sql_binder.ml: Catalog Errors Expr List Option Plan Printf Props Schema Sql_ast String Table Tuple Value

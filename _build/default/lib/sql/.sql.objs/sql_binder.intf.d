@@ -1,0 +1,1 @@
+lib/sql/sql_binder.mli: Catalog Plan Schema Sql_ast

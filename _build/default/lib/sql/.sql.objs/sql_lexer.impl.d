@@ -1,0 +1,1 @@
+lib/sql/sql_lexer.ml: Buffer Errors Format List Sql_token String

@@ -1,0 +1,1 @@
+lib/sql/sql_parser.ml: Array Datatype Errors Format List Sql_ast Sql_lexer Sql_token String

@@ -1,0 +1,34 @@
+(** Name resolution and translation of SQL ASTs into logical plans.
+
+    - FROM lists build left-deep join trees with WHERE conjuncts placed
+      as low as possible (the "annotated join tree" normal form paper
+      Section 4 assumes), and equi-joins carry FK annotations from the
+      catalog for the invariant-grouping rule;
+    - EXISTS / IN / scalar subqueries become algebraic Apply (+ Exists /
+      renamed Aggregate) nodes — the shapes the Section 4 analyses and
+      group-selection rules pattern-match;
+    - the gapply form becomes a clustered {!Plan.G_apply} whose per-group
+      query scans the relation variable.
+
+    Raises {!Errors.Name_error} / {!Errors.Plan_error} on resolution and
+    shape errors. *)
+
+type scope
+(** Name-resolution scopes (exposed abstractly; external callers bind
+    from the top level and leave [parent] unset). *)
+
+val bind_query :
+  Catalog.t ->
+  ?group_vars:(string * Schema.t) list ->
+  ?parent:scope option ->
+  Sql_ast.query ->
+  Plan.t
+
+type bound_statement =
+  | Bound_query of Plan.t
+  | Bound_explain of Plan.t
+  | Bound_ddl of string  (** human-readable confirmation *)
+
+val bind_statement : Catalog.t -> Sql_ast.statement -> bound_statement
+(** DDL/DML statements are executed against the catalog as a side
+    effect. *)

@@ -1,0 +1,54 @@
+(* SQL tokens.  Keywords are recognised case-insensitively by the lexer;
+   everything else is an identifier. *)
+
+type t =
+  | Ident of string     (* already lowercased *)
+  | Quoted_ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Semicolon
+  | Colon               (* the paper's GROUP BY ... : var separator *)
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Concat_op           (* || *)
+  | Eq
+  | Neq
+  | Lt
+  | Lte
+  | Gt
+  | Gte
+  | Eof
+
+let to_string = function
+  | Ident s -> s
+  | Quoted_ident s -> "\"" ^ s ^ "\""
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Str_lit s -> "'" ^ s ^ "'"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Semicolon -> ";"
+  | Colon -> ":"
+  | Star -> "*"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Slash -> "/"
+  | Concat_op -> "||"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Lte -> "<="
+  | Gt -> ">"
+  | Gte -> ">="
+  | Eof -> "<eof>"
+
+type positioned = { token : t; line : int; column : int }

@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Errors Hashtbl Index List Stats String Table

@@ -1,0 +1,1 @@
+lib/storage/index.ml: List Option Schema Table Tuple

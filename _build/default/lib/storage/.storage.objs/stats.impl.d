@@ -1,0 +1,1 @@
+lib/storage/stats.ml: Array Float Format Hashtbl List Relation Schema Tuple Value

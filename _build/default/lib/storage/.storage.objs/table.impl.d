@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Errors List Relation Schema Tuple

@@ -1,0 +1,119 @@
+(* The catalog: a name -> table map plus statistics cache. *)
+
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  stats : (string, Stats.table_stats) Hashtbl.t;
+  indexes : (string, Index.t) Hashtbl.t;  (* by index name *)
+}
+
+let create () =
+  {
+    tables = Hashtbl.create 16;
+    stats = Hashtbl.create 16;
+    indexes = Hashtbl.create 16;
+  }
+
+let normalize name = String.lowercase_ascii name
+
+let add_table cat table =
+  let key = normalize (Table.name table) in
+  if Hashtbl.mem cat.tables key then
+    Errors.name_errorf "table %s already exists" (Table.name table);
+  Hashtbl.replace cat.tables key table
+
+let find_table cat name =
+  match Hashtbl.find_opt cat.tables (normalize name) with
+  | Some t -> t
+  | None -> Errors.name_errorf "unknown table %s" name
+
+let find_table_opt cat name = Hashtbl.find_opt cat.tables (normalize name)
+let mem_table cat name = Hashtbl.mem cat.tables (normalize name)
+
+let drop_table cat name =
+  let key = normalize name in
+  if not (Hashtbl.mem cat.tables key) then
+    Errors.name_errorf "unknown table %s" name;
+  Hashtbl.remove cat.tables key;
+  Hashtbl.remove cat.stats key
+
+let table_names cat =
+  Hashtbl.fold (fun k _ acc -> k :: acc) cat.tables []
+  |> List.sort String.compare
+
+(** Statistics are cached per table and recomputed lazily after
+    [invalidate_stats] (e.g. following inserts). *)
+let stats_of cat name =
+  let key = normalize name in
+  match Hashtbl.find_opt cat.stats key with
+  | Some s -> s
+  | None ->
+      let table = find_table cat name in
+      let s = Stats.compute (Table.schema table) (Table.to_relation table) in
+      Hashtbl.replace cat.stats key s;
+      s
+
+let invalidate_stats cat name = Hashtbl.remove cat.stats (normalize name)
+let invalidate_all_stats cat = Hashtbl.reset cat.stats
+
+(* ---------- indexes ---------- *)
+
+let create_index cat ~name ~table ~columns =
+  let key = normalize name in
+  if Hashtbl.mem cat.indexes key then
+    Errors.name_errorf "index %s already exists" name;
+  let t = find_table cat table in
+  let index = Index.create ~name ~table:t ~columns in
+  Hashtbl.replace cat.indexes key index
+
+let drop_index cat name =
+  let key = normalize name in
+  if not (Hashtbl.mem cat.indexes key) then
+    Errors.name_errorf "unknown index %s" name;
+  Hashtbl.remove cat.indexes key
+
+let index_names cat =
+  Hashtbl.fold (fun k _ acc -> k :: acc) cat.indexes []
+  |> List.sort String.compare
+
+(** An index on [table] whose column set equals [cols] (any order). *)
+let find_index_on cat ~table ~cols =
+  let set_eq a b =
+    List.sort String.compare a = List.sort String.compare b
+  in
+  Hashtbl.fold
+    (fun _ index acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if
+            String.equal (normalize (Index.table index)) (normalize table)
+            && set_eq (Index.columns index) cols
+          then Some index
+          else None)
+    cat.indexes None
+
+(** Does [table] declare a foreign key on [cols] referencing key columns
+    [ref_cols] of [ref_table]?  Column sets are compared as sets. *)
+let has_foreign_key cat ~table ~cols ~ref_table ~ref_cols =
+  match find_table_opt cat table with
+  | None -> false
+  | Some t ->
+      let set_eq a b =
+        List.length a = List.length b
+        && List.for_all (fun x -> List.mem x b) a
+      in
+      List.exists
+        (fun (fk : Table.foreign_key) ->
+          String.equal (normalize fk.Table.fk_table) (normalize ref_table)
+          && set_eq fk.Table.fk_columns cols
+          && set_eq fk.Table.fk_ref_columns ref_cols)
+        (Table.foreign_keys t)
+
+(** Is [cols] (as a set) a superset of the primary key of [table]?
+    Used to recognise key/foreign-key equality conditions. *)
+let covers_primary_key cat ~table ~cols =
+  match find_table_opt cat table with
+  | None -> false
+  | Some t ->
+      let pk = Table.primary_key t in
+      pk <> [] && List.for_all (fun k -> List.mem k cols) pk

@@ -1,0 +1,54 @@
+(** The catalog: a name -> table map plus a statistics cache.
+
+    Table names are case-insensitive.  Statistics are computed lazily
+    and cached; call {!invalidate_stats} after mutating a table. *)
+
+type t
+
+val create : unit -> t
+
+val add_table : t -> Table.t -> unit
+(** @raise Errors.Name_error if the name is taken. *)
+
+val find_table : t -> string -> Table.t
+(** @raise Errors.Name_error on unknown tables. *)
+
+val find_table_opt : t -> string -> Table.t option
+val mem_table : t -> string -> bool
+
+val drop_table : t -> string -> unit
+(** @raise Errors.Name_error on unknown tables. *)
+
+val table_names : t -> string list
+(** Sorted. *)
+
+val stats_of : t -> string -> Stats.table_stats
+val invalidate_stats : t -> string -> unit
+val invalidate_all_stats : t -> unit
+
+(** {1 Indexes} *)
+
+val create_index :
+  t -> name:string -> table:string -> columns:string list -> unit
+(** @raise Errors.Name_error on duplicate names / unknown tables or
+    columns. *)
+
+val drop_index : t -> string -> unit
+val index_names : t -> string list
+
+val find_index_on : t -> table:string -> cols:string list -> Index.t option
+(** An index on [table] whose column set equals [cols] (any order). *)
+
+val has_foreign_key :
+  t ->
+  table:string ->
+  cols:string list ->
+  ref_table:string ->
+  ref_cols:string list ->
+  bool
+(** Does [table] declare a foreign key on [cols] (as a set) referencing
+    [ref_cols] of [ref_table]?  Used by the binder to annotate FK joins
+    for the invariant-grouping rule. *)
+
+val covers_primary_key : t -> table:string -> cols:string list -> bool
+(** Is [cols] a superset of [table]'s primary key? *)

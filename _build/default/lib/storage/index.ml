@@ -1,0 +1,62 @@
+(* Hash indexes over stored tables.
+
+   An index maps a key (the indexed columns' values, compared under the
+   total value order) to the row positions holding it.  The physical
+   join compiler uses an index on the inner side of an equi-join to skip
+   the per-query hash-build (index nested-loop join). *)
+
+type t = {
+  idx_name : string;
+  idx_table : string;
+  idx_columns : string list;
+  idx_positions : int list;         (* column positions in the table *)
+  tbl : int list Tuple.Tbl.t;           (* key -> row offsets (reversed) *)
+  mutable built_rows : int;         (* rows covered; rebuild when stale *)
+}
+
+let name t = t.idx_name
+let table t = t.idx_table
+let columns t = t.idx_columns
+
+let key_of_row positions (row : Tuple.t) =
+  Tuple.of_list (List.map (fun i -> Tuple.get row i) positions)
+
+let create ~name ~(table : Table.t) ~columns : t =
+  let schema = Table.schema table in
+  let idx_positions = List.map (fun c -> Schema.find c schema) columns in
+  let t =
+    {
+      idx_name = name;
+      idx_table = Table.name table;
+      idx_columns = columns;
+      idx_positions;
+      tbl = Tuple.Tbl.create 1024;
+      built_rows = 0;
+    }
+  in
+  t
+
+(** (Re)build the index over the table's current contents. *)
+let refresh (t : t) (table : Table.t) =
+  if t.built_rows <> Table.cardinality table then begin
+    Tuple.Tbl.reset t.tbl;
+    let i = ref 0 in
+    Table.iter
+      (fun row ->
+        let key = key_of_row t.idx_positions row in
+        let existing =
+          Option.value ~default:[] (Tuple.Tbl.find_opt t.tbl key)
+        in
+        Tuple.Tbl.replace t.tbl key (!i :: existing);
+        incr i)
+      table;
+    t.built_rows <- Table.cardinality table
+  end
+
+(** Row offsets matching [key], in insertion order. *)
+let lookup (t : t) (key : Tuple.t) : int list =
+  match Tuple.Tbl.find_opt t.tbl key with
+  | Some offsets -> List.rev offsets
+  | None -> []
+
+let cardinality (t : t) = Tuple.Tbl.length t.tbl

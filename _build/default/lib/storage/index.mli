@@ -1,0 +1,22 @@
+(** Hash indexes over stored tables: key (under the total value order)
+    to row offsets.  The join compiler probes a matching index on the
+    inner side of an equi-join instead of building a per-query hash
+    table. *)
+
+type t
+
+val create : name:string -> table:Table.t -> columns:string list -> t
+(** @raise Errors.Name_error on unknown columns. *)
+
+val name : t -> string
+val table : t -> string
+val columns : t -> string list
+
+val refresh : t -> Table.t -> unit
+(** (Re)build over the table's current contents when stale. *)
+
+val lookup : t -> Tuple.t -> int list
+(** Row offsets matching the key, in insertion order. *)
+
+val cardinality : t -> int
+(** Number of distinct keys. *)

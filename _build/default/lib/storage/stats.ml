@@ -1,0 +1,102 @@
+(* Table statistics for the cost model of paper §4.4.
+
+   We keep exact per-column distinct counts and numeric min/max.  The
+   paper's costing needs (a) the number of groups = distinct values of the
+   grouping columns, (b) average group size = outer cardinality / group
+   count, and (c) ordinary selectivity estimation inside a group under the
+   uniformity assumption; these statistics support all three. *)
+
+type column_stats = {
+  distinct_count : int;
+  null_count : int;
+  min_value : Value.t;  (** [Value.Null] when the column is all-null/empty *)
+  max_value : Value.t;
+}
+
+type table_stats = {
+  row_count : int;
+  columns : (string * column_stats) list;  (* by column name *)
+}
+
+let empty_column_stats =
+  {
+    distinct_count = 0;
+    null_count = 0;
+    min_value = Value.Null;
+    max_value = Value.Null;
+  }
+
+let compute (schema : Schema.t) (rel : Relation.t) : table_stats =
+  let arity = Schema.arity schema in
+  let seen = Array.init arity (fun _ -> Hashtbl.create 64) in
+  let nulls = Array.make arity 0 in
+  let mins = Array.make arity Value.Null in
+  let maxs = Array.make arity Value.Null in
+  Relation.iter
+    (fun row ->
+      for i = 0 to arity - 1 do
+        let v = Tuple.get row i in
+        if Value.is_null v then nulls.(i) <- nulls.(i) + 1
+        else begin
+          Hashtbl.replace seen.(i) v ();
+          if Value.is_null mins.(i) || Value.compare_total v mins.(i) < 0
+          then mins.(i) <- v;
+          if Value.is_null maxs.(i) || Value.compare_total v maxs.(i) > 0
+          then maxs.(i) <- v
+        end
+      done)
+    rel;
+  let columns =
+    List.mapi
+      (fun i (c : Schema.column) ->
+        ( c.Schema.cname,
+          {
+            distinct_count = Hashtbl.length seen.(i);
+            null_count = nulls.(i);
+            min_value = mins.(i);
+            max_value = maxs.(i);
+          } ))
+      (Schema.to_list schema)
+  in
+  { row_count = Relation.cardinality rel; columns }
+
+let column_stats stats name : column_stats option =
+  List.assoc_opt name stats.columns
+
+let distinct_count stats name =
+  match column_stats stats name with
+  | Some c -> max 1 c.distinct_count
+  | None -> 1
+
+(** Fraction of rows with value equal to a constant, under uniformity:
+    1 / distinct-count. *)
+let eq_selectivity stats name =
+  match column_stats stats name with
+  | Some c when c.distinct_count > 0 -> 1. /. float_of_int c.distinct_count
+  | Some _ | None -> 1.
+
+(** Fraction of rows passing [column < bound] (or >, interpolated from
+    min/max when numeric); the traditional 1/3 fallback otherwise. *)
+let range_selectivity stats name ~(lower : bool) (bound : Value.t) =
+  let fallback = 1. /. 3. in
+  match column_stats stats name with
+  | None -> fallback
+  | Some c -> (
+      match
+        (Value.as_float c.min_value, Value.as_float c.max_value,
+         Value.as_float bound)
+      with
+      | Some lo, Some hi, Some b when hi > lo ->
+          let frac = (b -. lo) /. (hi -. lo) in
+          let frac = Float.max 0. (Float.min 1. frac) in
+          if lower then frac else 1. -. frac
+      | _ -> fallback)
+
+let pp ppf stats =
+  Format.fprintf ppf "rows=%d@\n" stats.row_count;
+  List.iter
+    (fun (name, c) ->
+      Format.fprintf ppf "  %s: distinct=%d nulls=%d min=%a max=%a@\n" name
+        c.distinct_count c.null_count Value.pp c.min_value Value.pp
+        c.max_value)
+    stats.columns

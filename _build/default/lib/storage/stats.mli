@@ -1,0 +1,33 @@
+(** Table statistics for the cost model of paper Section 4.4: exact
+    per-column distinct counts, null counts, and numeric min/max. *)
+
+type column_stats = {
+  distinct_count : int;
+  null_count : int;
+  min_value : Value.t;  (** [Value.Null] when the column is all-null/empty *)
+  max_value : Value.t;
+}
+
+type table_stats = {
+  row_count : int;
+  columns : (string * column_stats) list;
+}
+
+val empty_column_stats : column_stats
+
+val compute : Schema.t -> Relation.t -> table_stats
+
+val column_stats : table_stats -> string -> column_stats option
+
+val distinct_count : table_stats -> string -> int
+(** At least 1; 1 for unknown columns. *)
+
+val eq_selectivity : table_stats -> string -> float
+(** 1 / distinct-count under the uniformity assumption. *)
+
+val range_selectivity :
+  table_stats -> string -> lower:bool -> Value.t -> float
+(** Fraction passing [col < bound] ([lower]) or [col > bound],
+    interpolated from min/max when numeric; 1/3 fallback. *)
+
+val pp : Format.formatter -> table_stats -> unit

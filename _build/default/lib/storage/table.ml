@@ -1,0 +1,79 @@
+(* Stored tables: a schema, a growable row store, and key metadata.
+
+   Primary/foreign key declarations exist so the optimizer can recognise
+   foreign-key joins, which the invariant-grouping rule (paper §4.3,
+   Definition 2) requires. *)
+
+type foreign_key = {
+  fk_columns : string list;      (** columns of this table *)
+  fk_table : string;             (** referenced table *)
+  fk_ref_columns : string list;  (** referenced (key) columns *)
+}
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  mutable rows : Tuple.t array;
+  mutable row_count : int;       (* rows.(0 .. row_count-1) are live *)
+  primary_key : string list;
+  foreign_keys : foreign_key list;
+}
+
+let create ?(primary_key = []) ?(foreign_keys = []) name columns =
+  let schema =
+    Schema.rename_source name
+      (Schema.of_list
+         (List.map (fun (cname, ctype) -> Schema.column cname ctype) columns))
+  in
+  List.iter
+    (fun k -> ignore (Schema.find k schema))
+    (primary_key
+    @ List.concat_map (fun fk -> fk.fk_columns) foreign_keys);
+  { name; schema; rows = [||]; row_count = 0; primary_key; foreign_keys }
+
+let name t = t.name
+let schema t = t.schema
+let cardinality t = t.row_count
+let primary_key t = t.primary_key
+let foreign_keys t = t.foreign_keys
+
+let check_row t (row : Tuple.t) =
+  if Tuple.arity row <> Schema.arity t.schema then
+    Errors.exec_errorf "table %s: inserting row of arity %d into schema %s"
+      t.name (Tuple.arity row) (Schema.to_string t.schema)
+
+let ensure_capacity t n =
+  let cap = Array.length t.rows in
+  if t.row_count + n > cap then begin
+    let cap' = max (t.row_count + n) (max 16 (2 * cap)) in
+    let rows' = Array.make cap' Tuple.empty in
+    Array.blit t.rows 0 rows' 0 t.row_count;
+    t.rows <- rows'
+  end
+
+let insert t row =
+  check_row t row;
+  ensure_capacity t 1;
+  t.rows.(t.row_count) <- row;
+  t.row_count <- t.row_count + 1
+
+let insert_all t rows = List.iter (insert t) rows
+
+let clear t =
+  t.rows <- [||];
+  t.row_count <- 0
+
+let rows t = Array.to_list (Array.sub t.rows 0 t.row_count)
+
+let get_row t i =
+  if i < 0 || i >= t.row_count then
+    Errors.exec_errorf "table %s: row offset %d out of range" t.name i;
+  t.rows.(i)
+
+let to_relation t =
+  Relation.of_array t.schema (Array.sub t.rows 0 t.row_count)
+
+let iter f t =
+  for i = 0 to t.row_count - 1 do
+    f t.rows.(i)
+  done

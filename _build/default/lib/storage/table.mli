@@ -1,0 +1,43 @@
+(** Stored tables: a schema, a growable row store, and key metadata.
+
+    Primary/foreign key declarations exist so the optimizer can
+    recognise foreign-key joins (paper Section 4.3, Definition 2). *)
+
+type foreign_key = {
+  fk_columns : string list;      (** columns of this table *)
+  fk_table : string;             (** referenced table *)
+  fk_ref_columns : string list;  (** referenced (key) columns *)
+}
+
+type t
+
+val create :
+  ?primary_key:string list ->
+  ?foreign_keys:foreign_key list ->
+  string ->
+  (string * Datatype.t) list ->
+  t
+(** [create name columns]; key columns must exist.
+    @raise Errors.Name_error on unknown key columns. *)
+
+val name : t -> string
+val schema : t -> Schema.t
+(** Columns are qualified by the table name. *)
+
+val cardinality : t -> int
+val primary_key : t -> string list
+val foreign_keys : t -> foreign_key list
+
+val insert : t -> Tuple.t -> unit
+(** @raise Errors.Exec_error on arity mismatch. *)
+
+val insert_all : t -> Tuple.t list -> unit
+val clear : t -> unit
+val rows : t -> Tuple.t list
+
+val get_row : t -> int -> Tuple.t
+(** Row by physical offset (used by indexes).
+    @raise Errors.Exec_error out of range. *)
+
+val to_relation : t -> Relation.t
+val iter : (Tuple.t -> unit) -> t -> unit

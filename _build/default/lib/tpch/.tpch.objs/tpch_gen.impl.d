@@ -1,0 +1,1 @@
+lib/tpch/tpch_gen.ml: Catalog Datatype List Printf Prng String Table Tuple Value

@@ -1,0 +1,18 @@
+(** SplitMix64: a small, fast, deterministic PRNG, so benchmark data is
+    bit-for-bit reproducible across runs and OCaml versions. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [0, bound). @raise Invalid_argument on bound <= 0. *)
+
+val range : t -> int -> int -> int
+(** Uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val pick : t -> 'a array -> 'a

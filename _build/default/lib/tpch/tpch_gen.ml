@@ -1,0 +1,300 @@
+(* Deterministic TPC-H-style data generator for the three tables the
+   paper's workload touches: supplier, part, partsupp.
+
+   We follow the TPC-H specification's formulas where they matter for
+   the experiments:
+   - p_retailprice = (90000 + ((key/10) mod 20001) + 100*(key mod 1000))/100
+   - each part is offered by exactly 4 suppliers, assigned by the spec's
+     supplier-spreading formula, so every supplier ends up with about
+     4 * parts / suppliers partsupp rows (TPC-H: 80);
+   - p_brand is one of the 25 Brand#MN values, p_size uniform in 1..50.
+
+   Scale: a *micro* scale factor msf, where msf = 1.0 corresponds to
+   100 suppliers / 2 000 parts / 8 000 partsupp rows (1/100th of TPC-H
+   sf 0.1).  The group structure — which drives the paper's effects — is
+   identical to real TPC-H: ~80 parts per supplier. *)
+
+type scale = {
+  suppliers : int;
+  parts : int;
+  suppliers_per_part : int;  (* 4, as in the TPC-H spec *)
+}
+
+let scale_of_msf msf =
+  if msf <= 0. then invalid_arg "Tpch_gen.scale_of_msf: msf must be positive";
+  {
+    suppliers = max 2 (int_of_float (100. *. msf));
+    parts = max 8 (int_of_float (2000. *. msf));
+    suppliers_per_part = 4;
+  }
+
+let part_name_words =
+  [|
+    "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque"; "black";
+    "blanched"; "blue"; "blush"; "brown"; "burlywood"; "burnished"; "chartreuse";
+    "chiffon"; "chocolate"; "coral"; "cornflower"; "cornsilk"; "cream";
+    "cyan"; "dark"; "deep"; "dim"; "dodger"; "drab"; "firebrick"; "floral";
+    "forest"; "frosted"; "gainsboro"; "ghost"; "goldenrod"; "green"; "grey";
+    "honeydew"; "hot"; "indian"; "ivory"; "khaki"; "lace"; "lavender";
+    "lawn"; "lemon"; "light"; "lime"; "linen"; "magenta"; "maroon"; "medium";
+  |]
+
+let part_name rng =
+  String.concat " "
+    (List.init 5 (fun _ -> Prng.pick rng part_name_words))
+
+let retail_price key =
+  float_of_int (90000 + (key / 10 mod 20001) + (100 * (key mod 1000)))
+  /. 100.
+
+let brand rng =
+  Printf.sprintf "Brand#%d%d" (Prng.range rng 1 5) (Prng.range rng 1 5)
+
+let type_syllables =
+  ( [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |],
+    [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |],
+    [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |] )
+
+let part_type rng =
+  let a, b, c = type_syllables in
+  Printf.sprintf "%s %s %s" (Prng.pick rng a) (Prng.pick rng b)
+    (Prng.pick rng c)
+
+let containers =
+  ( [| "SM"; "LG"; "MED"; "JUMBO"; "WRAP" |],
+    [| "CASE"; "BOX"; "BAG"; "JAR"; "PKG"; "PACK"; "CAN"; "DRUM" |] )
+
+let container rng =
+  let a, b = containers in
+  Printf.sprintf "%s %s" (Prng.pick rng a) (Prng.pick rng b)
+
+let comment rng =
+  String.concat " "
+    (List.init (Prng.range rng 3 8) (fun _ -> Prng.pick rng part_name_words))
+
+let phone rng =
+  Printf.sprintf "%d-%03d-%03d-%04d" (Prng.range rng 10 34)
+    (Prng.range rng 100 999) (Prng.range rng 100 999)
+    (Prng.range rng 1000 9999)
+
+(* TPC-H supplier-spreading: the i-th supplier of part p. *)
+let supplier_of_part ~suppliers ~part_key i =
+  let s = suppliers in
+  ((part_key + (i * ((s / 4) + ((part_key - 1) / s)))) mod s) + 1
+
+let supplier_table () =
+  Table.create "supplier"
+    ~primary_key:[ "s_suppkey" ]
+    [
+      ("s_suppkey", Datatype.Int);
+      ("s_name", Datatype.Str);
+      ("s_address", Datatype.Str);
+      ("s_nationkey", Datatype.Int);
+      ("s_phone", Datatype.Str);
+      ("s_acctbal", Datatype.Float);
+      ("s_comment", Datatype.Str);
+    ]
+
+let part_table () =
+  Table.create "part"
+    ~primary_key:[ "p_partkey" ]
+    [
+      ("p_partkey", Datatype.Int);
+      ("p_name", Datatype.Str);
+      ("p_mfgr", Datatype.Str);
+      ("p_brand", Datatype.Str);
+      ("p_type", Datatype.Str);
+      ("p_size", Datatype.Int);
+      ("p_container", Datatype.Str);
+      ("p_retailprice", Datatype.Float);
+      ("p_comment", Datatype.Str);
+    ]
+
+let partsupp_table () =
+  Table.create "partsupp"
+    ~primary_key:[ "ps_suppkey"; "ps_partkey" ]
+    ~foreign_keys:
+      [
+        {
+          Table.fk_columns = [ "ps_suppkey" ];
+          fk_table = "supplier";
+          fk_ref_columns = [ "s_suppkey" ];
+        };
+        {
+          Table.fk_columns = [ "ps_partkey" ];
+          fk_table = "part";
+          fk_ref_columns = [ "p_partkey" ];
+        };
+      ]
+    [
+      ("ps_suppkey", Datatype.Int);
+      ("ps_partkey", Datatype.Int);
+      ("ps_availqty", Datatype.Int);
+      ("ps_supplycost", Datatype.Float);
+    ]
+
+let customer_table () =
+  Table.create "customer"
+    ~primary_key:[ "c_custkey" ]
+    [
+      ("c_custkey", Datatype.Int);
+      ("c_name", Datatype.Str);
+      ("c_nationkey", Datatype.Int);
+      ("c_acctbal", Datatype.Float);
+    ]
+
+let orders_table () =
+  Table.create "orders"
+    ~primary_key:[ "o_orderkey" ]
+    ~foreign_keys:
+      [
+        {
+          Table.fk_columns = [ "o_custkey" ];
+          fk_table = "customer";
+          fk_ref_columns = [ "c_custkey" ];
+        };
+      ]
+    [
+      ("o_orderkey", Datatype.Int);
+      ("o_custkey", Datatype.Int);
+      ("o_orderdate", Datatype.Str);
+      ("o_totalprice", Datatype.Float);
+    ]
+
+let lineitem_table () =
+  Table.create "lineitem"
+    ~primary_key:[ "l_orderkey"; "l_linenumber" ]
+    ~foreign_keys:
+      [
+        {
+          Table.fk_columns = [ "l_orderkey" ];
+          fk_table = "orders";
+          fk_ref_columns = [ "o_orderkey" ];
+        };
+        {
+          Table.fk_columns = [ "l_partkey" ];
+          fk_table = "part";
+          fk_ref_columns = [ "p_partkey" ];
+        };
+      ]
+    [
+      ("l_orderkey", Datatype.Int);
+      ("l_linenumber", Datatype.Int);
+      ("l_partkey", Datatype.Int);
+      ("l_quantity", Datatype.Int);
+      ("l_extendedprice", Datatype.Float);
+    ]
+
+let order_date rng =
+  Printf.sprintf "19%02d-%02d-%02d" (Prng.range rng 92 98)
+    (Prng.range rng 1 12) (Prng.range rng 1 28)
+
+(** Generate and load the tables into [catalog] — supplier/part/partsupp
+    (the paper's workload) plus customer/orders/lineitem (used by the
+    multi-level XML publishing view).  Deterministic in [seed] and
+    [msf]. *)
+let load ?(seed = 20030609) (catalog : Catalog.t) ~msf =
+  let sc = scale_of_msf msf in
+  let rng = Prng.create seed in
+  let supplier = supplier_table () in
+  for k = 1 to sc.suppliers do
+    Table.insert supplier
+      (Tuple.of_list
+         [
+           Value.Int k;
+           Value.Str (Printf.sprintf "Supplier#%09d" k);
+           Value.Str (comment rng);
+           Value.Int (Prng.range rng 0 24);
+           Value.Str (phone rng);
+           Value.Float (float_of_int (Prng.range rng (-99999) 999999) /. 100.);
+           Value.Str (comment rng);
+         ])
+  done;
+  let part = part_table () in
+  for k = 1 to sc.parts do
+    Table.insert part
+      (Tuple.of_list
+         [
+           Value.Int k;
+           Value.Str (part_name rng);
+           Value.Str (Printf.sprintf "Manufacturer#%d" (Prng.range rng 1 5));
+           Value.Str (brand rng);
+           Value.Str (part_type rng);
+           Value.Int (Prng.range rng 1 50);
+           Value.Str (container rng);
+           Value.Float (retail_price k);
+           Value.Str (comment rng);
+         ])
+  done;
+  let partsupp = partsupp_table () in
+  for p = 1 to sc.parts do
+    for i = 0 to sc.suppliers_per_part - 1 do
+      let s = supplier_of_part ~suppliers:sc.suppliers ~part_key:p i in
+      Table.insert partsupp
+        (Tuple.of_list
+           [
+             Value.Int s;
+             Value.Int p;
+             Value.Int (Prng.range rng 1 9999);
+             Value.Float (float_of_int (Prng.range rng 100 100000) /. 100.);
+           ])
+    done
+  done;
+  (* the order-processing side: ~1.5 customers per supplier, 10 orders
+     per customer, ~4 lineitems per order (TPC-H proportions) *)
+  let customers = max 2 (3 * sc.suppliers / 2) in
+  let customer = customer_table () in
+  for k = 1 to customers do
+    Table.insert customer
+      (Tuple.of_list
+         [
+           Value.Int k;
+           Value.Str (Printf.sprintf "Customer#%09d" k);
+           Value.Int (Prng.range rng 0 24);
+           Value.Float (float_of_int (Prng.range rng (-99999) 999999) /. 100.);
+         ])
+  done;
+  let orders = orders_table () in
+  let lineitem = lineitem_table () in
+  let order_key = ref 0 in
+  for c = 1 to customers do
+    for _ = 1 to 10 do
+      incr order_key;
+      let o = !order_key in
+      let nlines = Prng.range rng 1 7 in
+      let total = ref 0. in
+      for line = 1 to nlines do
+        let p = Prng.range rng 1 sc.parts in
+        let qty = Prng.range rng 1 50 in
+        let price = retail_price p *. float_of_int qty in
+        total := !total +. price;
+        Table.insert lineitem
+          (Tuple.of_list
+             [
+               Value.Int o;
+               Value.Int line;
+               Value.Int p;
+               Value.Int qty;
+               Value.Float price;
+             ])
+      done;
+      Table.insert orders
+        (Tuple.of_list
+           [
+             Value.Int o;
+             Value.Int c;
+             Value.Str (order_date rng);
+             Value.Float !total;
+           ])
+    done
+  done;
+  List.iter (Catalog.add_table catalog)
+    [ supplier; part; partsupp; customer; orders; lineitem ];
+  sc
+
+(** Convenience: a fresh catalog with TPC-H data at the given micro
+    scale factor. *)
+let catalog ?seed ~msf () =
+  let cat = Catalog.create () in
+  ignore (load ?seed cat ~msf);
+  cat

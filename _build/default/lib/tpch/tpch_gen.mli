@@ -1,0 +1,31 @@
+(** Deterministic TPC-H-style data generator for the three tables the
+    paper's workload touches: supplier, part, partsupp.
+
+    TPC-H formulas are used where they matter for the experiments:
+    the retail-price formula, the 4-suppliers-per-part spreading (so
+    every supplier carries ~80 parts — the group structure that drives
+    the paper's effects), full-width supplier/part columns, Brand#MN,
+    sizes 1..50.
+
+    Scale: micro scale factor [msf], where 1.0 = 100 suppliers / 2 000
+    parts / 8 000 partsupp rows. *)
+
+type scale = {
+  suppliers : int;
+  parts : int;
+  suppliers_per_part : int;
+}
+
+val scale_of_msf : float -> scale
+val retail_price : int -> float
+(** The TPC-H P_RETAILPRICE formula. *)
+
+val supplier_of_part : suppliers:int -> part_key:int -> int -> int
+(** The TPC-H supplier-spreading formula: the i-th supplier of a part. *)
+
+val load : ?seed:int -> Catalog.t -> msf:float -> scale
+(** Generate and load the three tables.  Deterministic in [seed]
+    (default fixed) and [msf]. *)
+
+val catalog : ?seed:int -> msf:float -> unit -> Catalog.t
+(** A fresh catalog pre-loaded at the given scale. *)

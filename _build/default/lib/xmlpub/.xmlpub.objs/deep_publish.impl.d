@@ -1,0 +1,1 @@
+lib/xmlpub/deep_publish.ml: Array Catalog Compile Cursor Deep_view Env Errors Expr Hashtbl List Plan Printf Props Schema Sql_binder Sql_parser String Tuple Value Xml

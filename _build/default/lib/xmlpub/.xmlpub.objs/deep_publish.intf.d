@@ -1,0 +1,1 @@
+lib/xmlpub/deep_publish.mli: Catalog Cursor Deep_view Plan Xml

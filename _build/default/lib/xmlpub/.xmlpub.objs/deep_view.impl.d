@@ -1,0 +1,1 @@
+lib/xmlpub/deep_view.ml: Errors Expr List

@@ -1,0 +1,1 @@
+lib/xmlpub/flwr.ml: Buffer Errors Expr List Option Printf Publish String Xml_view

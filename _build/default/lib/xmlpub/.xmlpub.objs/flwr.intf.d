@@ -1,0 +1,1 @@
+lib/xmlpub/flwr.mli: Expr Publish Xml_view

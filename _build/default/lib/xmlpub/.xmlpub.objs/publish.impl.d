@@ -1,0 +1,1 @@
+lib/xmlpub/publish.ml: Array Expr List Plan Printf Props Schema Sql_binder Sql_parser String Xml_view

@@ -1,0 +1,1 @@
+lib/xmlpub/publish.mli: Catalog Expr Plan Xml_view

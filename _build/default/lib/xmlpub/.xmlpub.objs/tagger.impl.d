@@ -1,0 +1,1 @@
+lib/xmlpub/tagger.ml: Buffer Catalog Compile Cursor Env Errors List Printf Publish Tuple Value Xml

@@ -1,0 +1,1 @@
+lib/xmlpub/tagger.mli: Buffer Catalog Cursor Publish Xml

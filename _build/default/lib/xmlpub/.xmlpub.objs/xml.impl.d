@@ -1,0 +1,1 @@
+lib/xmlpub/xml.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/xmlpub/xml.mli: Format

@@ -1,0 +1,1 @@
+lib/xmlpub/xml_view.ml: Errors List

@@ -1,0 +1,433 @@
+(* Plans and tagging for arbitrary-depth views (Deep_view).
+
+   Row encoding (generalised sorted outer union): every node gets slots
+   for its *own* key columns (assigned in preorder), one node-id column,
+   and payload slots for its fields and derived aggregates.  A row fills
+   the own-key slots of its whole ancestor chain and NULL-pads the rest;
+   sorting by all key slots (NULLs first) then node id clusters every
+   element immediately after its parent, which is what the hierarchical
+   tagger needs.
+
+   Strategies:
+   - [outer_union_plan]: one UNION ALL branch per element type and per
+     derived aggregate (each aggregate re-evaluates and re-groups its
+     node's query — the Section 2 redundancy);
+   - [gapply_plan]: nodes with derived aggregates produce their element
+     rows and all their aggregates from a single GApply pass grouped on
+     the parent path. *)
+
+type branch = {
+  b_id : int;
+  b_tag : string option;          (* None = derived values *)
+  b_chain_tags : string list;     (* element tags, root level first *)
+  b_chain_slots : int list list;  (* own-key slots per chain level *)
+  b_fields : (string * int) list; (* (element tag, output column) *)
+}
+
+type encoding = {
+  e_root_tag : string;
+  e_node_col : int;
+  e_arity : int;
+  e_branches : branch list;       (* indexed by b_id *)
+  e_key_slots : int list;         (* all key slots, preorder *)
+}
+
+(* ---------- encoding construction ---------- *)
+
+let build_encoding (v : Deep_view.t) : encoding =
+  (* first pass: assign own-key slots in preorder *)
+  let next = ref 0 in
+  let slot_table : (string, int list) Hashtbl.t = Hashtbl.create 16 in
+  let rec assign_keys path_id (n : Deep_view.node) =
+    let own = List.init n.Deep_view.n_own_keys (fun i -> !next + i) in
+    next := !next + n.Deep_view.n_own_keys;
+    Hashtbl.replace slot_table (path_id ^ "/" ^ n.Deep_view.n_tag) own;
+    List.iter (assign_keys (path_id ^ "/" ^ n.Deep_view.n_tag)) n.Deep_view.n_children
+  in
+  assign_keys "" v.Deep_view.top;
+  let key_count = !next in
+  let node_col = key_count in
+  let payload = ref (key_count + 1) in
+  let alloc fields =
+    List.map
+      (fun (_, tag) ->
+        let i = !payload in
+        incr payload;
+        (tag, i))
+      fields
+  in
+  let branches = ref [] in
+  let id = ref 0 in
+  let rec build path_id chain_tags chain_slots (n : Deep_view.node) =
+    let own =
+      Hashtbl.find slot_table (path_id ^ "/" ^ n.Deep_view.n_tag)
+    in
+    let chain_tags = chain_tags @ [ n.Deep_view.n_tag ] in
+    let chain_slots = chain_slots @ [ own ] in
+    branches :=
+      {
+        b_id = !id;
+        b_tag = Some n.Deep_view.n_tag;
+        b_chain_tags = chain_tags;
+        b_chain_slots = chain_slots;
+        b_fields = alloc n.Deep_view.n_fields;
+      }
+      :: !branches;
+    incr id;
+    List.iter
+      (fun (a : Deep_view.aggregate_spec) ->
+        branches :=
+          {
+            b_id = !id;
+            b_tag = None;
+            (* derived values attach to the parent element *)
+            b_chain_tags = List.filteri (fun i _ -> i < List.length chain_tags - 1) chain_tags;
+            b_chain_slots =
+              List.filteri (fun i _ -> i < List.length chain_slots - 1) chain_slots;
+            b_fields = alloc [ (a.Deep_view.a_col, a.Deep_view.a_tag) ];
+          }
+          :: !branches;
+        incr id)
+      n.Deep_view.n_aggregates;
+    List.iter
+      (build (path_id ^ "/" ^ n.Deep_view.n_tag) chain_tags chain_slots)
+      n.Deep_view.n_children
+  in
+  build "" [] [] v.Deep_view.top;
+  let branches = List.rev !branches in
+  let key_slots = List.init key_count (fun i -> i) in
+  {
+    e_root_tag = v.Deep_view.root_tag;
+    e_node_col = node_col;
+    e_arity = !payload;
+    e_branches = branches;
+    e_key_slots = key_slots;
+  }
+
+let branch_by_id enc id =
+  match List.find_opt (fun b -> b.b_id = id) enc.e_branches with
+  | Some b -> b
+  | None -> Errors.exec_errorf "deep tagger: unknown node id %d" id
+
+(* ---------- plan construction ---------- *)
+
+let bind catalog src =
+  Sql_binder.bind_query catalog (Sql_parser.parse_query_string src)
+
+let slot_name i = Printf.sprintf "dp%d" i
+
+(* A null-padded projection to the global layout. *)
+let global_projection ~(enc : encoding) ~node_id
+    ~(slot_values : (int * Expr.t) list) plan =
+  let items =
+    Array.init enc.e_arity (fun i ->
+        if i = enc.e_node_col then (Expr.int node_id, "dnode")
+        else
+          match List.assoc_opt i slot_values with
+          | Some e -> (e, slot_name i)
+          | None -> (Expr.null, slot_name i))
+  in
+  Plan.project (Array.to_list items) plan
+
+(* slot/value pairs for a node's full key path *)
+let path_slot_values (b : branch) (path_cols : string list) =
+  let slots = List.concat b.b_chain_slots in
+  List.map2 (fun slot col -> (slot, Expr.column col)) slots path_cols
+
+let order_plan ~(enc : encoding) branches =
+  Plan.order_by
+    (List.map
+       (fun i -> (Expr.column (slot_name i), Plan.Asc))
+       enc.e_key_slots
+     @ [ (Expr.column "dnode", Plan.Asc) ])
+    (Plan.union_all branches)
+
+let parent_path_cols (n : Deep_view.node) =
+  List.filteri
+    (fun i _ -> i < List.length n.Deep_view.n_path - n.Deep_view.n_own_keys)
+    n.Deep_view.n_path
+
+(* ---------- strategy 1: sorted outer union ---------- *)
+
+let outer_union_plan (catalog : Catalog.t) (v : Deep_view.t) :
+    Plan.t * encoding =
+  let enc = build_encoding v in
+  let branches = ref [] in
+  let id = ref 0 in
+  let rec walk (n : Deep_view.node) =
+    let b = branch_by_id enc !id in
+    let row_branch =
+      global_projection ~enc ~node_id:b.b_id
+        ~slot_values:
+          (path_slot_values b n.Deep_view.n_path
+          @ List.map2
+              (fun (col, _) (_, slot) -> (slot, Expr.column col))
+              n.Deep_view.n_fields b.b_fields)
+        (bind catalog n.Deep_view.n_query)
+    in
+    branches := row_branch :: !branches;
+    incr id;
+    List.iter
+      (fun (a : Deep_view.aggregate_spec) ->
+        let db = branch_by_id enc !id in
+        let parent_cols = parent_path_cols n in
+        (* the redundancy: re-bind and re-group the node query *)
+        let grouped =
+          Plan.group_by
+            (List.map (fun c -> Expr.col c) parent_cols)
+            [ (Expr.agg a.Deep_view.a_fn (Some (Expr.column a.Deep_view.a_col)),
+               "dagg") ]
+            (bind catalog n.Deep_view.n_query)
+        in
+        let slot_values =
+          List.map2
+            (fun slot col -> (slot, Expr.column col))
+            (List.concat db.b_chain_slots)
+            parent_cols
+          @ [ (snd (List.hd db.b_fields), Expr.column "dagg") ]
+        in
+        branches :=
+          global_projection ~enc ~node_id:db.b_id ~slot_values grouped
+          :: !branches;
+        incr id)
+      n.Deep_view.n_aggregates;
+    List.iter walk n.Deep_view.n_children
+  in
+  walk v.Deep_view.top;
+  (order_plan ~enc (List.rev !branches), enc)
+
+(* ---------- strategy 2: GApply per aggregate-bearing node ---------- *)
+
+let gapply_plan (catalog : Catalog.t) (v : Deep_view.t) : Plan.t * encoding
+    =
+  let enc = build_encoding v in
+  let branches = ref [] in
+  let id = ref 0 in
+  let rec walk (n : Deep_view.node) =
+    let b = branch_by_id enc !id in
+    let row_id = !id in
+    incr id;
+    let agg_branches =
+      List.map
+        (fun (a : Deep_view.aggregate_spec) ->
+          let db = branch_by_id enc !id in
+          incr id;
+          (a, db))
+        n.Deep_view.n_aggregates
+    in
+    (if agg_branches = [] then
+       (* no per-group computation: a plain branch *)
+       branches :=
+         global_projection ~enc ~node_id:b.b_id
+           ~slot_values:
+             (path_slot_values b n.Deep_view.n_path
+             @ List.map2
+                 (fun (col, _) (_, slot) -> (slot, Expr.column col))
+                 n.Deep_view.n_fields b.b_fields)
+           (bind catalog n.Deep_view.n_query)
+         :: !branches
+     else begin
+       (* one GApply pass: element rows + all aggregates per group *)
+       let outer = bind catalog n.Deep_view.n_query in
+       let oschema = Props.schema_of outer in
+       let parent_cols = parent_path_cols n in
+       let own_cols =
+         List.filteri
+           (fun i _ ->
+             i >= List.length n.Deep_view.n_path - n.Deep_view.n_own_keys)
+           n.Deep_view.n_path
+       in
+       let parent_slots = List.concat b.b_chain_slots in
+       let parent_slots =
+         List.filteri
+           (fun i _ -> i < List.length parent_cols)
+           parent_slots
+       in
+       let own_slots =
+         List.filteri
+           (fun i _ -> i >= List.length parent_cols)
+           (List.concat b.b_chain_slots)
+       in
+       let var = Printf.sprintf "dg%d" row_id in
+       let g () = Plan.group_scan ~var oschema in
+       (* the PGQ produces every global column except the parent-path
+          slots, which GApply prepends as the group key *)
+       let non_key_slots =
+         List.filter
+           (fun i -> not (List.mem i parent_slots))
+           (List.init enc.e_arity (fun i -> i))
+       in
+       let pgq_items ~node_id ~slot_values =
+         List.map
+           (fun i ->
+             if i = enc.e_node_col then (Expr.int node_id, "dnode")
+             else
+               match List.assoc_opt i slot_values with
+               | Some e -> (e, slot_name i)
+               | None -> (Expr.null, slot_name i))
+           non_key_slots
+       in
+       let rows_branch =
+         Plan.project
+           (pgq_items ~node_id:b.b_id
+              ~slot_values:
+                (List.map2
+                   (fun slot col -> (slot, Expr.column col))
+                   own_slots own_cols
+                @ List.map2
+                    (fun (col, _) (_, slot) -> (slot, Expr.column col))
+                    n.Deep_view.n_fields b.b_fields))
+           (g ())
+       in
+       let agg_pgq_branches =
+         List.map
+           (fun ((a : Deep_view.aggregate_spec), db) ->
+             Plan.project
+               (pgq_items ~node_id:db.b_id
+                  ~slot_values:
+                    [ (snd (List.hd db.b_fields), Expr.column "dagg") ])
+               (Plan.aggregate
+                  [ (Expr.agg a.Deep_view.a_fn
+                       (Some (Expr.column a.Deep_view.a_col)), "dagg") ]
+                  (g ())))
+           agg_branches
+       in
+       let ga =
+         Plan.g_apply
+           ~gcols:(List.map (fun c -> Expr.col c) parent_cols)
+           ~var ~outer
+           ~pgq:(Plan.union_all (rows_branch :: agg_pgq_branches))
+       in
+       (* re-shuffle the GApply output (parent keys first, then the PGQ
+          columns) into the global slot order *)
+       let ga_schema = Props.schema_of ga in
+       let key_names =
+         List.mapi
+           (fun i _ ->
+             let c = Schema.get ga_schema i in
+             (List.nth parent_slots i,
+              Expr.Col (Expr.col ?qual:c.Schema.source c.Schema.cname)))
+           parent_cols
+       in
+       let items =
+         List.init enc.e_arity (fun i ->
+             if i = enc.e_node_col then (Expr.column "dnode", "dnode")
+             else
+               match List.assoc_opt i key_names with
+               | Some e -> (e, slot_name i)
+               | None -> (Expr.column (slot_name i), slot_name i))
+       in
+       branches := Plan.project items ga :: !branches
+     end);
+    List.iter walk n.Deep_view.n_children
+  in
+  walk v.Deep_view.top;
+  (order_plan ~enc (List.rev !branches), enc)
+
+(* ---------- the hierarchical constant-space tagger ---------- *)
+
+type frame = {
+  f_tag : string;
+  f_key : Tuple.t;
+  mutable f_children : Xml.t list;  (* reversed *)
+}
+
+let chain_keys (b : branch) (row : Tuple.t) : Tuple.t list =
+  List.map
+    (fun slots -> Tuple.of_list (List.map (fun i -> Tuple.get row i) slots))
+    b.b_chain_slots
+
+let field_elements (b : branch) (row : Tuple.t) =
+  List.filter_map
+    (fun (tag, idx) ->
+      match Tuple.get row idx with
+      | Value.Null -> None
+      | v -> Some (Xml.element tag [ Xml.text (Value.to_string v) ]))
+    b.b_fields
+
+(** Build the document tree from a clustered stream. *)
+let tag (enc : encoding) (cursor : Cursor.t) : Xml.t =
+  let root_children = ref [] in
+  let stack : frame list ref = ref [] in
+  let pop () =
+    match !stack with
+    | [] -> ()
+    | frame :: rest ->
+        let element =
+          Xml.element frame.f_tag (List.rev frame.f_children)
+        in
+        (match rest with
+        | [] -> root_children := element :: !root_children
+        | parent :: _ -> parent.f_children <- element :: parent.f_children);
+        stack := rest
+  in
+  let common_prefix tags keys =
+    (* length of the longest prefix of the open stack matching the
+       row's chain (stack is innermost-first) *)
+    let open_frames = List.rev !stack in
+    let rec go n frames tags keys =
+      match (frames, tags, keys) with
+      | f :: fr, t :: tr, k :: kr
+        when String.equal f.f_tag t && Tuple.equal f.f_key k ->
+          go (n + 1) fr tr kr
+      | _ -> n
+    in
+    go 0 open_frames tags keys
+  in
+  Cursor.iter
+    (fun row ->
+      match Tuple.get row enc.e_node_col with
+      | Value.Int id ->
+          let b = branch_by_id enc id in
+          let keys = chain_keys b row in
+          let depth = List.length b.b_chain_slots in
+          let cp = common_prefix b.b_chain_tags keys in
+          while List.length !stack > cp do
+            pop ()
+          done;
+          (match b.b_tag with
+          | Some tag ->
+              if cp <> depth - 1 then
+                Errors.exec_errorf
+                  "deep tagger: <%s> row arrived without its parent \
+                   (stream not clustered?)"
+                  tag;
+              stack :=
+                {
+                  f_tag = tag;
+                  f_key = List.nth keys (depth - 1);
+                  f_children = List.rev (field_elements b row);
+                }
+                :: !stack
+          | None ->
+              if cp <> depth then
+                Errors.exec_errorf
+                  "deep tagger: derived values arrived without their \
+                   parent element";
+              (match !stack with
+              | frame :: _ ->
+                  frame.f_children <-
+                    List.rev_append (field_elements b row) frame.f_children
+              | [] ->
+                  Errors.exec_errorf
+                    "deep tagger: derived values at the root"))
+      | v ->
+          Errors.exec_errorf "deep tagger: non-integer node id %s"
+            (Value.to_string v))
+    cursor;
+  while !stack <> [] do
+    pop ()
+  done;
+  Xml.element enc.e_root_tag (List.rev !root_children)
+
+type strategy = Sorted_outer_union | Gapply_pass
+
+let publish ?(strategy = Gapply_pass) (catalog : Catalog.t)
+    (v : Deep_view.t) : Xml.t =
+  let plan, enc =
+    match strategy with
+    | Sorted_outer_union -> outer_union_plan catalog v
+    | Gapply_pass -> gapply_plan catalog v
+  in
+  let compiled = Compile.plan plan in
+  tag enc (compiled.Compile.run (Env.make catalog))

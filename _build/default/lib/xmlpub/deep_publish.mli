@@ -1,0 +1,42 @@
+(** Plans and tagging for arbitrary-depth views ({!Deep_view}).
+
+    Rows are encoded in a generalised sorted outer union: own-key slots
+    per node (assigned in preorder), a node-id column, and per-branch
+    payload slots; sorting by all key slots (NULLs first) then node id
+    clusters every element immediately after its parent. *)
+
+type branch = {
+  b_id : int;
+  b_tag : string option;          (** [None] = derived values *)
+  b_chain_tags : string list;     (** element tags, root level first *)
+  b_chain_slots : int list list;  (** own-key slots per chain level *)
+  b_fields : (string * int) list;
+}
+
+type encoding = {
+  e_root_tag : string;
+  e_node_col : int;
+  e_arity : int;
+  e_branches : branch list;
+  e_key_slots : int list;
+}
+
+val build_encoding : Deep_view.t -> encoding
+
+val outer_union_plan : Catalog.t -> Deep_view.t -> Plan.t * encoding
+(** One UNION ALL branch per element type and per derived aggregate;
+    each aggregate re-evaluates and re-groups its node's query. *)
+
+val gapply_plan : Catalog.t -> Deep_view.t -> Plan.t * encoding
+(** Nodes with derived aggregates produce their element rows and all
+    their aggregates from a single GApply pass grouped on the parent
+    path. *)
+
+val tag : encoding -> Cursor.t -> Xml.t
+(** Hierarchical constant-space tagger; memory is bounded by one open
+    root-to-leaf chain of groups.
+    @raise Errors.Exec_error when the stream is not clustered. *)
+
+type strategy = Sorted_outer_union | Gapply_pass
+
+val publish : ?strategy:strategy -> Catalog.t -> Deep_view.t -> Xml.t

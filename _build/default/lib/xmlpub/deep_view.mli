@@ -1,0 +1,33 @@
+(** Arbitrary-depth XML views.
+
+    A deep view is a tree of element nodes; each node's SQL query must
+    output its full hierarchical key path (ancestor key columns first,
+    its own last) — what the generalised sorted-outer-union encoding
+    requires.  Derived aggregates over a node's rows (grouped by the
+    parent path) attach to the parent element. *)
+
+type aggregate_spec = {
+  a_fn : Expr.agg_fn;
+  a_col : string;   (** aggregated column of this node's query *)
+  a_tag : string;   (** output element tag, attached to the parent *)
+}
+
+type node = {
+  n_tag : string;
+  n_query : string;
+  n_path : string list;
+  n_own_keys : int;   (** trailing columns of [n_path] owned by this node *)
+  n_fields : (string * string) list;  (** (column, element tag) *)
+  n_aggregates : aggregate_spec list;
+  n_children : node list;
+}
+
+type t = { root_tag : string; top : node }
+
+val validate : t -> t
+(** @raise Errors.Plan_error on key-path arity mismatches. *)
+
+val customer_orders : t
+(** Three levels over the TPC-H order side: customers, their orders,
+    each order's lineitems — with an order count per customer and
+    revenue / line-count totals per order. *)

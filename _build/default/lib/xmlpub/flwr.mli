@@ -1,0 +1,50 @@
+(** A typed FLWR (For-Where-Return) subset over XML views — the XQuery
+    queries the paper poses over the Figure 1 view: Q1-style element
+    reconstruction with nested children and aggregates, and the Section
+    4.2 object-selection queries (existential and aggregate
+    predicates). *)
+
+type return_item =
+  | Parent_fields
+      (** the parent element's own fields ($s/s_suppkey, ...) *)
+  | Nested_children of string
+      (** a nested For over the child element with the given tag *)
+  | Child_aggregate of Expr.agg_fn * string * string * string
+      (** fn, child tag, child column, output element tag *)
+
+type predicate =
+  | Some_child of string * string * Expr.binop * float
+      (** $s/child[column op const] *)
+  | Child_agg_cmp of Expr.agg_fn * string * string * Expr.binop * float
+      (** fn($s/child/column) op const *)
+
+type t = {
+  view : Xml_view.t;
+  where : predicate option;
+  returns : return_item list;
+}
+
+val make : ?where:predicate -> returns:return_item list -> Xml_view.t -> t
+
+val compile : t -> Publish.spec
+(** Lower to a publishing spec runnable by either strategy.
+    @raise Errors.Name_error on unknown child tags. *)
+
+val to_xquery : t -> string
+(** Render in XQuery-like concrete syntax (for display). *)
+
+(** {1 The paper's example queries over Figure 1} *)
+
+val q1 : t
+(** Names and prices of all parts plus the average retail price. *)
+
+val q1_extended : t
+(** Q1 with four aggregates — each one costs the sorted-outer-union
+    strategy a fresh join + groupby, while GApply folds them into the
+    same grouped pass. *)
+
+val expensive_part_suppliers : float -> t
+(** Suppliers supplying some part above the bound (Section 4.2). *)
+
+val high_average_suppliers : float -> t
+(** Suppliers whose average part price exceeds the bound. *)

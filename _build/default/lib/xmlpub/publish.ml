@@ -1,0 +1,361 @@
+(* Publishing plans: turn a view (plus optional derived aggregates and a
+   group predicate) into executable relational plans under the two
+   strategies the paper compares:
+
+   - [outer_union_plan]: the "sorted outer union" of Section 2 — one
+     UNION ALL branch per element type, null-padded to a common schema,
+     ordered by the parent key so a constant-space tagger can consume the
+     stream.  Derived aggregates re-join/re-group the child query
+     (the redundancy the paper criticises).
+
+   - [gapply_plan]: the child branches and every derived aggregate are
+     produced by a single GApply pass over the child query; the stream is
+     then ordered the same way, and the same tagger applies.
+
+   Both plans produce rows under the same [encoding], so the tagger (and
+   the tests) can check they publish identical documents. *)
+
+type derived_agg = {
+  d_child : int;          (* which child's rows it aggregates *)
+  d_fn : Expr.agg_fn;
+  d_col : string;         (* aggregated column of the child query *)
+  d_tag : string;         (* element tag of the derived value *)
+}
+
+type group_pred =
+  | Agg_cmp of int * Expr.agg_fn * string * Expr.binop * float
+      (* child index, aggregate over its column, comparison, constant *)
+  | Child_exists of int * string * Expr.binop * float
+      (* keep parents having some child row with column op constant *)
+
+type spec = {
+  view : Xml_view.t;
+  derived : derived_agg list;
+  pred : group_pred option;
+}
+
+let of_view view = { view; derived = []; pred = None }
+
+(* ---------- the common row encoding ---------- *)
+
+type branch_desc = {
+  b_id : int;
+  b_tag : string option;  (* [None] for derived-value branches *)
+  b_fields : (string * int) list;  (* (element tag, output column index) *)
+}
+
+type encoding = {
+  e_key_count : int;
+  e_node_col : int;
+  e_root_tag : string;
+  e_parent : branch_desc;        (* node id 0 *)
+  e_branches : branch_desc list; (* children then derived, ids 1.. *)
+  e_arity : int;
+}
+
+let build_encoding (spec : spec) : encoding =
+  let v = spec.view in
+  let k = List.length v.Xml_view.parent.Xml_view.p_key in
+  let node_col = k in
+  let next = ref (k + 1) in
+  let alloc fields =
+    List.map
+      (fun (_, tag) ->
+        let i = !next in
+        incr next;
+        (tag, i))
+      fields
+  in
+  let parent =
+    {
+      b_id = 0;
+      b_tag = Some v.Xml_view.parent.Xml_view.p_tag;
+      b_fields = alloc v.Xml_view.parent.Xml_view.p_fields;
+    }
+  in
+  let children =
+    List.mapi
+      (fun i (c : Xml_view.child_spec) ->
+        { b_id = i + 1; b_tag = Some c.Xml_view.c_tag;
+          b_fields = alloc c.Xml_view.c_fields })
+      v.Xml_view.children
+  in
+  let nchildren = List.length children in
+  let derived =
+    List.mapi
+      (fun j (d : derived_agg) ->
+        {
+          b_id = nchildren + 1 + j;
+          b_tag = None;
+          b_fields = alloc [ (d.d_col, d.d_tag) ];
+        })
+      spec.derived
+  in
+  {
+    e_key_count = k;
+    e_node_col = node_col;
+    e_root_tag = v.Xml_view.root_tag;
+    e_parent = parent;
+    e_branches = children @ derived;
+    e_arity = !next;
+  }
+
+(* ---------- plan-building helpers ---------- *)
+
+let bind catalog src = Sql_binder.bind_query catalog (Sql_parser.parse_query_string src)
+
+let key_names k = List.init k (fun i -> Printf.sprintf "xk%d" i)
+
+(* A null-padded branch projection: key values, the node id, and this
+   branch's payload in its allotted slots. *)
+let branch_projection ~(enc : encoding) ~key_exprs ~(branch : branch_desc)
+    ~(payload : Expr.t list) plan =
+  let items = Array.make enc.e_arity (Expr.null, "pad") in
+  List.iteri
+    (fun i e -> items.(i) <- (e, List.nth (key_names enc.e_key_count) i))
+    key_exprs;
+  items.(enc.e_node_col) <- (Expr.int branch.b_id, "xnode");
+  List.iteri
+    (fun fi (_, col_idx) ->
+      items.(col_idx) <- (List.nth payload fi, Printf.sprintf "xp%d" col_idx))
+    branch.b_fields;
+  Array.iteri
+    (fun i (e, name) ->
+      if String.equal name "pad" then
+        items.(i) <- (e, Printf.sprintf "xp%d" i))
+    items;
+  Plan.project (Array.to_list items) plan
+
+let field_exprs fields = List.map (fun (col, _) -> Expr.column col) fields
+
+let cmp_expr col op v = Expr.Binary (op, Expr.column col, Expr.float v)
+
+(* Qualifying-key plan for a group predicate, producing columns named
+   qk0..qk{k-1}. *)
+let qualifying_keys catalog (spec : spec) : Plan.t option =
+  match spec.pred with
+  | None -> None
+  | Some pred ->
+      let v = spec.view in
+      let child_of i = List.nth v.Xml_view.children i in
+      let plan =
+        match pred with
+        | Child_exists (i, col, op, value) ->
+            let c = child_of i in
+            Plan.distinct
+              (Plan.project
+                 (List.mapi
+                    (fun j link -> (Expr.column link, Printf.sprintf "qk%d" j))
+                    c.Xml_view.c_link)
+                 (Plan.select (cmp_expr col op value)
+                    (bind catalog c.Xml_view.c_query)))
+        | Agg_cmp (i, fn, col, op, value) ->
+            let c = child_of i in
+            let keys =
+              List.map (fun link -> Expr.col link) c.Xml_view.c_link
+            in
+            let agg = Expr.agg fn (Some (Expr.column col)) in
+            let grouped =
+              Plan.group_by keys [ (agg, "qagg") ]
+                (bind catalog c.Xml_view.c_query)
+            in
+            Plan.project
+              (List.mapi
+                 (fun j link -> (Expr.column link, Printf.sprintf "qk%d" j))
+                 c.Xml_view.c_link)
+              (Plan.select
+                 (Expr.Binary (op, Expr.column "qagg", Expr.float value))
+                 grouped)
+      in
+      Some plan
+
+(* Semi-join [plan] (whose key columns are [on_cols]) with the
+   qualifying keys. *)
+let semijoin ~keys_plan ~on_cols plan =
+  let pred =
+    Expr.conjoin
+      (List.mapi
+         (fun j col ->
+           Expr.( ==^ )
+             (Expr.column (Printf.sprintf "qk%d" j))
+             (Expr.column col))
+         on_cols)
+  in
+  let joined = Plan.join pred keys_plan plan in
+  (* drop the qk columns again *)
+  let schema = Props.schema_of plan in
+  Plan.project
+    (List.map
+       (fun (c : Schema.column) ->
+         (Expr.Col (Expr.col ?qual:c.Schema.source c.Schema.cname),
+          c.Schema.cname))
+       (Schema.to_list schema))
+    joined
+
+let maybe_semijoin ~keys_plan ~on_cols plan =
+  match keys_plan with
+  | None -> plan
+  | Some keys_plan -> semijoin ~keys_plan ~on_cols plan
+
+let order_and_union ~(enc : encoding) branches =
+  let keys =
+    List.init enc.e_key_count (fun i ->
+        (Expr.column (Printf.sprintf "xk%d" i), Plan.Asc))
+  in
+  Plan.order_by
+    (keys @ [ (Expr.column "xnode", Plan.Asc) ])
+    (Plan.union_all branches)
+
+(* ---------- strategy 1: sorted outer union ---------- *)
+
+let outer_union_plan catalog (spec : spec) : Plan.t * encoding =
+  let enc = build_encoding spec in
+  let v = spec.view in
+  let keys_plan = qualifying_keys catalog spec in
+  let parent_plan =
+    maybe_semijoin ~keys_plan ~on_cols:v.Xml_view.parent.Xml_view.p_key
+      (bind catalog v.Xml_view.parent.Xml_view.p_query)
+  in
+  let parent_branch =
+    branch_projection ~enc
+      ~key_exprs:
+        (List.map Expr.column v.Xml_view.parent.Xml_view.p_key)
+      ~branch:enc.e_parent
+      ~payload:(field_exprs v.Xml_view.parent.Xml_view.p_fields)
+      parent_plan
+  in
+  let child_branches =
+    List.mapi
+      (fun i (c : Xml_view.child_spec) ->
+        let plan =
+          maybe_semijoin ~keys_plan ~on_cols:c.Xml_view.c_link
+            (bind catalog c.Xml_view.c_query)
+        in
+        branch_projection ~enc
+          ~key_exprs:(List.map Expr.column c.Xml_view.c_link)
+          ~branch:(List.nth enc.e_branches i)
+          ~payload:(field_exprs c.Xml_view.c_fields)
+          plan)
+      v.Xml_view.children
+  in
+  let nchildren = List.length v.Xml_view.children in
+  (* derived aggregates: the outer-union strategy re-evaluates the child
+     query and groups it — the redundant work of Section 2 *)
+  let derived_branches =
+    List.mapi
+      (fun j (d : derived_agg) ->
+        let c = List.nth v.Xml_view.children d.d_child in
+        let plan =
+          maybe_semijoin ~keys_plan ~on_cols:c.Xml_view.c_link
+            (bind catalog c.Xml_view.c_query)
+        in
+        let keys = List.map (fun l -> Expr.col l) c.Xml_view.c_link in
+        let grouped =
+          Plan.group_by keys
+            [ (Expr.agg d.d_fn (Some (Expr.column d.d_col)), "dagg") ]
+            plan
+        in
+        branch_projection ~enc
+          ~key_exprs:(List.map Expr.column c.Xml_view.c_link)
+          ~branch:(List.nth enc.e_branches (nchildren + j))
+          ~payload:[ Expr.column "dagg" ]
+          grouped)
+      spec.derived
+  in
+  ( order_and_union ~enc
+      ((parent_branch :: child_branches) @ derived_branches),
+    enc )
+
+(* ---------- strategy 2: one GApply pass per child ---------- *)
+
+let gapply_plan catalog (spec : spec) : Plan.t * encoding =
+  let enc = build_encoding spec in
+  let v = spec.view in
+  let keys_plan = qualifying_keys catalog spec in
+  let parent_plan =
+    maybe_semijoin ~keys_plan ~on_cols:v.Xml_view.parent.Xml_view.p_key
+      (bind catalog v.Xml_view.parent.Xml_view.p_query)
+  in
+  let parent_branch =
+    branch_projection ~enc
+      ~key_exprs:
+        (List.map Expr.column v.Xml_view.parent.Xml_view.p_key)
+      ~branch:enc.e_parent
+      ~payload:(field_exprs v.Xml_view.parent.Xml_view.p_fields)
+      parent_plan
+  in
+  let nchildren = List.length v.Xml_view.children in
+  let gapply_branches =
+    List.mapi
+      (fun i (c : Xml_view.child_spec) ->
+        let outer =
+          maybe_semijoin ~keys_plan ~on_cols:c.Xml_view.c_link
+            (bind catalog c.Xml_view.c_query)
+        in
+        let oschema = Props.schema_of outer in
+        let var = Printf.sprintf "xg%d" i in
+        let g () = Plan.group_scan ~var oschema in
+        (* payload slots in the PGQ output: everything except the key
+           columns, which GApply prepends *)
+        let pgq_arity = enc.e_arity - enc.e_key_count in
+        let pgq_items branch payload =
+          let items =
+            Array.init pgq_arity (fun j ->
+                (Expr.null, Printf.sprintf "xp%d" (j + enc.e_key_count)))
+          in
+          items.(enc.e_node_col - enc.e_key_count) <-
+            (Expr.int branch.b_id, "xnode");
+          List.iteri
+            (fun fi (_, col_idx) ->
+              items.(col_idx - enc.e_key_count) <-
+                (List.nth payload fi, Printf.sprintf "xp%d" col_idx))
+            branch.b_fields;
+          Array.to_list items
+        in
+        let rows_branch =
+          Plan.project
+            (pgq_items (List.nth enc.e_branches i)
+               (field_exprs c.Xml_view.c_fields))
+            (g ())
+        in
+        let derived_branches =
+          List.concat
+            (List.mapi
+               (fun j (d : derived_agg) ->
+                 if d.d_child <> i then []
+                 else
+                   [
+                     Plan.project
+                       (pgq_items
+                          (List.nth enc.e_branches (nchildren + j))
+                          [ Expr.column "dagg" ])
+                       (Plan.aggregate
+                          [ (Expr.agg d.d_fn (Some (Expr.column d.d_col)),
+                             "dagg") ]
+                          (g ()));
+                   ])
+               spec.derived)
+        in
+        let pgq = Plan.union_all (rows_branch :: derived_branches) in
+        let ga =
+          Plan.g_apply
+            ~gcols:(List.map (fun l -> Expr.col l) c.Xml_view.c_link)
+            ~var ~outer ~pgq
+        in
+        (* rename the key prefix to the common xk names *)
+        let out = Props.schema_of ga in
+        Plan.project
+          (List.mapi
+             (fun idx (col : Schema.column) ->
+               let name =
+                 if idx < enc.e_key_count then
+                   Printf.sprintf "xk%d" idx
+                 else (Schema.get out idx).Schema.cname
+               in
+               (Expr.Col (Expr.col ?qual:col.Schema.source col.Schema.cname),
+                name))
+             (Schema.to_list out))
+          ga)
+      v.Xml_view.children
+  in
+  (order_and_union ~enc (parent_branch :: gapply_branches), enc)

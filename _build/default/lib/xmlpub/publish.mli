@@ -1,0 +1,59 @@
+(** Publishing plans: turn a view (plus optional derived aggregates and
+    a group predicate) into executable relational plans under the two
+    strategies the paper compares.
+
+    Both plans produce rows under the same {!encoding} (parent-key
+    columns, a node-id column, null-padded per-branch payload slots), so
+    the same tagger consumes either stream and the tests can check the
+    published documents are identical. *)
+
+type derived_agg = {
+  d_child : int;          (** which child's rows it aggregates *)
+  d_fn : Expr.agg_fn;
+  d_col : string;         (** aggregated column of the child query *)
+  d_tag : string;         (** element tag of the derived value *)
+}
+
+type group_pred =
+  | Agg_cmp of int * Expr.agg_fn * string * Expr.binop * float
+      (** keep parents whose child aggregate satisfies the comparison *)
+  | Child_exists of int * string * Expr.binop * float
+      (** keep parents having some child row with column op constant *)
+
+type spec = {
+  view : Xml_view.t;
+  derived : derived_agg list;
+  pred : group_pred option;
+}
+
+val of_view : Xml_view.t -> spec
+
+(** {1 Row encoding} *)
+
+type branch_desc = {
+  b_id : int;
+  b_tag : string option;  (** [None] for derived-value branches *)
+  b_fields : (string * int) list;  (** (element tag, output column) *)
+}
+
+type encoding = {
+  e_key_count : int;
+  e_node_col : int;
+  e_root_tag : string;
+  e_parent : branch_desc;
+  e_branches : branch_desc list;
+  e_arity : int;
+}
+
+val build_encoding : spec -> encoding
+
+(** {1 The two strategies} *)
+
+val outer_union_plan : Catalog.t -> spec -> Plan.t * encoding
+(** The sorted outer union of paper Section 2: one UNION ALL branch per
+    element type, ordered by the parent key; derived aggregates re-join
+    and re-group the child query (the redundancy the paper criticises). *)
+
+val gapply_plan : Catalog.t -> spec -> Plan.t * encoding
+(** Child rows and every derived aggregate come from a single GApply
+    pass per child query. *)

@@ -1,0 +1,23 @@
+(** The constant-space tagger (the middleware of paper Section 2).
+
+    Consumes a tuple stream clustered by the parent key (the sorted
+    outer union guarantees it with ORDER BY; the GApply plan with its
+    final order-by) and emits XML keeping only the current parent
+    element open — memory is bounded by one group, never the whole
+    document.
+
+    @raise Errors.Exec_error if the stream is not clustered. *)
+
+val tag : Publish.encoding -> Cursor.t -> Xml.t
+(** Build the document tree. *)
+
+val tag_to_buffer : Publish.encoding -> Cursor.t -> Buffer.t -> unit
+(** Stream markup text; memory bounded by a single row. *)
+
+type strategy =
+  | Sorted_outer_union  (** the classical Section 2 pipeline *)
+  | Gapply_pass         (** one GApply pass per child element type *)
+
+val publish : ?strategy:strategy -> Catalog.t -> Publish.spec -> Xml.t
+(** Plan, execute and tag a publishing spec end-to-end.
+    Default strategy: [Gapply_pass]. *)

@@ -1,0 +1,89 @@
+(* A minimal XML document model with a serializer and an order-insensitive
+   comparison.
+
+   The paper assumes an *unordered* model of XML (Section 2), so two
+   documents are considered equal when they agree up to reordering of
+   sibling elements; [canonicalize] sorts siblings recursively to give a
+   normal form used by the tests and the pipeline-equivalence checks. *)
+
+type t =
+  | Element of string * (string * string) list * t list
+      (** tag, attributes, children *)
+  | Text of string
+
+let element ?(attrs = []) tag children = Element (tag, attrs, children)
+let text s = Text s
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec serialize_into buf = function
+  | Text s -> Buffer.add_string buf (escape s)
+  | Element (tag, attrs, children) ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape v);
+          Buffer.add_char buf '"')
+        attrs;
+      if children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter (serialize_into buf) children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>'
+      end
+
+let to_string doc =
+  let buf = Buffer.create 256 in
+  serialize_into buf doc;
+  Buffer.contents buf
+
+let rec pp_indented ppf ~indent = function
+  | Text s -> Format.fprintf ppf "%s%s@\n" (String.make indent ' ') (escape s)
+  | Element (tag, attrs, children) ->
+      let attrs_str =
+        String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf " %s=%S" k v) attrs)
+      in
+      if children = [] then
+        Format.fprintf ppf "%s<%s%s/>@\n" (String.make indent ' ') tag
+          attrs_str
+      else begin
+        Format.fprintf ppf "%s<%s%s>@\n" (String.make indent ' ') tag
+          attrs_str;
+        List.iter (pp_indented ppf ~indent:(indent + 2)) children;
+        Format.fprintf ppf "%s</%s>@\n" (String.make indent ' ') tag
+      end
+
+let pp ppf doc = pp_indented ppf ~indent:0 doc
+
+(** Sort sibling elements recursively (by their serialized form) to get
+    a normal form under the unordered XML model. *)
+let rec canonicalize = function
+  | Text s -> Text s
+  | Element (tag, attrs, children) ->
+      let children = List.map canonicalize children in
+      let children =
+        List.sort (fun a b -> String.compare (to_string a) (to_string b))
+          children
+      in
+      Element (tag, List.sort compare attrs, children)
+
+let equal_unordered a b =
+  String.equal (to_string (canonicalize a)) (to_string (canonicalize b))

@@ -1,0 +1,27 @@
+(** A minimal XML document model with a serializer and an
+    order-insensitive comparison (the paper assumes an unordered XML
+    model, Section 2). *)
+
+type t =
+  | Element of string * (string * string) list * t list
+      (** tag, attributes, children *)
+  | Text of string
+
+val element : ?attrs:(string * string) list -> string -> t list -> t
+val text : string -> t
+
+val escape : string -> string
+(** XML-escape text content (angle brackets, ampersand, double quote). *)
+
+val to_string : t -> string
+(** Compact one-line serialization (self-closing empty elements). *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented pretty-printing. *)
+
+val canonicalize : t -> t
+(** Sort sibling elements recursively — a normal form under the
+    unordered XML model. *)
+
+val equal_unordered : t -> t -> bool
+(** Document equality up to reordering of siblings. *)

@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Catalog Compile Datatype Executor List Plan Reference Relation Schema Table Truth Tuple Value

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Cost Expr Lazy Optimizer Plan Props Sql_binder Sql_parser Support Tpch_gen Workloads

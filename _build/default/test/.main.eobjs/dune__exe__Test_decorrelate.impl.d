@@ -1,0 +1,1 @@
+test/test_decorrelate.ml: Alcotest Executor Lazy Optimizer Plan Reference Relation Sql_binder Sql_parser Support Tpch_gen Workloads

@@ -1,0 +1,1 @@
+test/test_deep_publish.ml: Alcotest Catalog Compile Deep_publish Deep_view Env Errors Executor Lazy List Plan Relation Sql_binder Sql_parser String Table Tpch_gen Tuple Value Xml

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Catalog Client_sim Compile Engine Errors Executor Hashtbl Lazy List Optimizer Option Reference Relation String Support Table Tpch_gen Tuple Value Workloads

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Catalog Datatype Executor Expr Lazy List Plan Props Relation Schema Support Table Tuple

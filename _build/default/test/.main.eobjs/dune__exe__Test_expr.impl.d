@@ -1,0 +1,1 @@
+test/test_expr.ml: Agg_state Alcotest Datatype Errors Eval Expr Infer List Support

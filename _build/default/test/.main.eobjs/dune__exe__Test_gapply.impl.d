@@ -1,0 +1,1 @@
+test/test_gapply.ml: Alcotest Compile Executor Expr Lazy List Plan Props Relation Schema Support Tuple Value

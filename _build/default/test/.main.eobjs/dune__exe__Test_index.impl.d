@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Catalog Compile Datatype Errors Executor Expr Index List Plan Relation Sql_binder Sql_parser Support Table

@@ -1,0 +1,1 @@
+test/test_optimizer_analyses.ml: Alcotest Covering_range Datatype Empty_on_empty Expr Format Gp_eval Plan Support

@@ -1,0 +1,1 @@
+test/test_optimizer_rules.ml: Alcotest Expr Lazy List Optimizer Plan Props Reference Relation Support

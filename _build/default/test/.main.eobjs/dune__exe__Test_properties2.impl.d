@@ -1,0 +1,1 @@
+test/test_properties2.ml: Catalog Compile Datatype Eval Executor Expr List Optimizer Plan QCheck2 QCheck_alcotest Reference Relation Support Table Test_properties Tuple Value

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Catalog Datatype Errors Option Relation Schema Stats Support Table Tuple Value

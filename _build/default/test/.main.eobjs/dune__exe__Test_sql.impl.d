@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Catalog Errors List Optimizer Plan Reference Relation Schema Sql_ast Sql_binder Sql_lexer Sql_parser Sql_token Support Tuple Value

@@ -1,0 +1,1 @@
+test/test_xmlpub.ml: Alcotest Buffer Compile Env Errors Flwr Lazy List Plan Publish String Support Tagger Tpch_gen Xml Xml_view

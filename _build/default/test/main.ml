@@ -1,0 +1,23 @@
+(* Test entry point: aggregates every suite. *)
+
+let () =
+  Alcotest.run "gapply"
+    [
+      ("value", Test_value.suite);
+      ("relation", Test_relation.suite);
+      ("expr", Test_expr.suite);
+      ("exec", Test_exec.suite);
+      ("gapply", Test_gapply.suite);
+      ("optimizer-analyses", Test_optimizer_analyses.suite);
+      ("optimizer-rules", Test_optimizer_rules.suite);
+      ("sql", Test_sql.suite);
+      ("engine", Test_engine.suite);
+      ("xmlpub", Test_xmlpub.suite);
+      ("properties", Test_properties.suite);
+      ("extensions", Test_extensions.suite);
+      ("cost", Test_cost.suite);
+      ("decorrelate", Test_decorrelate.suite);
+      ("deep-publish", Test_deep_publish.suite);
+      ("index", Test_index.suite);
+      ("properties-extensions", Test_properties2.suite);
+    ]

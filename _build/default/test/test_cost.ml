@@ -1,0 +1,145 @@
+(* Cost model tests (paper Section 4.4): cardinality estimation,
+   selectivities, and the GApply costing formula (per-group cost times
+   the number of groups under the uniformity assumption). *)
+
+open Support
+open Expr
+
+let cat = lazy (Tpch_gen.catalog ~msf:0.2 ())
+
+let estimate plan =
+  let cat = Lazy.force cat in
+  Cost.estimate (Cost.make_ctx cat) plan
+
+let test_scan_cardinality () =
+  let cat = Lazy.force cat in
+  let e = estimate (scan cat "partsupp") in
+  Alcotest.(check (float 1.)) "partsupp card" 1600. e.Cost.card
+
+let test_equality_selectivity () =
+  let cat = Lazy.force cat in
+  let e =
+    estimate
+      (Plan.select (column "ps_suppkey" ==^ int 1) (scan cat "partsupp"))
+  in
+  (* 20 suppliers at msf 0.2 -> 1/20th of 1600 *)
+  Alcotest.(check bool) "eq selectivity around 80"
+    true
+    (e.Cost.card > 40. && e.Cost.card < 160.)
+
+let test_range_selectivity_uses_stats () =
+  let cat = Lazy.force cat in
+  let low =
+    estimate
+      (Plan.select (column "p_retailprice" <^ float 950.) (scan cat "part"))
+  in
+  let high =
+    estimate
+      (Plan.select (column "p_retailprice" <^ float 2000.) (scan cat "part"))
+  in
+  Alcotest.(check bool) "wider range admits more rows" true
+    (high.Cost.card > low.Cost.card)
+
+let test_join_cardinality () =
+  let cat = Lazy.force cat in
+  let e =
+    estimate
+      (Plan.join
+         (column "ps_partkey" ==^ column "p_partkey")
+         (scan cat "partsupp") (scan cat "part"))
+  in
+  (* FK join: |partsupp| rows survive *)
+  Alcotest.(check bool) "fk join card near |partsupp|" true
+    (e.Cost.card > 800. && e.Cost.card < 3200.)
+
+let test_gapply_costing () =
+  let cat = Lazy.force cat in
+  let outer =
+    Plan.join
+      (column "ps_partkey" ==^ column "p_partkey")
+      (scan cat "partsupp") (scan cat "part")
+  in
+  let oschema = Props.schema_of outer in
+  let mk gcols =
+    Plan.g_apply ~gcols ~var:"g" ~outer
+      ~pgq:
+        (Plan.aggregate
+           [ (avg (column "p_retailprice"), "a") ]
+           (Plan.group_scan ~var:"g" oschema))
+  in
+  let by_supp = estimate (mk [ Expr.col "ps_suppkey" ]) in
+  let by_supp_size =
+    estimate (mk [ Expr.col "ps_suppkey"; Expr.col "p_size" ])
+  in
+  (* more grouping columns -> more groups -> more per-group invocations *)
+  Alcotest.(check bool) "output card grows with group count" true
+    (by_supp_size.Cost.card > by_supp.Cost.card);
+  Alcotest.(check bool) "cost positive" true (by_supp.Cost.cost > 0.)
+
+let test_cost_prefers_pushed_selection () =
+  (* the Section 4.1 rewrite should look cheaper to the model, which is
+     what lets the driver adopt it *)
+  let cat = Lazy.force cat in
+  let src =
+    "select gapply(select p_name from g where p_retailprice < 950.0) from \
+     partsupp, part where ps_partkey = p_partkey group by ps_suppkey : g"
+  in
+  let plan = Sql_binder.bind_query cat (Sql_parser.parse_query_string src) in
+  match Optimizer.force_rule "selection-before-gapply" cat plan with
+  | None -> Alcotest.fail "rule did not fire"
+  | Some plan' ->
+      Alcotest.(check bool) "estimated cost drops" true
+        (Cost.plan_cost cat plan' < Cost.plan_cost cat plan)
+
+let test_group_selection_cost_tracks_selectivity () =
+  let cat = Lazy.force cat in
+  let q bound = Workloads.rule_exists_query ~price_bound:bound in
+  let cost_of_rewrite bound =
+    let plan =
+      Sql_binder.bind_query cat (Sql_parser.parse_query_string (q bound))
+    in
+    match Optimizer.force_rule "group-selection-exists" cat plan with
+    | None -> Alcotest.fail "rule did not fire"
+    | Some plan' -> (Cost.plan_cost cat plan, Cost.plan_cost cat plan')
+  in
+  let _, selective = cost_of_rewrite 2095. in
+  let _, unselective = cost_of_rewrite 905. in
+  Alcotest.(check bool)
+    "rewrite estimated cheaper when the predicate is selective" true
+    (selective < unselective)
+
+let test_selectivity_combinators () =
+  let cat = Lazy.force cat in
+  let ctx = Cost.make_ctx cat in
+  let s_and =
+    Cost.selectivity ctx
+      ((column "ps_suppkey" ==^ int 1) &&& (column "ps_partkey" ==^ int 2))
+  in
+  let s_single = Cost.selectivity ctx (column "ps_suppkey" ==^ int 1) in
+  Alcotest.(check bool) "AND multiplies" true (s_and < s_single);
+  let s_or =
+    Cost.selectivity ctx
+      ((column "ps_suppkey" ==^ int 1) ||| (column "ps_suppkey" ==^ int 2))
+  in
+  Alcotest.(check bool) "OR adds" true (s_or > s_single);
+  let s_not = Cost.selectivity ctx (not_ (column "ps_suppkey" ==^ int 1)) in
+  Alcotest.(check (float 1e-9)) "NOT complements" (1. -. s_single) s_not;
+  Alcotest.(check (float 1e-9)) "TRUE is 1" 1.
+    (Cost.selectivity ctx (bool true))
+
+let suite =
+  [
+    Alcotest.test_case "scan cardinality" `Quick test_scan_cardinality;
+    Alcotest.test_case "equality selectivity" `Quick
+      test_equality_selectivity;
+    Alcotest.test_case "range selectivity from stats" `Quick
+      test_range_selectivity_uses_stats;
+    Alcotest.test_case "FK join cardinality" `Quick test_join_cardinality;
+    Alcotest.test_case "gapply costing (4.4)" `Quick test_gapply_costing;
+    Alcotest.test_case "pushed selection looks cheaper" `Quick
+      test_cost_prefers_pushed_selection;
+    Alcotest.test_case "group-selection cost tracks selectivity" `Quick
+      test_group_selection_cost_tracks_selectivity;
+    Alcotest.test_case "selectivity combinators" `Quick
+      test_selectivity_combinators;
+  ]

@@ -1,0 +1,114 @@
+(* Tests for the decorrelation rule (Galindo-Legaria & Joshi), which
+   turns the paper's verbatim Section 2 correlated SQL into the
+   groupby + join form SQL Server would run. *)
+
+open Support
+
+let cat = lazy (Tpch_gen.catalog ~msf:0.1 ())
+
+let count_applies plan =
+  Plan.fold
+    (fun acc p -> match p with Plan.Apply _ -> acc + 1 | _ -> acc)
+    0 plan
+
+let bind cat src =
+  Sql_binder.bind_query cat (Sql_parser.parse_query_string src)
+
+let test_fires_on_q2_correlated () =
+  let cat = Lazy.force cat in
+  let plan = bind cat Workloads.q2_correlated in
+  Alcotest.(check bool) "correlated plan contains applies" true
+    (count_applies plan > 0);
+  let optimized = (Optimizer.optimize cat plan).Optimizer.plan in
+  Alcotest.(check int) "all applies decorrelated" 0
+    (count_applies optimized);
+  Alcotest.(check bool) "results preserved" true
+    (Relation.equal_as_multiset
+       (Executor.run cat plan)
+       (Executor.run cat optimized))
+
+let test_fires_on_q3_correlated () =
+  let cat = Lazy.force cat in
+  let plan = bind cat (Workloads.q3_correlated ()) in
+  let optimized = (Optimizer.optimize cat plan).Optimizer.plan in
+  Alcotest.(check int) "all applies decorrelated" 0
+    (count_applies optimized);
+  Alcotest.(check bool) "results preserved" true
+    (Relation.equal_as_multiset
+       (Executor.run cat plan)
+       (Executor.run cat optimized))
+
+let test_simple_correlated_average () =
+  let cat = mini_catalog () in
+  let src =
+    "select p_name from part p1 where p_retailprice > (select \
+     avg(p_retailprice) from part where p_size = p1.p_size)"
+  in
+  let plan = bind cat src in
+  match Optimizer.force_rule "decorrelate-scalar-agg" cat plan with
+  | None -> Alcotest.fail "rule did not fire"
+  | Some plan' ->
+      Alcotest.(check int) "apply removed" 0 (count_applies plan');
+      check_rel "same rows" (Reference.run cat plan)
+        (Executor.run cat plan')
+
+let test_does_not_fire_without_null_rejection () =
+  let cat = mini_catalog () in
+  (* the predicate tests IS NULL on the aggregate: an inner join would
+     wrongly drop outer rows whose group is empty *)
+  let src =
+    "select p_name from part p1 where (select avg(p_retailprice) from \
+     part where p_size = p1.p_size and p_retailprice > 100) is null"
+  in
+  let plan = bind cat src in
+  match Optimizer.force_rule "decorrelate-scalar-agg" cat plan with
+  | None -> ()
+  | Some _ -> Alcotest.fail "rule fired on a null-sensitive predicate"
+
+let test_does_not_fire_inside_pgq () =
+  (* a per-group query's uncorrelated scalar subquery has no correlation
+     equalities: the rule must leave the R7 shape alone *)
+  let cat = mini_catalog () in
+  let plan =
+    bind cat
+      "select gapply(select * from g where (select avg(p_retailprice) \
+       from g) > 22) from partsupp, part where ps_partkey = p_partkey \
+       group by ps_suppkey : g"
+  in
+  match Optimizer.force_rule "decorrelate-scalar-agg" cat plan with
+  | None -> ()
+  | Some _ -> Alcotest.fail "rule fired inside a per-group query"
+
+let test_preserves_empty_group_drops () =
+  (* null-rejecting comparison: suppliers with no cheap parts must not
+     appear — both before and after the rewrite *)
+  let cat = mini_catalog () in
+  let src =
+    "select s_name from supplier s1 where 5.0 < (select \
+     sum(p_retailprice) from partsupp, part where p_partkey = ps_partkey \
+     and ps_suppkey = s1.s_suppkey)"
+  in
+  let plan = bind cat src in
+  match Optimizer.force_rule "decorrelate-scalar-agg" cat plan with
+  | None -> Alcotest.fail "rule did not fire"
+  | Some plan' ->
+      let before = Reference.run cat plan in
+      (* Initech supplies nothing: its sum is NULL, rejected by '<' *)
+      Alcotest.(check int) "2 suppliers" 2 (Relation.cardinality before);
+      check_rel "rewrite agrees" before (Executor.run cat plan')
+
+let suite =
+  [
+    Alcotest.test_case "Q2 correlated decorrelates fully" `Quick
+      test_fires_on_q2_correlated;
+    Alcotest.test_case "Q3 correlated decorrelates fully" `Quick
+      test_fires_on_q3_correlated;
+    Alcotest.test_case "simple correlated average" `Quick
+      test_simple_correlated_average;
+    Alcotest.test_case "needs a null-rejecting predicate" `Quick
+      test_does_not_fire_without_null_rejection;
+    Alcotest.test_case "leaves per-group queries alone" `Quick
+      test_does_not_fire_inside_pgq;
+    Alcotest.test_case "empty groups dropped identically" `Quick
+      test_preserves_empty_group_drops;
+  ]

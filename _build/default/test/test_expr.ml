@@ -1,0 +1,155 @@
+(* Unit tests: expression evaluation, inference, aggregates. *)
+
+open Support
+open Expr
+
+let s = schema [ ("a", Datatype.Int); ("b", Datatype.Float); ("c", Datatype.Str) ]
+let t = row [ vi 3; vf 2.5; vs "hi" ]
+
+let ev ?(frames = []) e = Eval.eval ~frames s t e
+let check_v = Alcotest.check value_testable
+
+let test_basic_eval () =
+  check_v "column" (vi 3) (ev (column "a"));
+  check_v "arith" (vf 5.5) (ev (column "a" +^ column "b"));
+  check_v "comparison" (vb true) (ev (column "a" >^ column "b"));
+  check_v "string eq" (vb true) (ev (column "c" ==^ str "hi"))
+
+let test_null_semantics () =
+  check_v "null comparison" vnull (ev (column "a" >^ null));
+  check_v "is null" (vb false) (ev (Unary (Is_null, column "a")));
+  check_v "is not null" (vb true) (ev (Unary (Is_not_null, column "a")));
+  check_v "and with unknown short-circuit false" (vb false)
+    (ev ((column "a" <^ int 0) &&& (column "a" >^ null)));
+  check_v "and with unknown stays unknown" vnull
+    (ev ((column "a" >^ int 0) &&& (column "a" >^ null)));
+  check_v "or with unknown short-circuit true" (vb true)
+    (ev ((column "a" >^ int 0) ||| (column "a" >^ null)))
+
+let test_case_expression () =
+  let e =
+    Case
+      ( [ (column "a" >^ int 10, str "big"); (column "a" >^ int 1, str "mid") ],
+        Some (str "small") )
+  in
+  check_v "case picks first true" (vs "mid") (ev e);
+  let no_else = Case ([ (column "a" >^ int 10, str "big") ], None) in
+  check_v "case without else is null" vnull (ev no_else)
+
+let test_outer_references () =
+  let outer_schema = schema [ ("x", Datatype.Int) ] in
+  let frames = [ (outer_schema, row [ vi 42 ]) ] in
+  check_v "outer lookup" (vi 42) (ev ~frames (outer "x"));
+  check_v "mix outer and local" (vi 45) (ev ~frames (outer "x" +^ column "a"));
+  Alcotest.(check bool) "missing outer raises" true
+    (try
+       ignore (ev (outer "nope"));
+       false
+     with Errors.Name_error _ -> true)
+
+let test_outer_innermost_shadowing () =
+  let sa = schema [ ("x", Datatype.Int) ] in
+  let frames = [ (sa, row [ vi 1 ]); (sa, row [ vi 2 ]) ] in
+  check_v "innermost frame wins" (vi 1) (ev ~frames (outer "x"))
+
+let test_compile_matches_eval () =
+  let exprs =
+    [
+      column "a" +^ (column "b" *^ float 2.);
+      (column "a" >=^ int 3) &&& not_ (column "c" ==^ str "bye");
+      Case ([ (column "a" ==^ int 3, column "b") ], Some (float 0.));
+      Unary (Neg, column "a");
+      column "c" ==^ null;
+    ]
+  in
+  List.iter
+    (fun e ->
+      let direct = Eval.eval ~frames:[] s t e in
+      let compiled = Eval.compile s e [] t in
+      check_v ("compile = eval for " ^ Expr.to_string e) direct compiled)
+    exprs
+
+let test_conjuncts_roundtrip () =
+  let a = column "a" >^ int 0 in
+  let b = column "b" <^ float 1. in
+  let c = column "c" ==^ str "hi" in
+  Alcotest.(check int) "three conjuncts" 3
+    (List.length (conjuncts (conjoin [ a; b; c ])));
+  Alcotest.(check bool) "or not split" true
+    (List.length (conjuncts (a ||| b)) = 1)
+
+let test_columns_analysis () =
+  let e = (column "a" +^ outer "o") >^ column ~qual:"t" "b" in
+  Alcotest.(check (list string)) "columns" [ "a"; "b" ] (column_names e);
+  Alcotest.(check (list string)) "outer columns" [ "o" ]
+    (List.map (fun r -> r.name) (outer_columns e));
+  Alcotest.(check bool) "references outer" true (references_outer e)
+
+let test_infer () =
+  let ty e = Infer.infer_with_schema s e in
+  Alcotest.(check string) "int + int" "INT"
+    (Datatype.to_string (ty (column "a" +^ int 1)));
+  Alcotest.(check string) "int + float" "FLOAT"
+    (Datatype.to_string (ty (column "a" +^ column "b")));
+  Alcotest.(check string) "comparison" "BOOL"
+    (Datatype.to_string (ty (column "a" >^ int 0)));
+  Alcotest.(check string) "null literal" "NULL"
+    (Datatype.to_string (ty null));
+  Alcotest.(check bool) "arith over string rejected" true
+    (try
+       ignore (ty (column "c" +^ int 1));
+       false
+     with Errors.Type_error _ -> true)
+
+(* ---------- aggregates ---------- *)
+
+let run_agg spec values =
+  let st = Agg_state.create spec in
+  List.iter (Agg_state.add st) values;
+  Agg_state.finish st
+
+let test_aggregates () =
+  check_v "count ignores nulls" (vi 2)
+    (run_agg (count (column "a")) [ vi 1; vnull; vi 2 ]);
+  check_v "count star counts rows" (vi 3)
+    (run_agg count_star [ vnull; vnull; vnull ]);
+  check_v "sum ints stays int" (vi 6) (run_agg (sum (column "a")) [ vi 1; vi 2; vi 3 ]);
+  check_v "sum mixed is float" (vf 3.5)
+    (run_agg (sum (column "a")) [ vi 1; vf 2.5 ]);
+  check_v "avg" (vf 2.) (run_agg (avg (column "a")) [ vi 1; vi 3 ]);
+  check_v "min" (vi 1) (run_agg (min_ (column "a")) [ vi 3; vi 1; vi 2 ]);
+  check_v "max" (vi 3) (run_agg (max_ (column "a")) [ vi 3; vi 1; vi 2 ])
+
+let test_aggregates_empty_and_null () =
+  check_v "sum of empty is null" vnull (run_agg (sum (column "a")) []);
+  check_v "avg of all nulls is null" vnull
+    (run_agg (avg (column "a")) [ vnull; vnull ]);
+  check_v "count of empty is 0" (vi 0) (run_agg (count (column "a")) []);
+  check_v "count star of empty is 0" (vi 0) (run_agg count_star []);
+  check_v "min of empty is null" vnull (run_agg (min_ (column "a")) [])
+
+let test_distinct_aggregates () =
+  check_v "count distinct" (vi 2)
+    (run_agg
+       (agg ~distinct:true Count (Some (column "a")))
+       [ vi 1; vi 1; vi 2; vnull ]);
+  check_v "sum distinct" (vi 3)
+    (run_agg (agg ~distinct:true Sum (Some (column "a")))
+       [ vi 1; vi 1; vi 2 ])
+
+let suite =
+  [
+    Alcotest.test_case "basic evaluation" `Quick test_basic_eval;
+    Alcotest.test_case "null semantics" `Quick test_null_semantics;
+    Alcotest.test_case "case expression" `Quick test_case_expression;
+    Alcotest.test_case "outer references" `Quick test_outer_references;
+    Alcotest.test_case "outer shadowing" `Quick test_outer_innermost_shadowing;
+    Alcotest.test_case "compile matches eval" `Quick test_compile_matches_eval;
+    Alcotest.test_case "conjuncts" `Quick test_conjuncts_roundtrip;
+    Alcotest.test_case "column analysis" `Quick test_columns_analysis;
+    Alcotest.test_case "type inference" `Quick test_infer;
+    Alcotest.test_case "aggregates" `Quick test_aggregates;
+    Alcotest.test_case "aggregates on empty/null input" `Quick
+      test_aggregates_empty_and_null;
+    Alcotest.test_case "distinct aggregates" `Quick test_distinct_aggregates;
+  ]

@@ -1,0 +1,266 @@
+(* Tests for the GApply operator itself: the paper's formal semantics
+   (Section 3), both partitioning strategies, and the motivating queries
+   Q1/Q2 built directly in the algebra. *)
+
+open Support
+open Expr
+
+let cat = lazy (mini_catalog ())
+
+let partsupp_part cat =
+  Plan.join
+    (column "ps_partkey" ==^ column "p_partkey")
+    (scan cat "partsupp") (scan cat "part")
+
+(** Build a GApply whose per-group query is derived from a fresh
+    group-scan leaf of the right schema. *)
+let gapply ~gcols ~var ~outer ~pgq_of =
+  let oschema = Props.schema_of outer in
+  Plan.g_apply ~gcols ~var ~outer
+    ~pgq:(pgq_of (Plan.group_scan ~var oschema))
+
+let test_identity_pgq () =
+  let cat = Lazy.force cat in
+  let p =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g"
+      ~outer:(scan cat "partsupp")
+      ~pgq_of:(fun g -> g)
+  in
+  let r = run_checked cat p in
+  (* every partsupp row appears once, prefixed by its group key *)
+  Alcotest.(check int) "5 rows" 5 (Relation.cardinality r);
+  Alcotest.(check int) "arity = key + group columns" 3
+    (Schema.arity (Relation.schema r))
+
+let test_gapply_matches_formal_definition () =
+  let cat = Lazy.force cat in
+  (* compare physical GApply against a hand-evaluated instance of
+     union over distinct keys of ({c} x PGQ(sigma_{C=c} input)) *)
+  let outer = partsupp_part cat in
+  let p =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g" ~outer
+      ~pgq_of:(fun g -> Plan.aggregate [ (min_ (column "p_retailprice"), "m") ] g)
+  in
+  let r = run_checked cat p in
+  check_rows "min price per supplier"
+    [ [ vi 1; vf 10. ]; [ vi 2; vf 20. ] ]
+    r
+
+let test_empty_group_never_materialises () =
+  let cat = Lazy.force cat in
+  (* supplier 3 supplies nothing: no group is formed for it, so even a
+     count-star PGQ (which returns a row on the empty relation) produces
+     nothing for supplier 3 *)
+  let p =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g"
+      ~outer:(scan cat "partsupp")
+      ~pgq_of:(fun g -> Plan.aggregate [ (count_star, "n") ] g)
+  in
+  let r = run_checked cat p in
+  check_rows "only suppliers with parts" [ [ vi 1; vi 3 ]; [ vi 2; vi 2 ] ] r
+
+let test_gapply_on_empty_outer () =
+  let cat = Lazy.force cat in
+  let p =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g"
+      ~outer:(Plan.select (column "ps_suppkey" >^ int 100) (scan cat "partsupp"))
+      ~pgq_of:(fun g -> Plan.aggregate [ (count_star, "n") ] g)
+  in
+  let r = run_checked cat p in
+  Alcotest.(check int) "empty outer, empty result" 0 (Relation.cardinality r)
+
+let test_multi_column_grouping () =
+  let cat = Lazy.force cat in
+  let p =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey"; Expr.col "p_size" ]
+      ~var:"g"
+      ~outer:(partsupp_part cat)
+      ~pgq_of:(fun g -> Plan.aggregate [ (count_star, "n") ] g)
+  in
+  let r = run_checked cat p in
+  (* supplier 1: sizes 1 (bolt, gear), 2 (nut); supplier 2: size 2 twice *)
+  check_rows "per (supplier, size) counts"
+    [ [ vi 1; vi 1; vi 2 ]; [ vi 1; vi 2; vi 1 ]; [ vi 2; vi 2; vi 2 ] ]
+    r
+
+(* Paper query Q1: for each supplier, all part names/prices plus the
+   average price, as a two-branch union in the PGQ. *)
+let q1_plan cat =
+  gapply
+    ~gcols:[ Expr.col "ps_suppkey" ]
+    ~var:"tmpsupp"
+    ~outer:(partsupp_part cat)
+    ~pgq_of:(fun g ->
+      Plan.union_all
+        [
+          Plan.project
+            [
+              (column "p_name", "p_name");
+              (column "p_retailprice", "p_retailprice");
+              (null, "avg_price");
+            ]
+            g;
+          Plan.project
+            [ (null, "p_name"); (null, "p_retailprice");
+              (column "a", "avg_price") ]
+            (Plan.aggregate [ (avg (column "p_retailprice"), "a") ] g);
+        ])
+
+let test_q1 () =
+  let cat = Lazy.force cat in
+  let r = run_checked cat (q1_plan cat) in
+  check_rows "Q1 on mini data"
+    [
+      [ vi 1; vs "bolt"; vf 10.; vnull ];
+      [ vi 1; vs "nut"; vf 20.; vnull ];
+      [ vi 1; vs "gear"; vf 30.; vnull ];
+      [ vi 1; vnull; vnull; vf 20. ];
+      [ vi 2; vs "nut"; vf 20.; vnull ];
+      [ vi 2; vs "cog"; vf 40.; vnull ];
+      [ vi 2; vnull; vnull; vf 30. ];
+    ]
+    r
+
+(* Paper query Q2: count parts above / below the per-supplier average. *)
+let q2_branch g ~above =
+  let avg_sub = Plan.aggregate [ (avg (column "p_retailprice"), "avg_p") ] g in
+  let cmp =
+    if above then column "p_retailprice" >=^ column "avg_p"
+    else column "p_retailprice" <^ column "avg_p"
+  in
+  let counted =
+    Plan.aggregate [ (count_star, "n") ] (Plan.select cmp (Plan.apply g avg_sub))
+  in
+  if above then
+    Plan.project [ (column "n", "count_above"); (null, "count_below") ] counted
+  else
+    Plan.project [ (null, "count_above"); (column "n", "count_below") ] counted
+
+let q2_plan cat =
+  gapply
+    ~gcols:[ Expr.col "ps_suppkey" ]
+    ~var:"tmpsupp"
+    ~outer:(partsupp_part cat)
+    ~pgq_of:(fun g ->
+      Plan.union_all [ q2_branch g ~above:true; q2_branch g ~above:false ])
+
+let test_q2 () =
+  let cat = Lazy.force cat in
+  let r = run_checked cat (q2_plan cat) in
+  check_rows "Q2 on mini data"
+    [
+      [ vi 1; vi 2; vnull ];
+      [ vi 1; vnull; vi 1 ];
+      [ vi 2; vi 1; vnull ];
+      [ vi 2; vnull; vi 1 ];
+    ]
+    r
+
+(* Q4-style: PGQ itself groups by another column. *)
+let test_pgq_with_nested_group_by () =
+  let cat = Lazy.force cat in
+  let p =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g"
+      ~outer:(partsupp_part cat)
+      ~pgq_of:(fun g ->
+        Plan.group_by
+          [ Expr.col "p_size" ]
+          [ (avg (column "p_retailprice"), "avg_size_price") ]
+          g)
+  in
+  let r = run_checked cat p in
+  check_rows "per supplier per size average"
+    [
+      [ vi 1; vi 1; vf 20. ];
+      [ vi 1; vi 2; vf 20. ];
+      [ vi 2; vi 2; vf 30. ];
+    ]
+    r
+
+let test_nested_gapply_in_pgq () =
+  let cat = Lazy.force cat in
+  (* inner gapply re-groups the group's rows by p_size *)
+  let p =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"outer_g"
+      ~outer:(partsupp_part cat)
+      ~pgq_of:(fun g ->
+        let gschema = Props.schema_of g in
+        Plan.g_apply
+          ~gcols:[ Expr.col "p_size" ]
+          ~var:"inner_g" ~outer:g
+          ~pgq:(Plan.aggregate
+                  [ (max_ (column "p_retailprice"), "max_p") ]
+                  (Plan.group_scan ~var:"inner_g" gschema)))
+  in
+  let r = run_checked cat p in
+  check_rows "nested gapply"
+    [
+      [ vi 1; vi 1; vf 30. ];
+      [ vi 1; vi 2; vf 20. ];
+      [ vi 2; vi 2; vf 40. ];
+    ]
+    r
+
+let test_pgq_orderby_inside_group () =
+  let cat = Lazy.force cat in
+  let p =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g"
+      ~outer:(partsupp_part cat)
+      ~pgq_of:(fun g ->
+        Plan.project
+          [ (column "p_name", "p_name") ]
+          (Plan.order_by [ (column "p_retailprice", Plan.Desc) ] g))
+  in
+  (* with sort partitioning the groups are clustered; check content *)
+  let r = run_checked cat p in
+  Alcotest.(check int) "5 rows" 5 (Relation.cardinality r)
+
+let test_sort_partitioning_clusters_output () =
+  let cat = Lazy.force cat in
+  let p = q1_plan cat in
+  let r =
+    Executor.run ~config:(Compile.config_with ~partition:Compile.Sort_partition ()) cat p
+  in
+  (* group keys must be non-decreasing in the output stream *)
+  let keys = List.map (fun t -> Tuple.get t 0) (Relation.rows r) in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) ->
+        Value.compare_total a b <= 0 && non_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "clustered by key" true (non_decreasing keys)
+
+let suite =
+  [
+    Alcotest.test_case "identity per-group query" `Quick test_identity_pgq;
+    Alcotest.test_case "matches formal definition" `Quick
+      test_gapply_matches_formal_definition;
+    Alcotest.test_case "no group for absent keys" `Quick
+      test_empty_group_never_materialises;
+    Alcotest.test_case "empty outer input" `Quick test_gapply_on_empty_outer;
+    Alcotest.test_case "multi-column grouping" `Quick test_multi_column_grouping;
+    Alcotest.test_case "paper query Q1" `Quick test_q1;
+    Alcotest.test_case "paper query Q2" `Quick test_q2;
+    Alcotest.test_case "nested group-by in PGQ" `Quick
+      test_pgq_with_nested_group_by;
+    Alcotest.test_case "nested GApply in PGQ" `Quick test_nested_gapply_in_pgq;
+    Alcotest.test_case "order-by inside PGQ" `Quick
+      test_pgq_orderby_inside_group;
+    Alcotest.test_case "sort partitioning clusters output" `Quick
+      test_sort_partitioning_clusters_output;
+  ]

@@ -1,0 +1,208 @@
+(* Unit tests for the Section 4 analyses: covering range, emptyOnEmpty,
+   gp-eval columns. *)
+
+open Support
+open Expr
+
+let gschema =
+  schema
+    [
+      ("ps_suppkey", Datatype.Int);
+      ("p_name", Datatype.Str);
+      ("p_retailprice", Datatype.Float);
+      ("p_brand", Datatype.Str);
+    ]
+
+let g = Plan.group_scan ~var:"g" gschema
+
+let brand_a = column "p_brand" ==^ str "Brand#A"
+let brand_b = column "p_brand" ==^ str "Brand#B"
+
+let range_testable =
+  Alcotest.testable
+    (fun ppf -> function
+      | Covering_range.Whole -> Format.pp_print_string ppf "whole"
+      | Covering_range.Cond e -> Format.fprintf ppf "cond %a" Expr.pp e)
+    (fun a b ->
+      match (a, b) with
+      | Covering_range.Whole, Covering_range.Whole -> true
+      | Covering_range.Cond x, Covering_range.Cond y -> Expr.equal x y
+      | _ -> false)
+
+let check_range = Alcotest.check range_testable
+
+let test_scan_is_whole () =
+  check_range "scan" Covering_range.Whole (Covering_range.of_pgq ~var:"g" g)
+
+let test_select_adds_condition () =
+  check_range "select" (Covering_range.Cond brand_a)
+    (Covering_range.of_pgq ~var:"g" (Plan.select brand_a g));
+  check_range "stacked selects"
+    (Covering_range.Cond (brand_a &&& brand_b))
+    (Covering_range.of_pgq ~var:"g"
+       (Plan.select brand_b (Plan.select brand_a g)))
+
+let test_select_above_aggregate_is_ignored () =
+  (* a condition over an aggregate result covers nothing extra *)
+  let pgq =
+    Plan.select (column "a" >^ float 10.)
+      (Plan.aggregate [ (avg (column "p_retailprice"), "a") ] g)
+  in
+  check_range "select above aggregate" Covering_range.Whole
+    (Covering_range.of_pgq ~var:"g" pgq)
+
+let test_union_disjoins () =
+  let pgq =
+    Plan.union_all [ Plan.select brand_a g; Plan.select brand_b g ]
+  in
+  check_range "union" (Covering_range.Cond (brand_a ||| brand_b))
+    (Covering_range.of_pgq ~var:"g" pgq)
+
+let test_figure3_example () =
+  (* parts of brand A priced above the average price of brand-B parts:
+     select[price >= avgb](apply(select[brandA](g),
+                                 aggregate[avg](select[brandB](g)))) *)
+  let pgq =
+    Plan.select
+      (column "p_retailprice" >=^ column "avgb")
+      (Plan.apply
+         (Plan.select brand_a g)
+         (Plan.aggregate
+            [ (avg (column "p_retailprice"), "avgb") ]
+            (Plan.select brand_b g)))
+  in
+  check_range "figure 3" (Covering_range.Cond (brand_a ||| brand_b))
+    (Covering_range.of_pgq ~var:"g" pgq)
+
+let test_condition_on_renamed_column_dropped () =
+  (* selection over a renamed column cannot be pushed: it is dropped,
+     weakening the range to the child's *)
+  let pgq =
+    Plan.select (column "brand2" ==^ str "Brand#A")
+      (Plan.project [ (column "p_brand", "brand2") ] g)
+  in
+  check_range "renamed" Covering_range.Whole
+    (Covering_range.of_pgq ~var:"g" pgq)
+
+let test_projection_preserves_transparency () =
+  let pgq =
+    Plan.select brand_a
+      (Plan.project
+         [ (column "p_brand", "p_brand"); (column "p_name", "p_name") ]
+         g)
+  in
+  check_range "projected pass-through" (Covering_range.Cond brand_a)
+    (Covering_range.of_pgq ~var:"g" pgq)
+
+let test_groupby_keys_stay_transparent () =
+  let pgq =
+    Plan.select brand_a
+      (Plan.group_by [ Expr.col "p_brand" ] [ (count_star, "n") ] g)
+  in
+  (* the select sits above a groupby (complicated): condition ignored *)
+  check_range "above groupby" Covering_range.Whole
+    (Covering_range.of_pgq ~var:"g" pgq)
+
+(* ---------- emptyOnEmpty ---------- *)
+
+let eoe = Empty_on_empty.check ~var:"g"
+
+let test_empty_on_empty () =
+  Alcotest.(check bool) "scan" true (eoe g);
+  Alcotest.(check bool) "select" true (eoe (Plan.select brand_a g));
+  Alcotest.(check bool) "aggregate" false
+    (eoe (Plan.aggregate [ (count_star, "n") ] g));
+  Alcotest.(check bool) "groupby" true
+    (eoe (Plan.group_by [ Expr.col "p_brand" ] [ (count_star, "n") ] g));
+  Alcotest.(check bool) "apply outer side governs" true
+    (eoe (Plan.apply g (Plan.aggregate [ (count_star, "n") ] g)));
+  Alcotest.(check bool) "apply with aggregate outer" false
+    (eoe (Plan.apply (Plan.aggregate [ (count_star, "n") ] g) g));
+  Alcotest.(check bool) "union all true" true
+    (eoe (Plan.union_all [ Plan.select brand_a g; Plan.distinct g ]));
+  Alcotest.(check bool) "union with aggregate branch" false
+    (eoe
+       (Plan.union_all
+          [ Plan.select brand_a g; Plan.aggregate [ (count_star, "n") ] g ]));
+  Alcotest.(check bool) "exists" true (eoe (Plan.exists g));
+  Alcotest.(check bool) "not exists" false (eoe (Plan.exists ~negated:true g));
+  Alcotest.(check bool) "orderby" true
+    (eoe (Plan.order_by [ (column "p_name", Plan.Asc) ] g))
+
+(* ---------- gp-eval columns ---------- *)
+
+let gp pgq = Gp_eval.of_pgq ~group_schema:gschema pgq
+
+let test_gp_eval_scan_empty () =
+  Alcotest.(check (list string)) "scan needs nothing" [] (gp g)
+
+let test_gp_eval_select () =
+  Alcotest.(check (list string)) "selection column" [ "p_brand" ]
+    (gp (Plan.select brand_a g))
+
+let test_gp_eval_projection_not_included () =
+  Alcotest.(check (list string)) "projection alone needs nothing" []
+    (gp (Plan.project [ (column "p_name", "p_name") ] g))
+
+let test_gp_eval_aggregate_and_groupby () =
+  Alcotest.(check (list string)) "aggregate argument" [ "p_retailprice" ]
+    (gp (Plan.aggregate [ (avg (column "p_retailprice"), "a") ] g));
+  Alcotest.(check (list string)) "groupby keys + agg args"
+    [ "p_brand"; "p_retailprice" ]
+    (gp
+       (Plan.group_by [ Expr.col "p_brand" ]
+          [ (min_ (column "p_retailprice"), "m") ]
+          g))
+
+let test_gp_eval_q2_shape () =
+  let pgq =
+    Plan.select
+      (column "p_retailprice" >=^ column "avgp")
+      (Plan.apply g
+         (Plan.aggregate [ (avg (column "p_retailprice"), "avgp") ] g))
+  in
+  (* avgp is computed inside the PGQ and must not count as a group column *)
+  Alcotest.(check (list string)) "only the price column"
+    [ "p_retailprice" ] (gp pgq)
+
+let test_referenced_and_needs_all () =
+  let refs, needs_all =
+    Gp_eval.referenced_and_needs_all ~group_schema:gschema g
+  in
+  Alcotest.(check bool) "identity needs all" true needs_all;
+  Alcotest.(check (list string)) "no explicit references" [] refs;
+  let refs, needs_all =
+    Gp_eval.referenced_and_needs_all ~group_schema:gschema
+      (Plan.project
+         [ (column "p_name", "x") ]
+         (Plan.select brand_a g))
+  in
+  Alcotest.(check bool) "projection cuts" false needs_all;
+  Alcotest.(check (list string)) "referenced set" [ "p_brand"; "p_name" ] refs
+
+let suite =
+  [
+    Alcotest.test_case "range: scan is whole" `Quick test_scan_is_whole;
+    Alcotest.test_case "range: select adds condition" `Quick
+      test_select_adds_condition;
+    Alcotest.test_case "range: select above aggregate" `Quick
+      test_select_above_aggregate_is_ignored;
+    Alcotest.test_case "range: union disjoins" `Quick test_union_disjoins;
+    Alcotest.test_case "range: figure 3 example" `Quick test_figure3_example;
+    Alcotest.test_case "range: renamed column dropped" `Quick
+      test_condition_on_renamed_column_dropped;
+    Alcotest.test_case "range: projection transparency" `Quick
+      test_projection_preserves_transparency;
+    Alcotest.test_case "range: select above groupby" `Quick
+      test_groupby_keys_stay_transparent;
+    Alcotest.test_case "emptyOnEmpty table" `Quick test_empty_on_empty;
+    Alcotest.test_case "gp-eval: scan" `Quick test_gp_eval_scan_empty;
+    Alcotest.test_case "gp-eval: select" `Quick test_gp_eval_select;
+    Alcotest.test_case "gp-eval: projection excluded" `Quick
+      test_gp_eval_projection_not_included;
+    Alcotest.test_case "gp-eval: aggregate/groupby" `Quick
+      test_gp_eval_aggregate_and_groupby;
+    Alcotest.test_case "gp-eval: Q2 shape" `Quick test_gp_eval_q2_shape;
+    Alcotest.test_case "gp-eval: referenced/needs-all" `Quick
+      test_referenced_and_needs_all;
+  ]

@@ -1,0 +1,507 @@
+(* Tests for every transformation rule: firing conditions, non-firing
+   conditions, and semantic preservation (the rewritten plan must produce
+   the same multiset as the original under both the reference evaluator
+   and the physical executor). *)
+
+open Support
+open Expr
+
+let cat = lazy (mini_catalog ())
+
+let partsupp_part cat =
+  Plan.join
+    (column "ps_partkey" ==^ column "p_partkey")
+    (scan cat "partsupp") (scan cat "part")
+
+let gapply ~gcols ~var ~outer ~pgq_of =
+  let oschema = Props.schema_of outer in
+  Plan.g_apply ~gcols ~var ~outer
+    ~pgq:(pgq_of (Plan.group_scan ~var oschema))
+
+(** Force-fire [rule] on [plan]; check it fired and preserved semantics;
+    return the rewritten plan. *)
+let fire_checked ?(msg = "") rule cat plan =
+  match Optimizer.force_rule rule cat plan with
+  | None -> Alcotest.failf "rule %s did not fire %s" rule msg
+  | Some plan' ->
+      let before = Reference.run cat plan in
+      let after = run_checked ~msg:(rule ^ " rewrite") cat plan' in
+      check_rel (rule ^ " preserves semantics " ^ msg) before after;
+      plan'
+
+let assert_no_fire rule cat plan =
+  match Optimizer.force_rule rule cat plan with
+  | None -> ()
+  | Some _ -> Alcotest.failf "rule %s fired but should not have" rule
+
+(* ---------- R1: sigma over GApply ---------- *)
+
+let avg_gapply cat =
+  gapply
+    ~gcols:[ Expr.col "ps_suppkey" ]
+    ~var:"g"
+    ~outer:(partsupp_part cat)
+    ~pgq_of:(fun g ->
+      Plan.project
+        [ (column "p_name", "p_name"); (column "a", "avg_price") ]
+        (Plan.apply g
+           (Plan.aggregate [ (avg (column "p_retailprice"), "a") ] g)))
+
+let test_sigma_over_gapply_inner () =
+  let cat = Lazy.force cat in
+  let plan =
+    Plan.select (column "avg_price" >^ float 25.) (avg_gapply cat)
+  in
+  let plan' = fire_checked "sigma-over-gapply" cat plan in
+  (match plan' with
+  | Plan.G_apply { pgq = Plan.Select _; _ } -> ()
+  | _ -> Alcotest.fail "selection was not pushed into the PGQ");
+  (* result: only supplier 2 (avg 30) survives, with its 2 parts *)
+  Alcotest.(check int) "rows" 2 (Relation.cardinality (Reference.run cat plan'))
+
+let test_sigma_over_gapply_group_key () =
+  let cat = Lazy.force cat in
+  let plan = Plan.select (column "ps_suppkey" ==^ int 1) (avg_gapply cat) in
+  let plan' = fire_checked "sigma-over-gapply" cat plan in
+  match plan' with
+  | Plan.G_apply { outer = Plan.Select _; _ } -> ()
+  | _ -> Alcotest.fail "group-key selection was not pushed to the outer input"
+
+let test_sigma_over_gapply_mixed_stays () =
+  let cat = Lazy.force cat in
+  (* a conjunct mixing key and pgq columns cannot move *)
+  let plan =
+    Plan.select
+      (column "ps_suppkey" ==^ column "avg_price")
+      (avg_gapply cat)
+  in
+  assert_no_fire "sigma-over-gapply" cat plan
+
+(* ---------- R2: pi over GApply ---------- *)
+
+let test_pi_over_gapply () =
+  let cat = Lazy.force cat in
+  let plan =
+    Plan.project
+      [ (column "ps_suppkey", "k"); (column "avg_price", "avg_price") ]
+      (avg_gapply cat)
+  in
+  let plan' = fire_checked "pi-over-gapply" cat plan in
+  (match plan' with
+  | Plan.Project { input = Plan.G_apply { pgq = Plan.Project { items; _ }; _ }; _ }
+    ->
+      Alcotest.(check int) "pgq narrowed to one column" 1 (List.length items)
+  | _ -> Alcotest.fail "unexpected shape");
+  assert_no_fire "pi-over-gapply" cat plan'
+
+(* ---------- R3: projection before GApply ---------- *)
+
+let q2_style_gapply cat =
+  gapply
+    ~gcols:[ Expr.col "ps_suppkey" ]
+    ~var:"g"
+    ~outer:(partsupp_part cat)
+    ~pgq_of:(fun g ->
+      Plan.aggregate [ (count_star, "n") ]
+        (Plan.select
+           (column "p_retailprice" >=^ column "avgp")
+           (Plan.apply g
+              (Plan.aggregate [ (avg (column "p_retailprice"), "avgp") ] g))))
+
+let test_projection_before_gapply () =
+  let cat = Lazy.force cat in
+  let plan = q2_style_gapply cat in
+  let plan' = fire_checked "projection-before-gapply" cat plan in
+  (match plan' with
+  | Plan.G_apply { outer = Plan.Project { items; _ }; _ } ->
+      Alcotest.(check int)
+        "outer narrowed to key + price" 2 (List.length items)
+  | _ -> Alcotest.fail "outer was not projected");
+  assert_no_fire "projection-before-gapply" cat plan'
+
+let test_projection_not_fired_when_all_needed () =
+  let cat = Lazy.force cat in
+  (* identity PGQ passes the whole row through: nothing to cut *)
+  let plan =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g"
+      ~outer:(scan cat "partsupp")
+      ~pgq_of:(fun g -> g)
+  in
+  assert_no_fire "projection-before-gapply" cat plan
+
+(* ---------- R4: selection before GApply ---------- *)
+
+let brand_a = column "p_brand" ==^ str "Brand#A"
+let brand_b = column "p_brand" ==^ str "Brand#B"
+
+(* Figure 3: parts of brand A priced above the brand-B average. *)
+let figure3_gapply cat =
+  gapply
+    ~gcols:[ Expr.col "ps_suppkey" ]
+    ~var:"g"
+    ~outer:(partsupp_part cat)
+    ~pgq_of:(fun g ->
+      Plan.project
+        [ (column "p_name", "p_name") ]
+        (Plan.select
+           (column "p_retailprice" >=^ column "avgb")
+           (Plan.apply
+              (Plan.select brand_a g)
+              (Plan.aggregate
+                 [ (avg (column "p_retailprice"), "avgb") ]
+                 (Plan.select brand_b g)))))
+
+let test_selection_before_gapply () =
+  let cat = Lazy.force cat in
+  let plan = figure3_gapply cat in
+  let plan' = fire_checked "selection-before-gapply" cat plan in
+  (match plan' with
+  | Plan.G_apply { outer = Plan.Select { pred; _ }; _ } ->
+      Alcotest.(check bool) "pushed disjunction" true
+        (Expr.equal pred (brand_a ||| brand_b))
+  | _ -> Alcotest.fail "covering range was not pushed");
+  (* the guard must prevent re-firing *)
+  assert_no_fire "selection-before-gapply" cat plan'
+
+let test_selection_blocked_without_empty_on_empty () =
+  let cat = Lazy.force cat in
+  (* count-star PGQ returns a row even for emptied groups: must not fire *)
+  let plan =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g"
+      ~outer:(partsupp_part cat)
+      ~pgq_of:(fun g ->
+        Plan.aggregate [ (count_star, "n") ] (Plan.select brand_a g))
+  in
+  assert_no_fire "selection-before-gapply" cat plan
+
+let test_selection_emptyonempty_semantics_matter () =
+  let cat = Lazy.force cat in
+  (* same query but with a select PGQ (emptyOnEmpty holds): fires, and
+     the results differ from the count-star variant precisely on groups
+     that become empty — this pins down why the side condition exists *)
+  let plan =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g"
+      ~outer:(partsupp_part cat)
+      ~pgq_of:(fun g ->
+        Plan.project [ (column "p_name", "p_name") ] (Plan.select brand_a g))
+  in
+  ignore (fire_checked "selection-before-gapply" cat plan)
+
+(* ---------- R5: GApply to groupby ---------- *)
+
+let test_gapply_to_groupby_aggregate () =
+  let cat = Lazy.force cat in
+  let plan =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g"
+      ~outer:(partsupp_part cat)
+      ~pgq_of:(fun g ->
+        Plan.aggregate
+          [ (avg (column "p_retailprice"), "a"); (count_star, "n") ]
+          g)
+  in
+  let plan' = fire_checked "gapply-to-groupby" cat plan in
+  (match plan' with
+  | Plan.Group_by { keys; _ } ->
+      Alcotest.(check int) "single key" 1 (List.length keys)
+  | _ -> Alcotest.fail "expected a groupby");
+  Alcotest.(check bool) "no gapply left" false (Plan.contains_gapply plan')
+
+let test_gapply_to_groupby_nested_keys () =
+  let cat = Lazy.force cat in
+  let plan =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g"
+      ~outer:(partsupp_part cat)
+      ~pgq_of:(fun g ->
+        Plan.group_by
+          [ Expr.col "p_size" ]
+          [ (avg (column "p_retailprice"), "a") ]
+          g)
+  in
+  let plan' = fire_checked "gapply-to-groupby" cat plan in
+  match plan' with
+  | Plan.Group_by { keys; _ } ->
+      Alcotest.(check int) "combined keys" 2 (List.length keys)
+  | _ -> Alcotest.fail "expected a groupby"
+
+let test_gapply_to_groupby_requires_plain_shape () =
+  let cat = Lazy.force cat in
+  (* a union PGQ is not a plain aggregation *)
+  assert_no_fire "gapply-to-groupby" cat (figure3_gapply cat)
+
+(* ---------- R6: group selection (exists) ---------- *)
+
+let exists_gapply cat threshold =
+  gapply
+    ~gcols:[ Expr.col "ps_suppkey" ]
+    ~var:"g"
+    ~outer:(partsupp_part cat)
+    ~pgq_of:(fun g ->
+      Plan.apply g
+        (Plan.exists
+           (Plan.select (column "p_retailprice" >^ float threshold) g)))
+
+let test_group_selection_exists () =
+  let cat = Lazy.force cat in
+  let plan = exists_gapply cat 35. in
+  let plan' = fire_checked "group-selection-exists" cat plan in
+  Alcotest.(check bool) "gapply eliminated" false
+    (Plan.contains_gapply plan');
+  (* only supplier 2 has a part above 35; its whole group (2 rows) *)
+  Alcotest.(check int) "2 rows" 2
+    (Relation.cardinality (Reference.run cat plan'))
+
+let test_group_selection_exists_nonselective () =
+  let cat = Lazy.force cat in
+  (* threshold 0: every group qualifies — still semantics-preserving *)
+  ignore (fire_checked "group-selection-exists" cat (exists_gapply cat 0.))
+
+let test_group_selection_exists_requires_shape () =
+  let cat = Lazy.force cat in
+  assert_no_fire "group-selection-exists" cat (figure3_gapply cat)
+
+(* ---------- R7: group selection (aggregate) ---------- *)
+
+let agg_sel_gapply cat threshold =
+  gapply
+    ~gcols:[ Expr.col "ps_suppkey" ]
+    ~var:"g"
+    ~outer:(partsupp_part cat)
+    ~pgq_of:(fun g ->
+      Plan.select
+        (column "avgp" >^ float threshold)
+        (Plan.apply g
+           (Plan.aggregate [ (avg (column "p_retailprice"), "avgp") ] g)))
+
+let test_group_selection_aggregate () =
+  let cat = Lazy.force cat in
+  let plan = agg_sel_gapply cat 22. in
+  let plan' = fire_checked "group-selection-aggregate" cat plan in
+  Alcotest.(check bool) "gapply eliminated" false
+    (Plan.contains_gapply plan');
+  (* supplier 2 (avg 30) qualifies: 2 rows *)
+  Alcotest.(check int) "2 rows" 2
+    (Relation.cardinality (Reference.run cat plan'))
+
+let test_group_selection_aggregate_with_projection () =
+  let cat = Lazy.force cat in
+  let plan =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g"
+      ~outer:(partsupp_part cat)
+      ~pgq_of:(fun g ->
+        Plan.project
+          [ (column "p_name", "p_name") ]
+          (Plan.select
+             (column "avgp" >^ float 22.)
+             (Plan.apply g
+                (Plan.aggregate [ (avg (column "p_retailprice"), "avgp") ] g))))
+  in
+  ignore (fire_checked "group-selection-aggregate" cat plan)
+
+(* ---------- R8: invariant grouping ---------- *)
+
+(* Figure 7: for each supplier, the supplier name and its least expensive
+   part; grouping and evaluation need only ps_suppkey + prices, so the
+   GApply moves below the supplier join. *)
+let figure7_plan cat =
+  let left = partsupp_part cat in
+  let join =
+    Plan.join ~fk:Plan.Left_to_right
+      (column "ps_suppkey" ==^ column "s_suppkey")
+      left (scan cat "supplier")
+  in
+  let oschema = Props.schema_of join in
+  Plan.g_apply
+    ~gcols:[ Expr.col "ps_suppkey" ]
+    ~var:"g" ~outer:join
+    ~pgq:
+      (let g = Plan.group_scan ~var:"g" oschema in
+       Plan.project
+         [
+           (column "s_name", "s_name");
+           (column "p_name", "p_name");
+           (column "p_retailprice", "p_retailprice");
+         ]
+         (Plan.select
+            (column "p_retailprice" ==^ column "minp")
+            (Plan.apply g
+               (Plan.aggregate
+                  [ (min_ (column "p_retailprice"), "minp") ]
+                  g))))
+
+let test_invariant_grouping () =
+  let cat = Lazy.force cat in
+  let plan = figure7_plan cat in
+  let plan' = fire_checked "invariant-grouping" cat plan in
+  (* the GApply must now sit below the supplier join *)
+  (match plan' with
+  | Plan.Project
+      { input = Plan.Join { left = Plan.G_apply _; _ }; _ } ->
+      ()
+  | _ -> Alcotest.fail "GApply was not pushed below the join");
+  Alcotest.(check int) "one cheapest part per supplier" 2
+    (Relation.cardinality (Reference.run cat plan'))
+
+let test_invariant_grouping_requires_fk () =
+  let cat = Lazy.force cat in
+  (* same plan but without the FK annotation: must not fire *)
+  let left = partsupp_part cat in
+  let join =
+    Plan.join
+      (column "ps_suppkey" ==^ column "s_suppkey")
+      left (scan cat "supplier")
+  in
+  let oschema = Props.schema_of join in
+  let plan =
+    Plan.g_apply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g" ~outer:join
+      ~pgq:
+        (Plan.project
+           [ (column "s_name", "s_name") ]
+           (Plan.group_scan ~var:"g" oschema))
+  in
+  assert_no_fire "invariant-grouping" cat plan
+
+let test_invariant_grouping_requires_gcols_left () =
+  let cat = Lazy.force cat in
+  (* grouping on a right-side column: must not fire *)
+  let join =
+    Plan.join ~fk:Plan.Left_to_right
+      (column "ps_suppkey" ==^ column "s_suppkey")
+      (scan cat "partsupp") (scan cat "supplier")
+  in
+  let oschema = Props.schema_of join in
+  let plan =
+    Plan.g_apply
+      ~gcols:[ Expr.col "s_name" ]
+      ~var:"g" ~outer:join
+      ~pgq:
+        (Plan.aggregate [ (count_star, "n") ]
+           (Plan.group_scan ~var:"g" oschema))
+  in
+  assert_no_fire "invariant-grouping" cat plan
+
+(* ---------- R9: pull GApply above a join ---------- *)
+
+let test_pull_above_join () =
+  let cat = Lazy.force cat in
+  let ga =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g"
+      ~outer:(scan cat "partsupp")
+      ~pgq_of:(fun g -> Plan.aggregate [ (count_star, "n") ] g)
+  in
+  let plan =
+    Plan.join ~fk:Plan.Left_to_right
+      (column "ps_suppkey" ==^ column "s_suppkey")
+      ga (scan cat "supplier")
+  in
+  let plan' = fire_checked "pull-gapply-above-join" cat plan in
+  match plan' with
+  | Plan.G_apply { outer = Plan.Join _; _ } -> ()
+  | _ -> Alcotest.fail "GApply was not pulled above the join"
+
+(* ---------- driver ---------- *)
+
+let test_optimize_converts_aggregate_gapply () =
+  let cat = Lazy.force cat in
+  let plan =
+    gapply
+      ~gcols:[ Expr.col "ps_suppkey" ]
+      ~var:"g"
+      ~outer:(partsupp_part cat)
+      ~pgq_of:(fun g ->
+        Plan.aggregate [ (avg (column "p_retailprice"), "a") ] g)
+  in
+  let { Optimizer.plan = plan'; trace } = Optimizer.optimize cat plan in
+  Alcotest.(check bool) "gapply eliminated by driver" false
+    (Plan.contains_gapply plan');
+  Alcotest.(check bool) "trace non-empty" true (trace <> []);
+  check_rel "driver preserves semantics" (Reference.run cat plan)
+    (Reference.run cat plan')
+
+let test_optimize_preserves_q_semantics () =
+  let cat = Lazy.force cat in
+  List.iter
+    (fun plan ->
+      let { Optimizer.plan = plan'; _ } = Optimizer.optimize cat plan in
+      check_rel "optimize preserves semantics" (Reference.run cat plan)
+        (run_checked cat plan'))
+    [
+      figure3_gapply cat;
+      q2_style_gapply cat;
+      exists_gapply cat 35.;
+      agg_sel_gapply cat 22.;
+      figure7_plan cat;
+      avg_gapply cat;
+    ]
+
+let test_optimize_terminates_and_is_idempotent () =
+  let cat = Lazy.force cat in
+  let plan = figure3_gapply cat in
+  let r1 = Optimizer.optimize cat plan in
+  let r2 = Optimizer.optimize cat r1.Optimizer.plan in
+  Alcotest.(check bool) "fixpoint reached" true
+    (Plan.equal r1.Optimizer.plan r2.Optimizer.plan)
+
+let suite =
+  [
+    Alcotest.test_case "R1 pushes pgq-column selection" `Quick
+      test_sigma_over_gapply_inner;
+    Alcotest.test_case "R1 pushes group-key selection outward" `Quick
+      test_sigma_over_gapply_group_key;
+    Alcotest.test_case "R1 leaves mixed predicates" `Quick
+      test_sigma_over_gapply_mixed_stays;
+    Alcotest.test_case "R2 narrows the pgq" `Quick test_pi_over_gapply;
+    Alcotest.test_case "R3 projects the outer input" `Quick
+      test_projection_before_gapply;
+    Alcotest.test_case "R3 skips identity pgq" `Quick
+      test_projection_not_fired_when_all_needed;
+    Alcotest.test_case "R4 pushes the covering range" `Quick
+      test_selection_before_gapply;
+    Alcotest.test_case "R4 requires emptyOnEmpty" `Quick
+      test_selection_blocked_without_empty_on_empty;
+    Alcotest.test_case "R4 fires on emptyOnEmpty pgq" `Quick
+      test_selection_emptyonempty_semantics_matter;
+    Alcotest.test_case "R5 aggregate form" `Quick
+      test_gapply_to_groupby_aggregate;
+    Alcotest.test_case "R5 nested groupby form" `Quick
+      test_gapply_to_groupby_nested_keys;
+    Alcotest.test_case "R5 requires plain shape" `Quick
+      test_gapply_to_groupby_requires_plain_shape;
+    Alcotest.test_case "R6 exists rewrite" `Quick test_group_selection_exists;
+    Alcotest.test_case "R6 non-selective still correct" `Quick
+      test_group_selection_exists_nonselective;
+    Alcotest.test_case "R6 requires its shape" `Quick
+      test_group_selection_exists_requires_shape;
+    Alcotest.test_case "R7 aggregate-predicate rewrite" `Quick
+      test_group_selection_aggregate;
+    Alcotest.test_case "R7 with projection" `Quick
+      test_group_selection_aggregate_with_projection;
+    Alcotest.test_case "R8 invariant grouping (figure 7)" `Quick
+      test_invariant_grouping;
+    Alcotest.test_case "R8 requires FK join" `Quick
+      test_invariant_grouping_requires_fk;
+    Alcotest.test_case "R8 requires left grouping columns" `Quick
+      test_invariant_grouping_requires_gcols_left;
+    Alcotest.test_case "R9 pull above join" `Quick test_pull_above_join;
+    Alcotest.test_case "driver converts plain aggregations" `Quick
+      test_optimize_converts_aggregate_gapply;
+    Alcotest.test_case "driver preserves semantics on all fixtures" `Quick
+      test_optimize_preserves_q_semantics;
+    Alcotest.test_case "driver reaches a fixpoint" `Quick
+      test_optimize_terminates_and_is_idempotent;
+  ]

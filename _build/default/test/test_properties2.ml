@@ -1,0 +1,142 @@
+(* Property tests for the engine extensions: index nested-loop joins,
+   scalar-aggregate decorrelation, and null-safe equality. *)
+
+open Support
+
+module Gen = QCheck2.Gen
+
+let gen_value_int =
+  Gen.frequency
+    [
+      (8, Gen.map (fun i -> Value.Int i) (Gen.int_range (-4) 4));
+      (1, Gen.return Value.Null);
+    ]
+
+let gen_value_float =
+  Gen.frequency
+    [
+      (8, Gen.map (fun i -> Value.Float (float_of_int i /. 2.)) (Gen.int_range (-6) 6));
+      (1, Gen.return Value.Null);
+    ]
+
+let t1_schema = schema [ ("a", Datatype.Int); ("c", Datatype.Float) ]
+let t2_schema = schema [ ("k", Datatype.Int); ("v", Datatype.Float) ]
+
+let gen_rows schema gens =
+  Gen.list_size (Gen.int_range 0 12)
+    (Gen.map Tuple.of_list (Gen.flatten_l gens))
+  |> Gen.map (Relation.make schema)
+
+let gen_t1 = gen_rows t1_schema [ gen_value_int; gen_value_float ]
+let gen_t2 = gen_rows t2_schema [ gen_value_int; gen_value_float ]
+
+let catalog_with rel1 rel2 =
+  let cat = Catalog.create () in
+  let t1 = Table.create "t1" [ ("a", Datatype.Int); ("c", Datatype.Float) ] in
+  Relation.iter (Table.insert t1) rel1;
+  let t2 = Table.create "t2" [ ("k", Datatype.Int); ("v", Datatype.Float) ] in
+  Relation.iter (Table.insert t2) rel2;
+  Catalog.add_table cat t1;
+  Catalog.add_table cat t2;
+  cat
+
+let prop_index_join_equals_hash_join =
+  QCheck2.Test.make ~count:300
+    ~name:"index nested-loop join = hash join = reference"
+    (Gen.pair gen_t1 gen_t2)
+    (fun (r1, r2) ->
+      let cat = catalog_with r1 r2 in
+      Catalog.create_index cat ~name:"i" ~table:"t2" ~columns:[ "k" ];
+      let p =
+        Plan.join
+          Expr.(column "a" ==^ column "k")
+          (Plan.table_scan ~table:"t1" ~alias:"t1" t1_schema)
+          (Plan.table_scan ~table:"t2" ~alias:"t2" t2_schema)
+      in
+      let reference = Reference.run cat p in
+      let indexed =
+        Executor.run ~config:(Compile.config_with ~use_indexes:true ()) cat p
+      in
+      let hashed =
+        Executor.run ~config:(Compile.config_with ~use_indexes:false ()) cat p
+      in
+      Relation.equal_as_multiset reference indexed
+      && Relation.equal_as_multiset reference hashed)
+
+let prop_nullsafe_join_matches_reference =
+  QCheck2.Test.make ~count:300
+    ~name:"null-safe equi-join = reference (NULL keys match)"
+    (Gen.pair gen_t1 gen_t2)
+    (fun (r1, r2) ->
+      let cat = catalog_with r1 r2 in
+      let p =
+        Plan.join
+          (Expr.Binary (Expr.Nulleq, Expr.column "a", Expr.column "k"))
+          (Plan.table_scan ~table:"t1" ~alias:"t1" t1_schema)
+          (Plan.table_scan ~table:"t2" ~alias:"t2" t2_schema)
+      in
+      Relation.equal_as_multiset (Reference.run cat p)
+        (Executor.run cat p))
+
+let prop_nulleq_semantics =
+  QCheck2.Test.make ~count:500
+    ~name:"a <=> b evaluates to equal_total"
+    (Gen.pair gen_value_int gen_value_float)
+    (fun (a, b) ->
+      let s = schema [ ("x", Datatype.Int); ("y", Datatype.Float) ] in
+      let result =
+        Eval.eval ~frames:[] s (row [ a; b ])
+          (Expr.Binary (Expr.Nulleq, Expr.column "x", Expr.column "y"))
+      in
+      Value.equal_total result (Value.Bool (Value.equal_total a b))
+      && not (Value.is_null result))
+
+let prop_decorrelation_preserves =
+  QCheck2.Test.make ~count:200
+    ~name:"decorrelate-scalar-agg preserves results on random data"
+    (Gen.triple gen_t1 gen_t2 (Gen.int_range (-3) 3))
+    (fun (r1, r2, bound) ->
+      let cat = catalog_with r1 r2 in
+      (* for each t1 row: c > avg(v) over t2 rows with k = a *)
+      let outer = Plan.table_scan ~table:"t1" ~alias:"t1" t1_schema in
+      let inner_scan = Plan.table_scan ~table:"t2" ~alias:"t2" t2_schema in
+      let plan =
+        Plan.select
+          Expr.(
+            column "c" >^ column "sq"
+            &&& (column "sq" >^ float (float_of_int bound)))
+          (Plan.apply outer
+             (Plan.aggregate
+                [ (Expr.avg (Expr.column "v"), "sq") ]
+                (Plan.select
+                   (Expr.Binary (Expr.Eq, Expr.outer "a", Expr.column "k"))
+                   inner_scan)))
+      in
+      match Optimizer.force_rule "decorrelate-scalar-agg" cat plan with
+      | None -> false (* must fire on this canonical shape *)
+      | Some plan' ->
+          Relation.equal_as_multiset (Reference.run cat plan)
+            (Executor.run cat plan'))
+
+let prop_plan_rewrite_exprs_identity =
+  QCheck2.Test.make ~count:200
+    ~name:"rewrite_exprs with identity leaves plans unchanged"
+    (Gen.pair Test_properties.gen_gcols Test_properties.gen_pgq)
+    (fun (gcols, pgq) ->
+      let plan =
+        Plan.g_apply ~gcols ~var:"g"
+          ~outer:(Plan.group_scan ~var:"g" Test_properties.g_schema)
+          ~pgq
+      in
+      Plan.equal plan
+        (Plan.rewrite_exprs ~f_expr:(fun e -> e) ~f_ref:(fun r -> r) plan))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_index_join_equals_hash_join;
+      prop_nullsafe_join_matches_reference;
+      prop_nulleq_semantics;
+      prop_decorrelation_preserves;
+      prop_plan_rewrite_exprs_identity;
+    ]

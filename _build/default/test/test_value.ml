@@ -1,0 +1,87 @@
+(* Unit tests: values, datatypes, three-valued logic. *)
+
+open Support
+
+let check_v = Alcotest.check value_testable
+let check_t = Alcotest.check truth_testable
+
+let test_compare_total_numeric () =
+  Alcotest.(check int) "int vs float equal" 0
+    (Value.compare_total (vi 3) (vf 3.));
+  Alcotest.(check bool) "int < float" true
+    (Value.compare_total (vi 3) (vf 3.5) < 0);
+  Alcotest.(check bool) "null sorts first" true
+    (Value.compare_total vnull (vi (-1000)) < 0)
+
+let test_hash_consistent_with_equality () =
+  Alcotest.(check int) "hash int = hash float when equal"
+    (Value.hash (vi 7)) (Value.hash (vf 7.));
+  Alcotest.(check bool) "equal_total 7 = 7.0" true
+    (Value.equal_total (vi 7) (vf 7.))
+
+let test_sql_compare_null () =
+  Alcotest.(check bool) "null = 1 is unknown" true
+    (Value.sql_compare vnull (vi 1) = None);
+  check_t "eq null" Truth.Unknown (Value.eq vnull (vi 1));
+  check_t "lt null" Truth.Unknown (Value.lt (vi 1) vnull)
+
+let test_sql_compare_values () =
+  check_t "3 < 4" Truth.True (Value.lt (vi 3) (vi 4));
+  check_t "3 >= 4" Truth.False (Value.gte (vi 3) (vi 4));
+  check_t "3 = 3.0" Truth.True (Value.eq (vi 3) (vf 3.));
+  check_t "'a' < 'b'" Truth.True (Value.lt (vs "a") (vs "b"))
+
+let test_incomparable_types_raise () =
+  Alcotest.check_raises "int vs string"
+    (Errors.Type_error "cannot compare 1 with a") (fun () ->
+      ignore (Value.eq (vi 1) (vs "a")))
+
+let test_arithmetic () =
+  check_v "int add" (vi 7) (Value.add (vi 3) (vi 4));
+  check_v "mixed add" (vf 7.5) (Value.add (vi 3) (vf 4.5));
+  check_v "null propagates" vnull (Value.add vnull (vi 4));
+  check_v "int div truncates" (vi 2) (Value.div (vi 7) (vi 3));
+  check_v "float div" (vf 3.5) (Value.div (vf 7.) (vi 2));
+  check_v "div by zero is null" vnull (Value.div (vi 7) (vi 0));
+  check_v "float div by zero is null" vnull (Value.div (vf 7.) (vf 0.));
+  check_v "neg" (vi (-3)) (Value.neg (vi 3))
+
+let test_truth_tables () =
+  let u = Truth.Unknown and t = Truth.True and f = Truth.False in
+  check_t "t and u" u (Truth.and_ t u);
+  check_t "f and u" f (Truth.and_ f u);
+  check_t "u and u" u (Truth.and_ u u);
+  check_t "t or u" t (Truth.or_ t u);
+  check_t "f or u" u (Truth.or_ f u);
+  check_t "not u" u (Truth.not_ u);
+  Alcotest.(check bool) "unknown rejected by where" false (Truth.to_bool u)
+
+let test_literal_rendering () =
+  Alcotest.(check string) "string quoted" "'it''s'"
+    (Value.to_literal (vs "it's"));
+  Alcotest.(check string) "float keeps point" "3.0" (Value.to_string (vf 3.));
+  Alcotest.(check string) "null" "NULL" (Value.to_string vnull)
+
+let test_datatype_unify () =
+  Alcotest.(check bool) "null unifies" true
+    (Datatype.unify Datatype.Null Datatype.Float = Some Datatype.Float);
+  Alcotest.(check bool) "int/float unify to float" true
+    (Datatype.unify Datatype.Int Datatype.Float = Some Datatype.Float);
+  Alcotest.(check bool) "str/int do not unify" true
+    (Datatype.unify Datatype.Str Datatype.Int = None)
+
+let suite =
+  [
+    Alcotest.test_case "compare_total numeric coercion" `Quick
+      test_compare_total_numeric;
+    Alcotest.test_case "hash consistent with equal_total" `Quick
+      test_hash_consistent_with_equality;
+    Alcotest.test_case "sql_compare with nulls" `Quick test_sql_compare_null;
+    Alcotest.test_case "sql_compare values" `Quick test_sql_compare_values;
+    Alcotest.test_case "incomparable types raise" `Quick
+      test_incomparable_types_raise;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "3VL truth tables" `Quick test_truth_tables;
+    Alcotest.test_case "literal rendering" `Quick test_literal_rendering;
+    Alcotest.test_case "datatype unification" `Quick test_datatype_unify;
+  ]
