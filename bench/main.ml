@@ -10,19 +10,120 @@
                    wins (paper Table 1)
      partitioning  sort- vs hash-partitioned GApply on Q1-Q4 (the
                    Section 5.2 "impact is comparable" remark)
+     parallel      multicore GApply: sweep --parallelism 1/2/4/8 on
+                   Q1-Q4 (domain-pool execution phase), verifying the
+                   parallel output is tuple-identical to sequential
      clientsim     native GApply vs. the Section 5.1 client-side
                    simulation on Q4 (the paper measured ~20% overhead)
      pipeline      XML publishing end-to-end: sorted outer union vs. one
                    GApply pass through the constant-space tagger
      ablation      engine design-choice ablations (Apply caching,
-                   clustering guarantee)
+                   clustering guarantee, parallel execution phase)
      micro         Bechamel micro-benchmarks of the core operators
 
    Usage:
-     dune exec bench/main.exe -- [SECTION]... [--msf 1.0] [--repeat 5]  *)
+     dune exec bench/main.exe -- [SECTION]... [--msf 1.0] [--repeat 5]
+                                 [--json FILE]
+
+   --json FILE additionally writes every recorded measurement as one
+   JSON document (see the [Json] module below), making the perf
+   trajectory machine-readable across PRs.  *)
 
 let default_msf = 1.0
 let default_repeat = 5
+
+(* ---------- machine-readable output ---------- *)
+
+(* A hand-rolled JSON printer (no external dependency): enough of the
+   format for flat measurement records. *)
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  let rec write buf = function
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        if Float.is_finite f then
+          (* %.17g round-trips; trim to something readable but exact
+             enough for timings *)
+          Buffer.add_string buf (Printf.sprintf "%.6g" f)
+        else Buffer.add_string buf "null"
+    | Str s ->
+        Buffer.add_char buf '"';
+        escape buf s;
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf (Str k);
+            Buffer.add_char buf ':';
+            write buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 4096 in
+    write buf t;
+    Buffer.contents buf
+end
+
+(* Measurements recorded by sections that support machine-readable
+   output (in run order). *)
+let json_records : Json.t list ref = ref []
+
+let record ~section ~query fields =
+  json_records :=
+    Json.Obj (("section", Json.Str section) :: ("query", Json.Str query)
+              :: fields)
+    :: !json_records
+
+let write_json ~msf ~repeat path =
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "gapply");
+        ("msf", Json.Float msf);
+        ("repeat", Json.Int repeat);
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+        ("results", Json.List (List.rev !json_records));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.wrote %d record(s) to %s@."
+    (List.length !json_records) path
 
 (* median-of-N elapsed time, in seconds *)
 let time_runs ~repeat f =
@@ -63,7 +164,13 @@ let bench_figure8 ~msf ~repeat () =
         time_runs ~repeat (fun () -> Executor.run_count cat gapply_plan)
       in
       Format.printf "%-4s %18.1f %15.1f %9.2fx@." name (ms t_base)
-        (ms t_gapply) (t_base /. t_gapply))
+        (ms t_gapply) (t_base /. t_gapply);
+      record ~section:"figure8" ~query:name
+        [
+          ("baseline_ms", Json.Float (ms t_base));
+          ("gapply_ms", Json.Float (ms t_gapply));
+          ("speedup", Json.Float (t_base /. t_gapply));
+        ])
     Workloads.figure8_queries;
   Format.printf
     "@.(ratio = time without GApply / time with GApply; the paper reports \
@@ -194,8 +301,76 @@ let bench_partitioning ~msf ~repeat () =
       in
       Format.printf "%-4s %12.1f %12.1f %12.1f %15.2fx %15.2fx@." name
         (ms t_base) (ms t_sort) (ms t_hash) (t_base /. t_sort)
-        (t_base /. t_hash))
+        (t_base /. t_hash);
+      record ~section:"partitioning" ~query:name
+        [
+          ("baseline_ms", Json.Float (ms t_base));
+          ("sort_ms", Json.Float (ms t_sort));
+          ("hash_ms", Json.Float (ms t_hash));
+        ])
     Workloads.figure8_queries
+
+(* ---------- multicore GApply (domain-pool execution phase) ---------- *)
+
+let parallel_levels = [ 1; 2; 4; 8 ]
+
+let bench_parallel ~msf ~repeat () =
+  header
+    (Printf.sprintf
+       "Multicore GApply: domain-pool parallel execution phase (msf %g, \
+        host has %d core(s))"
+       msf
+       (Domain.recommended_domain_count ()));
+  let cat = Tpch_gen.catalog ~msf () in
+  Format.printf "%-4s" "";
+  List.iter (fun p -> Format.printf " %9s" (Printf.sprintf "p=%d (ms)" p))
+    parallel_levels;
+  Format.printf " %10s %10s@." "speedup@4" "identical";
+  List.iter
+    (fun (name, gapply_src, _) ->
+      let plan = optimize cat (bind cat gapply_src) in
+      let run_at p =
+        Executor.run_count
+          ~config:(Compile.config_with ~parallelism:p ())
+          cat plan
+      in
+      let times =
+        List.map (fun p -> (p, time_runs ~repeat (fun () -> run_at p)))
+          parallel_levels
+      in
+      let t1 = List.assoc 1 times in
+      let t4 = List.assoc 4 times in
+      (* the headline claim: parallel output is tuple-identical (order
+         included) to sequential output, clustering guarantee and all *)
+      let sequential =
+        Executor.run ~config:(Compile.config_with ~parallelism:1 ()) cat plan
+      in
+      let identical =
+        List.for_all
+          (fun p ->
+            Relation.equal_as_list sequential
+              (Executor.run
+                 ~config:(Compile.config_with ~parallelism:p ())
+                 cat plan))
+          parallel_levels
+      in
+      Format.printf "%-4s" name;
+      List.iter (fun (_, t) -> Format.printf " %9.1f" (ms t)) times;
+      Format.printf " %9.2fx %10b@." (t1 /. t4) identical;
+      record ~section:"parallel" ~query:name
+        (List.map
+           (fun (p, t) ->
+             (Printf.sprintf "p%d_ms" p, Json.Float (ms t)))
+           times
+        @ [
+            ("speedup_at_4", Json.Float (t1 /. t4));
+            ("identical_output", Json.Bool identical);
+          ]))
+    Workloads.figure8_queries;
+  Format.printf
+    "@.(speedup@4 = parallelism-1 elapsed / parallelism-4 elapsed; the \
+     execution phase runs each group's PGQ on a shared domain pool and \
+     concatenates per-group results in group order)@."
 
 (* ---------- client-side simulation (Section 5.1) ---------- *)
 
@@ -380,6 +555,31 @@ let bench_ablation ~msf ~repeat () =
       in
       Format.printf "%-4s %16.1f %16.1f %+9.1f%%@." name (ms t_c) (ms t_u)
         (100. *. ((t_c /. t_u) -. 1.)))
+    [ ("Q1", Workloads.q1_gapply); ("Q4", Workloads.q4_gapply) ];
+  (* 3. the parallel execution phase: sequential vs one domain per core
+     (the full sweep lives in the dedicated 'parallel' section) *)
+  Format.printf
+    "@.Parallel execution phase (sequential vs auto, %d core(s)):@."
+    (Domain.recommended_domain_count ());
+  Format.printf "%-4s %16s %16s %10s@." "" "sequential (ms)" "auto (ms)"
+    "benefit";
+  List.iter
+    (fun (name, src) ->
+      let plan = optimize cat (bind cat src) in
+      let t_seq =
+        time_runs ~repeat (fun () ->
+            Executor.run_count
+              ~config:(Compile.config_with ~parallelism:1 ())
+              cat plan)
+      in
+      let t_auto =
+        time_runs ~repeat (fun () ->
+            Executor.run_count
+              ~config:(Compile.config_with ~parallelism:0 ())
+              cat plan)
+      in
+      Format.printf "%-4s %16.1f %16.1f %9.2fx@." name (ms t_seq) (ms t_auto)
+        (t_seq /. t_auto))
     [ ("Q1", Workloads.q1_gapply); ("Q4", Workloads.q4_gapply) ]
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
@@ -435,14 +635,15 @@ let bench_micro () =
 
 let all_sections =
   [
-    "figure8"; "table1"; "partitioning"; "clientsim"; "pipeline";
-    "ablation"; "micro";
+    "figure8"; "table1"; "partitioning"; "parallel"; "clientsim";
+    "pipeline"; "ablation"; "micro";
   ]
 
 let run_section ~msf ~repeat = function
   | "figure8" -> bench_figure8 ~msf ~repeat ()
   | "table1" -> bench_table1 ~msf ~repeat ()
   | "partitioning" -> bench_partitioning ~msf ~repeat ()
+  | "parallel" -> bench_parallel ~msf ~repeat ()
   | "clientsim" -> bench_clientsim ~msf ~repeat ()
   | "pipeline" -> bench_pipeline ~msf ~repeat ()
   | "ablation" -> bench_ablation ~msf ~repeat ()
@@ -455,6 +656,7 @@ let run_section ~msf ~repeat = function
 let () =
   let msf = ref default_msf in
   let repeat = ref default_repeat in
+  let json_path = ref None in
   let sections = ref [] in
   let rec parse = function
     | [] -> ()
@@ -463,6 +665,9 @@ let () =
         parse rest
     | "--repeat" :: v :: rest ->
         repeat := int_of_string v;
+        parse rest
+    | "--json" :: v :: rest ->
+        json_path := Some v;
         parse rest
     | section :: rest ->
         sections := section :: !sections;
@@ -476,4 +681,7 @@ let () =
     "GApply reproduction benchmarks — msf %g, %d repetition(s), median \
      reported@."
     !msf !repeat;
-  List.iter (run_section ~msf:!msf ~repeat:!repeat) sections
+  List.iter (run_section ~msf:!msf ~repeat:!repeat) sections;
+  match !json_path with
+  | Some path -> write_json ~msf:!msf ~repeat:!repeat path
+  | None -> ()

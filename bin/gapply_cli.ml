@@ -2,7 +2,8 @@
 
    Usage:
      dune exec bin/gapply_cli.exe -- [--tpch MSF] [--partition sort|hash]
-                                     [--no-optimize] [-f script.sql]
+                                     [--no-optimize] [--parallelism N]
+                                     [-f script.sql]
 
    Meta-commands inside the shell:
      \q            quit
@@ -78,7 +79,7 @@ let repl db =
     done
   with Exit -> Format.printf "bye.@."
 
-let main tpch_msf partition no_optimize script =
+let main tpch_msf partition no_optimize parallelism script =
   let partition =
     match partition with
     | "sort" -> Compile.Sort_partition
@@ -87,7 +88,13 @@ let main tpch_msf partition no_optimize script =
         Format.eprintf "unknown partition strategy %s (sort|hash)@." other;
         exit 2
   in
-  let db = Engine.create ~partition ~optimize:(not no_optimize) () in
+  if parallelism < 0 then begin
+    Format.eprintf "--parallelism must be >= 0 (0 = auto)@.";
+    exit 2
+  end;
+  let db =
+    Engine.create ~partition ~optimize:(not no_optimize) ~parallelism ()
+  in
   (match tpch_msf with
   | Some msf ->
       Engine.load_tpch db ~msf;
@@ -116,6 +123,12 @@ let no_optimize_arg =
   Arg.(value & flag
        & info [ "no-optimize" ] ~doc:"Disable the rule-based optimizer.")
 
+let parallelism_arg =
+  Arg.(value & opt int 1
+       & info [ "parallelism" ] ~docv:"N"
+           ~doc:"Domains used by the GApply/Group-by partition and \
+                 execution phases (1 = sequential, 0 = one per core).")
+
 let script_arg =
   Arg.(value & opt (some file) None
        & info [ "f"; "file" ] ~docv:"SCRIPT"
@@ -125,6 +138,7 @@ let cmd =
   let doc = "SQL shell for the GApply engine (SIGMOD 2003 reproduction)" in
   Cmd.v
     (Cmd.info "gapply_cli" ~doc)
-    Term.(const main $ tpch_arg $ partition_arg $ no_optimize_arg $ script_arg)
+    Term.(const main $ tpch_arg $ partition_arg $ no_optimize_arg
+          $ parallelism_arg $ script_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -13,6 +13,7 @@ type t = {
   catalog : Catalog.t;
   mutable partition : Compile.partition_strategy;
   mutable optimize : bool;
+  mutable parallelism : int;
 }
 
 type outcome =
@@ -20,18 +21,21 @@ type outcome =
   | Message of string
   | Explanation of string
 
-let create ?(partition = Compile.Hash_partition) ?(optimize = true) () =
-  { catalog = Catalog.create (); partition; optimize }
+let create ?(partition = Compile.Hash_partition) ?(optimize = true)
+    ?(parallelism = 1) () =
+  { catalog = Catalog.create (); partition; optimize; parallelism }
 
 let catalog db = db.catalog
 let set_partition_strategy db p = db.partition <- p
 let set_optimize db b = db.optimize <- b
+let set_parallelism db n = db.parallelism <- n
 
 (** Load the TPC-H style dataset (supplier/part/partsupp) at micro scale
     factor [msf] (1.0 = 100 suppliers / 2000 parts / 8000 partsupp). *)
 let load_tpch ?seed db ~msf = ignore (Tpch_gen.load ?seed db.catalog ~msf)
 
-let config db = Compile.config_with ~partition:db.partition ()
+let config db =
+  Compile.config_with ~partition:db.partition ~parallelism:db.parallelism ()
 
 (** Parse a SQL query string into an (unoptimized) logical plan. *)
 let plan_of_sql db src =

@@ -18,13 +18,19 @@ type outcome =
   | Explanation of string       (** EXPLAIN output *)
 
 val create :
-  ?partition:Compile.partition_strategy -> ?optimize:bool -> unit -> t
+  ?partition:Compile.partition_strategy ->
+  ?optimize:bool ->
+  ?parallelism:int ->
+  unit ->
+  t
 (** A fresh engine with an empty catalog.  Defaults: hash-partitioned
-    GApply, optimizer enabled. *)
+    GApply, optimizer enabled, sequential execution.  [parallelism]
+    follows {!Compile.config}: total domains, [0] = automatic. *)
 
 val catalog : t -> Catalog.t
 val set_partition_strategy : t -> Compile.partition_strategy -> unit
 val set_optimize : t -> bool -> unit
+val set_parallelism : t -> int -> unit
 
 val load_tpch : ?seed:int -> t -> msf:float -> unit
 (** Load the TPC-H style dataset (supplier/part/partsupp) at micro scale

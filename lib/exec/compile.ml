@@ -21,46 +21,104 @@ type config = {
   use_indexes : bool;
       (* probe a matching hash index on the inner side of an equi-join
          instead of building a per-query hash table *)
+  parallelism : int;
+      (* total domains (submitter included) for the partition and
+         execution phases of GApply/Group_by: 1 = sequential,
+         0 = automatic (Domain.recommended_domain_count) *)
 }
 
 let default_config =
-  { partition = Hash_partition; apply_cache = true; use_indexes = true }
+  {
+    partition = Hash_partition;
+    apply_cache = true;
+    use_indexes = true;
+    parallelism = 1;
+  }
 
 let config_with ?(partition = Hash_partition) ?(apply_cache = true)
-    ?(use_indexes = true) () =
-  { partition; apply_cache; use_indexes }
+    ?(use_indexes = true) ?(parallelism = 1) () =
+  { partition; apply_cache; use_indexes; parallelism }
 
 type compiled = { schema : Schema.t; run : Env.t -> Cursor.t }
 
 (* ---------- helpers ---------- *)
 
-let key_indexes schema (refs : Expr.col_ref list) =
-  List.map
-    (fun (r : Expr.col_ref) -> Schema.find ?qual:r.Expr.qual r.Expr.name schema)
-    refs
+let key_indexes schema (refs : Expr.col_ref list) : int array =
+  Array.of_list
+    (List.map
+       (fun (r : Expr.col_ref) ->
+         Schema.find ?qual:r.Expr.qual r.Expr.name schema)
+       refs)
 
-let project_key idxs (row : Tuple.t) : Tuple.t =
-  Tuple.of_list (List.map (fun i -> Tuple.get row i) idxs)
+let project_key (idxs : int array) (row : Tuple.t) : Tuple.t =
+  Array.map (fun i -> row.(i)) idxs
 
-(* Group rows by a key function, preserving first-seen group order.
-   Returns groups in order with their rows in input order. *)
-let group_rows (key_of : Tuple.t -> Tuple.t) (rows : Tuple.t array) :
+(* below this many rows the per-domain partial tables of the parallel
+   partition phase cost more than they save *)
+let parallel_partition_threshold = 1024
+
+(* Group rows by a key function.  Group order is deterministic —
+   reverse of first-seen key order, as this engine has always produced —
+   and each group's rows stay in input order.
+
+   With a pool, the partition phase runs per-domain partial tables over
+   contiguous input chunks and merges them in chunk order.  Each partial
+   is re-reversed into its chunk's first-seen order before merging, so
+   the global key-encounter order equals the sequential first-seen
+   order; the final double reversal then reproduces the sequential
+   output exactly. *)
+let group_rows ?pool (key_of : Tuple.t -> Tuple.t) (rows : Tuple.t array) :
     (Tuple.t * Tuple.t list) list =
-  let tbl : Tuple.t list ref Tuple.Tbl.t = Tuple.Tbl.create 64 in
-  let order = ref [] in
-  Array.iter
-    (fun row ->
+  let chunk pos len : (Tuple.t * Tuple.t list) list =
+    let tbl : Tuple.t list ref Tuple.Tbl.t = Tuple.Tbl.create 64 in
+    let order = ref [] in
+    for k = pos to pos + len - 1 do
+      let row = rows.(k) in
       let key = key_of row in
       match Tuple.Tbl.find_opt tbl key with
       | Some bucket -> bucket := row :: !bucket
       | None ->
           Tuple.Tbl.add tbl key (ref [ row ]);
-          order := key :: !order)
-    rows;
-  List.rev_map
-    (fun key -> (key, List.rev !(Tuple.Tbl.find tbl key)))
-    !order
-  |> List.rev
+          order := key :: !order
+    done;
+    List.rev_map (fun key -> (key, List.rev !(Tuple.Tbl.find tbl key))) !order
+    |> List.rev
+  in
+  let n = Array.length rows in
+  match pool with
+  | Some pool when n >= parallel_partition_threshold ->
+      let nchunks = Domain_pool.num_domains pool in
+      let size = (n + nchunks - 1) / nchunks in
+      let ranges =
+        Array.init nchunks (fun i -> (i * size, min size (n - (i * size))))
+        |> Array.to_list
+        |> List.filter (fun (_, len) -> len > 0)
+        |> Array.of_list
+      in
+      let partials =
+        Domain_pool.parallel_map_array pool
+          (fun (pos, len) -> chunk pos len)
+          ranges
+      in
+      let tbl : Tuple.t list list ref Tuple.Tbl.t = Tuple.Tbl.create 64 in
+      let order = ref [] in
+      Array.iter
+        (fun partial ->
+          (* chunk output is reverse-first-seen; walk it first-seen *)
+          List.iter
+            (fun (key, members) ->
+              match Tuple.Tbl.find_opt tbl key with
+              | Some parts -> parts := members :: !parts
+              | None ->
+                  Tuple.Tbl.add tbl key (ref [ members ]);
+                  order := key :: !order)
+            (List.rev partial))
+        partials;
+      List.rev_map
+        (fun key -> (key, List.concat (List.rev !(Tuple.Tbl.find tbl key))))
+        !order
+      |> List.rev
+  | _ -> chunk 0 n
 
 (* Aggregate a row sequence into one output row of finished values. *)
 let run_aggregates (specs : (Expr.agg * Eval.compiled option) list)
@@ -140,16 +198,21 @@ let rec plan ?(config = default_config) ?(outer : Schema.t list = [])
         run =
           (fun env ->
             Cursor.deferred (fun () ->
+                let pool = Domain_pool.for_parallelism config.parallelism in
                 let rows = Cursor.to_array (c.run env) in
-                let groups = group_rows (project_key idxs) rows in
-                let out =
-                  List.map
-                    (fun (key, members) ->
-                      Tuple.concat key
-                        (run_aggregates specs env.Env.frames members))
-                    groups
+                let groups = group_rows ?pool (project_key idxs) rows in
+                let finish (key, members) =
+                  Tuple.concat key
+                    (run_aggregates specs env.Env.frames members)
                 in
-                Cursor.of_list out));
+                match (pool, groups) with
+                | Some pool, _ :: _ :: _ ->
+                    (* groups are independent: aggregate each on the
+                       pool, emitting results in group order *)
+                    Cursor.of_array
+                      (Domain_pool.parallel_map_array pool finish
+                         (Array.of_list groups))
+                | _ -> Cursor.of_list (List.map finish groups)));
       }
   | Plan.Aggregate { aggs; input } ->
       let c = plan ~config ~outer input in
@@ -291,8 +354,9 @@ let rec plan ?(config = default_config) ?(outer : Schema.t list = [])
         run =
           (fun env ->
             Cursor.deferred (fun () ->
+                let pool = Domain_pool.for_parallelism config.parallelism in
                 let rows = Cursor.to_array (co.run env) in
-                let groups = partition ~config ~idxs rows in
+                let groups = partition ~config ?pool ~idxs rows in
                 let groups =
                   (* the Section 3.1 clustering guarantee: emit groups in
                      key order; sort partitioning already provides it,
@@ -301,41 +365,67 @@ let rec plan ?(config = default_config) ?(outer : Schema.t list = [])
                     List.sort (fun (a, _) (b, _) -> Tuple.compare a b) groups
                   else groups
                 in
-                Cursor.concat
-                  (List.map
-                     (fun (key, members) () ->
-                       (* each group is materialised as a temporary
-                          relation (rows are copied into it, as the
-                          paper's execution phase describes) — so the
-                          width of the outer input is a real cost and
-                          the projection-before-GApply rule matters *)
-                       let group_rel =
-                         Relation.of_array co.schema
-                           (Array.of_list (List.map Tuple.copy members))
-                       in
-                       let env' = Env.bind_group var group_rel env in
-                       Cursor.map (Tuple.concat key) (cp.run env'))
-                     groups)));
+                let run_group (key, members) =
+                  (* each group is materialised as a temporary
+                     relation (rows are copied into it, as the
+                     paper's execution phase describes) — so the
+                     width of the outer input is a real cost and
+                     the projection-before-GApply rule matters *)
+                  let group_rel =
+                    Relation.of_array co.schema
+                      (Array.of_list (List.map Tuple.copy members))
+                  in
+                  let env' = Env.bind_group var group_rel env in
+                  Cursor.map (Tuple.concat key) (cp.run env')
+                in
+                match (pool, groups) with
+                | Some pool, _ :: _ :: _ ->
+                    (* parallel execution phase: groups share no state
+                       (the per-group semantics are order-independent),
+                       so each group's compiled PGQ runs on the pool
+                       against its own immutable Env.  Results are
+                       materialised per group and concatenated in group
+                       order, keeping the output tuple-identical to the
+                       sequential path — including the clustering
+                       guarantee above. *)
+                    let per_group =
+                      Domain_pool.parallel_map_array pool
+                        (fun g -> Cursor.to_array (run_group g))
+                        (Array.of_list groups)
+                    in
+                    Cursor.concat
+                      (List.map
+                         (fun rows () -> Cursor.of_array rows)
+                         (Array.to_list per_group))
+                | _ ->
+                    Cursor.concat
+                      (List.map (fun g () -> run_group g) groups)));
       }
 
 (* Partition phase of GApply.  Hash partitioning groups rows in
    first-seen order; sort partitioning additionally clusters the output
    by the grouping columns (the property the constant-space tagger
-   needs). *)
-and partition ~config ~idxs (rows : Tuple.t array) :
+   needs).  With a pool, hashing merges per-domain partial partitions
+   and sorting becomes a parallel merge sort; both orderings are
+   identical to the sequential result. *)
+and partition ~config ?pool ~idxs (rows : Tuple.t array) :
     (Tuple.t * Tuple.t list) list =
   match config.partition with
-  | Hash_partition -> group_rows (project_key idxs) rows
+  | Hash_partition -> group_rows ?pool (project_key idxs) rows
   | Sort_partition ->
-      (* decorate-sort-undecorate: keys are projected once per row *)
+      (* decorate-sort-undecorate: keys are projected once per row; the
+         index tiebreak makes the comparison a total order, so the
+         (unstable) parallel sort gives the sequential answer *)
       let tagged =
         Array.mapi (fun i row -> (project_key idxs row, i, row)) rows
       in
-      Array.sort
-        (fun (ka, i, _) (kb, j, _) ->
-          let c = Tuple.compare ka kb in
-          if c <> 0 then c else compare i j)
-        tagged;
+      let cmp (ka, i, _) (kb, j, _) =
+        let c = Tuple.compare ka kb in
+        if c <> 0 then c else compare i j
+      in
+      (match pool with
+      | Some pool -> Domain_pool.parallel_sort pool cmp tagged
+      | None -> Array.sort cmp tagged);
       let out = ref [] in
       Array.iter
         (fun (key, _, row) ->
@@ -425,6 +515,10 @@ and compile_join ~config ~outer pred left right : compiled =
             | None -> None
             | Some index ->
                 let base = Catalog.find_table env.Env.catalog table in
+                (* freshen once when the probe cursor is built; a
+                   version check makes the fresh case a wait-free no-op,
+                   so per-group probes from pool domains never trigger
+                   (or observe) a concurrent rebuild mid-query *)
                 Index.refresh index base;
                 (* re-order the probe to the index's column order *)
                 let by_col =

@@ -22,15 +22,22 @@ type config = {
   use_indexes : bool;
       (** probe a matching hash index on the inner side of an equi-join
           instead of building a per-query hash table *)
+  parallelism : int;
+      (** total domains (submitting domain included) used by the
+          partition and execution phases of GApply/Group_by on a shared
+          {!Domain_pool}: [1] = sequential, [0] = automatic
+          ([Domain.recommended_domain_count ()]).  Output is
+          tuple-identical to sequential execution at any setting. *)
 }
 
 val default_config : config
-(** Hash partitioning, Apply caching on, indexes on. *)
+(** Hash partitioning, Apply caching on, indexes on, sequential. *)
 
 val config_with :
   ?partition:partition_strategy ->
   ?apply_cache:bool ->
   ?use_indexes:bool ->
+  ?parallelism:int ->
   unit ->
   config
 

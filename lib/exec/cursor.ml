@@ -104,10 +104,22 @@ let fold f init (c : t) =
 
 let iter f c = fold (fun () row -> f row) () c
 
+(* Drain into a growable buffer with amortised doubling — one pass and
+   no intermediate list (this sits on the partition-phase hot path). *)
 let to_array (c : t) : Tuple.t array =
-  let buf = ref [] in
-  iter (fun row -> buf := row :: !buf) c;
-  Array.of_list (List.rev !buf)
+  let buf = ref (Array.make 32 Tuple.empty) in
+  let n = ref 0 in
+  iter
+    (fun row ->
+      if !n = Array.length !buf then begin
+        let bigger = Array.make (2 * !n) Tuple.empty in
+        Array.blit !buf 0 bigger 0 !n;
+        buf := bigger
+      end;
+      !buf.(!n) <- row;
+      incr n)
+    c;
+  if !n = Array.length !buf then !buf else Array.sub !buf 0 !n
 
 let to_list (c : t) : Tuple.t list =
   List.rev (fold (fun acc row -> row :: acc) [] c)

@@ -15,7 +15,13 @@ let concat (a : t) (b : t) : t = Array.append a b
 let copy (t : t) : t = Array.copy t
 
 let project idxs (t : t) : t =
-  Array.of_list (List.map (fun i -> t.(i)) idxs)
+  match idxs with
+  | [] -> [||]
+  | first :: _ ->
+      (* build the result directly instead of via an intermediate list *)
+      let dst = Array.make (List.length idxs) t.(first) in
+      List.iteri (fun j i -> dst.(j) <- t.(i)) idxs;
+      dst
 
 let equal (a : t) (b : t) =
   Array.length a = Array.length b && Array.for_all2 Value.equal_total a b

@@ -3,7 +3,18 @@
    An index maps a key (the indexed columns' values, compared under the
    total value order) to the row positions holding it.  The physical
    join compiler uses an index on the inner side of an equi-join to skip
-   the per-query hash-build (index nested-loop join). *)
+   the per-query hash-build (index nested-loop join).
+
+   [refresh] must be safe to call from concurrent query domains (the
+   parallel GApply execution phase runs per-group queries — and hence
+   their index probes — on a domain pool).  Staleness is decided by a
+   table version check against an atomic, so the steady-state call is a
+   wait-free no-op; an actual rebuild takes the per-index mutex and
+   re-checks, and publishing the new version through the atomic after
+   the rebuild means any reader that observes the fresh version also
+   observes the rebuilt hash table.  Tables never change mid-query
+   (mutation goes through DDL/insert paths only), so concurrent readers
+   cannot observe a rebuild in flight. *)
 
 type t = {
   idx_name : string;
@@ -11,7 +22,8 @@ type t = {
   idx_columns : string list;
   idx_positions : int list;         (* column positions in the table *)
   tbl : int list Tuple.Tbl.t;           (* key -> row offsets (reversed) *)
-  mutable built_rows : int;         (* rows covered; rebuild when stale *)
+  built_version : int Atomic.t;     (* Table.version covered; -1 = never *)
+  lock : Mutex.t;                   (* serialises rebuilds *)
 }
 
 let name t = t.idx_name
@@ -24,33 +36,39 @@ let key_of_row positions (row : Tuple.t) =
 let create ~name ~(table : Table.t) ~columns : t =
   let schema = Table.schema table in
   let idx_positions = List.map (fun c -> Schema.find c schema) columns in
-  let t =
-    {
-      idx_name = name;
-      idx_table = Table.name table;
-      idx_columns = columns;
-      idx_positions;
-      tbl = Tuple.Tbl.create 1024;
-      built_rows = 0;
-    }
-  in
-  t
+  {
+    idx_name = name;
+    idx_table = Table.name table;
+    idx_columns = columns;
+    idx_positions;
+    tbl = Tuple.Tbl.create 1024;
+    built_version = Atomic.make (-1);
+    lock = Mutex.create ();
+  }
 
-(** (Re)build the index over the table's current contents. *)
+(** (Re)build the index over the table's current contents.  No-op (a
+    single atomic read) when already fresh; thread-safe otherwise. *)
 let refresh (t : t) (table : Table.t) =
-  if t.built_rows <> Table.cardinality table then begin
-    Tuple.Tbl.reset t.tbl;
-    let i = ref 0 in
-    Table.iter
-      (fun row ->
-        let key = key_of_row t.idx_positions row in
-        let existing =
-          Option.value ~default:[] (Tuple.Tbl.find_opt t.tbl key)
-        in
-        Tuple.Tbl.replace t.tbl key (!i :: existing);
-        incr i)
-      table;
-    t.built_rows <- Table.cardinality table
+  let v = Table.version table in
+  if Atomic.get t.built_version <> v then begin
+    Mutex.lock t.lock;
+    (* another domain may have rebuilt while we waited *)
+    if Atomic.get t.built_version <> v then begin
+      Tuple.Tbl.reset t.tbl;
+      let i = ref 0 in
+      Table.iter
+        (fun row ->
+          let key = key_of_row t.idx_positions row in
+          let existing =
+            Option.value ~default:[] (Tuple.Tbl.find_opt t.tbl key)
+          in
+          Tuple.Tbl.replace t.tbl key (!i :: existing);
+          incr i)
+        table;
+      (* release-publish: readers that see [v] see the rebuilt table *)
+      Atomic.set t.built_version v
+    end;
+    Mutex.unlock t.lock
   end
 
 (** Row offsets matching [key], in insertion order. *)

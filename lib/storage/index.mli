@@ -13,7 +13,9 @@ val table : t -> string
 val columns : t -> string list
 
 val refresh : t -> Table.t -> unit
-(** (Re)build over the table's current contents when stale. *)
+(** (Re)build over the table's current contents when stale (decided by
+    a {!Table.version} check, so the fresh case is a wait-free no-op).
+    Safe to call from concurrent query domains. *)
 
 val lookup : t -> Tuple.t -> int list
 (** Row offsets matching the key, in insertion order. *)

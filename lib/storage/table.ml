@@ -15,6 +15,8 @@ type t = {
   schema : Schema.t;
   mutable rows : Tuple.t array;
   mutable row_count : int;       (* rows.(0 .. row_count-1) are live *)
+  version : int Atomic.t;        (* bumped on every mutation; index
+                                    staleness checks compare against it *)
   primary_key : string list;
   foreign_keys : foreign_key list;
 }
@@ -29,11 +31,20 @@ let create ?(primary_key = []) ?(foreign_keys = []) name columns =
     (fun k -> ignore (Schema.find k schema))
     (primary_key
     @ List.concat_map (fun fk -> fk.fk_columns) foreign_keys);
-  { name; schema; rows = [||]; row_count = 0; primary_key; foreign_keys }
+  {
+    name;
+    schema;
+    rows = [||];
+    row_count = 0;
+    version = Atomic.make 0;
+    primary_key;
+    foreign_keys;
+  }
 
 let name t = t.name
 let schema t = t.schema
 let cardinality t = t.row_count
+let version t = Atomic.get t.version
 let primary_key t = t.primary_key
 let foreign_keys t = t.foreign_keys
 
@@ -55,13 +66,15 @@ let insert t row =
   check_row t row;
   ensure_capacity t 1;
   t.rows.(t.row_count) <- row;
-  t.row_count <- t.row_count + 1
+  t.row_count <- t.row_count + 1;
+  Atomic.incr t.version
 
 let insert_all t rows = List.iter (insert t) rows
 
 let clear t =
   t.rows <- [||];
-  t.row_count <- 0
+  t.row_count <- 0;
+  Atomic.incr t.version
 
 let rows t = Array.to_list (Array.sub t.rows 0 t.row_count)
 

@@ -25,6 +25,11 @@ val schema : t -> Schema.t
 (** Columns are qualified by the table name. *)
 
 val cardinality : t -> int
+
+val version : t -> int
+(** Monotonic modification counter, bumped on every insert/clear.
+    Indexes compare against it to decide whether they are stale. *)
+
 val primary_key : t -> string list
 val foreign_keys : t -> foreign_key list
 

@@ -20,4 +20,5 @@ let () =
       ("deep-publish", Test_deep_publish.suite);
       ("index", Test_index.suite);
       ("properties-extensions", Test_properties2.suite);
+      ("parallel", Test_parallel.suite);
     ]

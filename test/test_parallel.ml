@@ -1,0 +1,202 @@
+(* Tests for the domain-pool parallel execution phase.
+
+   Two layers: unit tests of Domain_pool itself (order preservation,
+   exception capture/re-raise, pool reuse, parallel sort), and
+   properties that parallel GApply / Group_by execution is
+   tuple-for-tuple identical to sequential execution — including the
+   clustering guarantee — across random plans and parallelism levels. *)
+
+open Support
+module Gen = QCheck2.Gen
+
+let parallelism_levels = [ 1; 2; 4; 7 ]
+
+(* ---------- Domain_pool unit tests ---------- *)
+
+let test_map_preserves_order () =
+  let pool = Domain_pool.create ~num_domains:2 () in
+  let input = Array.init 1000 (fun i -> i) in
+  let out = Domain_pool.parallel_map_array pool (fun i -> i * i) input in
+  Alcotest.(check (array int))
+    "squares in input order"
+    (Array.map (fun i -> i * i) input)
+    out
+
+exception Boom
+
+let test_exception_propagates () =
+  let pool = Domain_pool.create ~num_domains:2 () in
+  let input = Array.init 64 (fun i -> i) in
+  Alcotest.check_raises "exception crosses domains" Boom (fun () ->
+      ignore
+        (Domain_pool.parallel_map_array pool
+           (fun i -> if i = 17 then raise Boom else i)
+           input));
+  (* the pool survives a user exception and is reusable *)
+  let out = Domain_pool.parallel_map_array pool (fun i -> i + 1) input in
+  Alcotest.(check int) "pool reusable after exception" 64 out.(63)
+
+let test_sequential_handle () =
+  let pool = Domain_pool.create ~num_domains:0 () in
+  let out =
+    Domain_pool.parallel_map_array pool (fun i -> i * 2)
+      (Array.init 10 (fun i -> i))
+  in
+  Alcotest.(check int) "num_domains 0 = sequential fallback" 18 out.(9);
+  Alcotest.(check bool)
+    "parallelism <= 1 resolves to no pool" true
+    (Domain_pool.for_parallelism 1 = None)
+
+let test_parallel_sort () =
+  let pool = Domain_pool.create ~num_domains:3 () in
+  (* deterministic pseudo-random input, big enough to beat the
+     sequential-sort cutoff *)
+  let n = 10_000 in
+  let state = ref 42 in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  let arr = Array.init n (fun _ -> next ()) in
+  let expected = Array.copy arr in
+  Array.sort compare expected;
+  Domain_pool.parallel_sort pool compare arr;
+  Alcotest.(check (array int)) "sorted like Array.sort" expected arr
+
+(* ---------- parallel execution = sequential execution ---------- *)
+
+let run_with ~partition ~parallelism cat plan =
+  Executor.run
+    ~config:(Compile.config_with ~partition ~parallelism ())
+    cat plan
+
+(* tuple-for-tuple (order included) agreement across parallelism levels,
+   for both partition strategies *)
+let check_levels cat plan =
+  List.for_all
+    (fun partition ->
+      let seq = run_with ~partition ~parallelism:1 cat plan in
+      List.for_all
+        (fun parallelism ->
+          Relation.equal_as_list seq
+            (run_with ~partition ~parallelism cat plan))
+        parallelism_levels)
+    [ Compile.Hash_partition; Compile.Sort_partition ]
+
+let prop_parallel_gapply_equals_sequential =
+  QCheck2.Test.make ~count:50
+    ~name:"parallel GApply = sequential, tuple-for-tuple"
+    (Gen.triple
+       (Test_properties.gen_relation Test_properties.g_schema)
+       Test_properties.gen_gcols Test_properties.gen_pgq)
+    (fun (rel, gcols, pgq) ->
+      let cat = Test_properties.catalog_with_r rel in
+      let plan =
+        Plan.g_apply ~gcols ~var:"g"
+          ~outer:Test_properties.unqualified_scan_r ~pgq
+      in
+      check_levels cat plan)
+
+let prop_parallel_clustered_gapply_equals_sequential =
+  QCheck2.Test.make ~count:50
+    ~name:"parallel clustered GApply keeps the Section 3.1 order"
+    (Gen.triple
+       (Test_properties.gen_relation Test_properties.g_schema)
+       Test_properties.gen_gcols Test_properties.gen_pgq)
+    (fun (rel, gcols, pgq) ->
+      let cat = Test_properties.catalog_with_r rel in
+      let plan =
+        Plan.g_apply_clustered ~gcols ~var:"g"
+          ~outer:Test_properties.unqualified_scan_r ~pgq
+      in
+      check_levels cat plan)
+
+let prop_parallel_group_by_equals_sequential =
+  QCheck2.Test.make ~count:50
+    ~name:"parallel Group_by = sequential, tuple-for-tuple"
+    (Gen.pair
+       (Test_properties.gen_relation Test_properties.g_schema)
+       Test_properties.gen_pred)
+    (fun (rel, pred) ->
+      let cat = Test_properties.catalog_with_r rel in
+      let plan =
+        Plan.group_by
+          [ Expr.col "d" ]
+          [
+            (Expr.count_star, "n");
+            (Expr.avg (Expr.column "c"), "avg_c");
+            (Expr.sum (Expr.column "a"), "sum_a");
+          ]
+          (Plan.select pred Test_properties.unqualified_scan_r)
+      in
+      check_levels cat plan)
+
+(* A large deterministic input so the *partition phase* itself takes the
+   parallel path (per-domain partial tables / parallel merge sort), not
+   just the execution phase. *)
+let test_large_input_partition_phase () =
+  let cat = Catalog.create () in
+  let t =
+    Table.create "big"
+      [ ("k", Datatype.Int); ("v", Datatype.Int) ]
+  in
+  let state = ref 7 in
+  let next m =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod m
+  in
+  for _ = 1 to 6000 do
+    Table.insert t (row [ vi (next 37); vi (next 1000) ])
+  done;
+  Catalog.add_table cat t;
+  let g_schema = Table.schema t in
+  let pgq =
+    Plan.aggregate
+      [ (Expr.count_star, "n"); (Expr.max_ (Expr.column "v"), "max_v") ]
+      (Plan.group_scan ~var:"g" g_schema)
+  in
+  let gcols = [ Expr.col "k" ] in
+  (* clustered re-sorts groups, so also cover the plain GApply and
+     Group_by nodes, whose group order must match sequential byte-for-
+     byte even when the parallel partial-table merge produced it *)
+  let plans =
+    [
+      ( "clustered",
+        Plan.g_apply_clustered ~gcols ~var:"g" ~outer:(scan cat "big") ~pgq );
+      ("plain", Plan.g_apply ~gcols ~var:"g" ~outer:(scan cat "big") ~pgq);
+      ( "group_by",
+        Plan.group_by gcols
+          [ (Expr.count_star, "n"); (Expr.max_ (Expr.column "v"), "max_v") ]
+          (scan cat "big") );
+    ]
+  in
+  List.iter
+    (fun (label, plan) ->
+      List.iter
+        (fun partition ->
+          let seq = run_with ~partition ~parallelism:1 cat plan in
+          List.iter
+            (fun parallelism ->
+              Alcotest.check relation_ordered_testable
+                (Printf.sprintf "6000-row %s (parallelism %d)" label
+                   parallelism)
+                seq
+                (run_with ~partition ~parallelism cat plan))
+            [ 2; 4 ])
+        [ Compile.Hash_partition; Compile.Sort_partition ])
+    plans
+
+let suite =
+  [
+    Alcotest.test_case "map preserves input order" `Quick
+      test_map_preserves_order;
+    Alcotest.test_case "exception propagates without hanging" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "sequential fallback" `Quick test_sequential_handle;
+    Alcotest.test_case "parallel merge sort" `Quick test_parallel_sort;
+    Alcotest.test_case "parallel partition phase on large input" `Quick
+      test_large_input_partition_phase;
+    QCheck_alcotest.to_alcotest prop_parallel_gapply_equals_sequential;
+    QCheck_alcotest.to_alcotest prop_parallel_clustered_gapply_equals_sequential;
+    QCheck_alcotest.to_alcotest prop_parallel_group_by_equals_sequential;
+  ]
