@@ -19,6 +19,9 @@
                    GApply pass through the constant-space tagger
      ablation      engine design-choice ablations (Apply caching,
                    clustering guarantee, parallel execution phase)
+     analyze       per-operator breakdown of Q1-Q4 through the EXPLAIN
+                   ANALYZE instrumentation (Obs sinks + trace hooks),
+                   including the tracing-off overhead check
      micro         Bechamel micro-benchmarks of the core operators
 
    Usage:
@@ -125,13 +128,14 @@ let write_json ~msf ~repeat path =
   Format.printf "@.wrote %d record(s) to %s@."
     (List.length !json_records) path
 
-(* median-of-N elapsed time, in seconds *)
+(* median-of-N elapsed time, in seconds; CLOCK_MONOTONIC so wall-clock
+   adjustments between samples cannot skew a measurement *)
 let time_runs ~repeat f =
   let samples =
     List.init repeat (fun _ ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Metrics.now_ns () in
         ignore (f ());
-        Unix.gettimeofday () -. t0)
+        float_of_int (Metrics.now_ns () - t0) /. 1e9)
   in
   let sorted = List.sort compare samples in
   List.nth sorted (repeat / 2)
@@ -582,6 +586,101 @@ let bench_ablation ~msf ~repeat () =
         (t_seq /. t_auto))
     [ ("Q1", Workloads.q1_gapply); ("Q4", Workloads.q4_gapply) ]
 
+(* ---------- per-operator breakdown (EXPLAIN ANALYZE plumbing) -------- *)
+
+let bench_analyze ~msf ~repeat () =
+  header
+    (Printf.sprintf
+       "Per-operator breakdown via the Obs instrumentation (msf %g)" msf);
+  let cat = Tpch_gen.catalog ~msf () in
+  Format.printf "%-4s %12s %14s %10s %8s %24s@." "" "plain (ms)"
+    "observed (ms)" "overhead" "rows ok" "trace open/next/close";
+  List.iter
+    (fun (name, gapply_src, _) ->
+      let plan = optimize cat (bind cat gapply_src) in
+      let env () = Env.make cat in
+      (* baseline: the exact closure the engine runs with observe=None *)
+      let plain = Compile.plan plan in
+      let t_plain =
+        time_runs ~repeat (fun () -> Cursor.length (plain.Compile.run (env ())))
+      in
+      (* metrics on, hook off — the configuration whose overhead the
+         acceptance criterion bounds *)
+      let sink = Obs.make () in
+      let observed =
+        Compile.plan ~config:(Compile.config_with ~observe:sink ()) plan
+      in
+      let t_obs =
+        time_runs ~repeat (fun () ->
+            Cursor.length (observed.Compile.run (env ())))
+      in
+      (* one clean run for the per-operator numbers *)
+      Obs.reset sink;
+      let root_rows = Cursor.length (observed.Compile.run (env ())) in
+      let stats =
+        match Obs.snapshot sink with
+        | Some s -> Obs.flatten s
+        | None -> []
+      in
+      let root_rows_match =
+        match stats with (_, s) :: _ -> s.Obs.rows = root_rows | [] -> false
+      in
+      (* trace hook: count events from a separately-instrumented run
+         (the hook fires from pool domains, hence the atomics) *)
+      let opens = Atomic.make 0
+      and nexts = Atomic.make 0
+      and closes = Atomic.make 0 in
+      let hook (e : Obs.event) =
+        Atomic.incr
+          (match e.Obs.kind with
+          | Obs.Open -> opens
+          | Obs.Next -> nexts
+          | Obs.Close -> closes)
+      in
+      let traced =
+        Compile.plan
+          ~config:(Compile.config_with ~observe:(Obs.make ~hook ()) ())
+          plan
+      in
+      ignore (Cursor.length (traced.Compile.run (env ())));
+      let overhead_pct = 100. *. ((t_obs /. t_plain) -. 1.) in
+      Format.printf "%-4s %12.1f %14.1f %+9.1f%% %8b %10d/%d/%d@." name
+        (ms t_plain) (ms t_obs) overhead_pct root_rows_match
+        (Atomic.get opens) (Atomic.get nexts) (Atomic.get closes);
+      record ~section:"analyze" ~query:name
+        [
+          ("plain_ms", Json.Float (ms t_plain));
+          ("observed_ms", Json.Float (ms t_obs));
+          ("overhead_pct", Json.Float overhead_pct);
+          ("root_rows", Json.Int root_rows);
+          ("root_rows_match", Json.Bool root_rows_match);
+          ("trace_opens", Json.Int (Atomic.get opens));
+          ("trace_nexts", Json.Int (Atomic.get nexts));
+          ("trace_closes", Json.Int (Atomic.get closes));
+          ( "operators",
+            Json.List
+              (List.map
+                 (fun (depth, (s : Obs.stat)) ->
+                   Json.Obj
+                     [
+                       ("op", Json.Str s.Obs.op);
+                       ("depth", Json.Int depth);
+                       ("rows", Json.Int s.Obs.rows);
+                       ("loops", Json.Int s.Obs.invocations);
+                       ("groups", Json.Int s.Obs.partitions);
+                       ( "time_ms",
+                         Json.Float (float_of_int s.Obs.time_ns /. 1e6) );
+                       ( "first_ms",
+                         Json.Float (float_of_int s.Obs.ttft_ns /. 1e6) );
+                     ])
+                 stats) );
+        ])
+    Workloads.figure8_queries;
+  Format.printf
+    "@.(overhead = metrics-on / metrics-off elapsed on the same compiled \
+     plan; trace counts come from a hook-instrumented run: one open per \
+     operator invocation, one next per yielded tuple)@."
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let bench_micro () =
@@ -636,7 +735,7 @@ let bench_micro () =
 let all_sections =
   [
     "figure8"; "table1"; "partitioning"; "parallel"; "clientsim";
-    "pipeline"; "ablation"; "micro";
+    "pipeline"; "ablation"; "analyze"; "micro";
   ]
 
 let run_section ~msf ~repeat = function
@@ -647,6 +746,7 @@ let run_section ~msf ~repeat = function
   | "clientsim" -> bench_clientsim ~msf ~repeat ()
   | "pipeline" -> bench_pipeline ~msf ~repeat ()
   | "ablation" -> bench_ablation ~msf ~repeat ()
+  | "analyze" -> bench_analyze ~msf ~repeat ()
   | "micro" -> bench_micro ()
   | other ->
       Format.eprintf "unknown section %s (known: %s)@." other

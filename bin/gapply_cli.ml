@@ -10,6 +10,7 @@
      \tables       list tables
      \stats TABLE  show table statistics
      \timing       toggle per-query timing
+     \analyze      toggle EXPLAIN ANALYZE instrumentation on queries
      explain Q     show plans and the rules that fired               *)
 
 open Cmdliner
@@ -21,15 +22,31 @@ let print_outcome timing elapsed = function
   | Engine.Message m -> Format.printf "%s@." m
   | Engine.Explanation text -> Format.printf "%s" text
 
-let run_statement db ~timing src =
+(* With --analyze / \analyze on, plain SELECTs run under per-operator
+   instrumentation: rows first, then the EXPLAIN ANALYZE report. *)
+let is_plain_select src =
+  match Sql_parser.parse_statement src with
+  | Sql_ast.Stmt_select _ -> true
+  | _ -> false
+  | exception e when Errors.is_engine_error e -> false
+
+let run_statement db ~timing ~analyze src =
   try
     let t0 = Unix.gettimeofday () in
-    let outcome = Engine.exec db src in
-    print_outcome timing (Unix.gettimeofday () -. t0) outcome
+    if analyze && is_plain_select src then begin
+      let rel, report = Engine.analyze db src in
+      Format.printf "%a" Relation.pp rel;
+      Format.printf "%s" report;
+      if timing then
+        Format.printf "(%.1f ms)@." (1000. *. (Unix.gettimeofday () -. t0))
+    end
+    else
+      let outcome = Engine.exec db src in
+      print_outcome timing (Unix.gettimeofday () -. t0) outcome
   with e when Errors.is_engine_error e ->
     Format.printf "error: %s@." (Errors.to_string e)
 
-let run_meta db ~timing cmd =
+let run_meta db ~timing ~analyze cmd =
   match String.split_on_char ' ' (String.trim cmd) with
   | [ "\\q" ] | [ "\\quit" ] -> raise Exit
   | [ "\\tables" ] ->
@@ -46,10 +63,14 @@ let run_meta db ~timing cmd =
   | [ "\\timing" ] ->
       timing := not !timing;
       Format.printf "timing %s@." (if !timing then "on" else "off")
+  | [ "\\analyze" ] ->
+      analyze := not !analyze;
+      Format.printf "analyze %s@." (if !analyze then "on" else "off")
   | _ -> Format.printf "unknown meta-command: %s@." cmd
 
-let repl db =
+let repl db ~analyze =
   let timing = ref false in
+  let analyze = ref analyze in
   Format.printf
     "gapply engine — SQL with the SIGMOD 2003 GApply extension.@.Type \
      \\q to quit, \\tables to list tables.@.";
@@ -64,7 +85,7 @@ let repl db =
           let trimmed = String.trim line in
           if Buffer.length buf = 0 && String.length trimmed > 0
              && trimmed.[0] = '\\'
-          then run_meta db ~timing trimmed
+          then run_meta db ~timing ~analyze trimmed
           else begin
             Buffer.add_string buf line;
             Buffer.add_char buf '\n';
@@ -73,13 +94,13 @@ let repl db =
             then begin
               let src = Buffer.contents buf in
               Buffer.clear buf;
-              run_statement db ~timing:!timing src
+              run_statement db ~timing:!timing ~analyze:!analyze src
             end
           end
     done
   with Exit -> Format.printf "bye.@."
 
-let main tpch_msf partition no_optimize parallelism script =
+let main tpch_msf partition no_optimize parallelism analyze script =
   let partition =
     match partition with
     | "sort" -> Compile.Sort_partition
@@ -106,8 +127,14 @@ let main tpch_msf partition no_optimize parallelism script =
       let n = in_channel_length ic in
       let src = really_input_string ic n in
       close_in ic;
-      List.iter (print_outcome false 0.) (Engine.exec_script db src)
-  | None -> repl db
+      if analyze then
+        List.iter
+          (fun stmt ->
+            run_statement db ~timing:false ~analyze:true
+              (Sql_ast.statement_to_string stmt))
+          (Sql_parser.parse_script src)
+      else List.iter (print_outcome false 0.) (Engine.exec_script db src)
+  | None -> repl db ~analyze
 
 let tpch_arg =
   Arg.(value & opt (some float) None
@@ -129,6 +156,12 @@ let parallelism_arg =
            ~doc:"Domains used by the GApply/Group-by partition and \
                  execution phases (1 = sequential, 0 = one per core).")
 
+let analyze_arg =
+  Arg.(value & flag
+       & info [ "analyze" ]
+           ~doc:"Run every SELECT under per-operator instrumentation and \
+                 print its EXPLAIN ANALYZE report after the rows.")
+
 let script_arg =
   Arg.(value & opt (some file) None
        & info [ "f"; "file" ] ~docv:"SCRIPT"
@@ -139,6 +172,6 @@ let cmd =
   Cmd.v
     (Cmd.info "gapply_cli" ~doc)
     Term.(const main $ tpch_arg $ partition_arg $ no_optimize_arg
-          $ parallelism_arg $ script_arg)
+          $ parallelism_arg $ analyze_arg $ script_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -34,15 +34,18 @@ let set_parallelism db n = db.parallelism <- n
     factor [msf] (1.0 = 100 suppliers / 2000 parts / 8000 partsupp). *)
 let load_tpch ?seed db ~msf = ignore (Tpch_gen.load ?seed db.catalog ~msf)
 
-let config db =
-  Compile.config_with ~partition:db.partition ~parallelism:db.parallelism ()
+let config ?observe db =
+  Compile.config_with ~partition:db.partition ~parallelism:db.parallelism
+    ?observe ()
 
 (** Parse a SQL query string into an (unoptimized) logical plan. *)
 let plan_of_sql db src =
   match Sql_binder.bind_statement db.catalog (Sql_parser.parse_statement src)
   with
-  | Sql_binder.Bound_query p -> p
-  | Sql_binder.Bound_explain p -> p
+  | Sql_binder.Bound_query p
+  | Sql_binder.Bound_explain p
+  | Sql_binder.Bound_explain_analyze p ->
+      p
   | Sql_binder.Bound_ddl _ ->
       Errors.plan_errorf "expected a query, got a DDL statement"
 
@@ -54,6 +57,70 @@ let effective_plan db src =
 
 (** Run a logical plan directly. *)
 let run_plan db plan = Executor.run ~config:(config db) db.catalog plan
+
+(* ---------- EXPLAIN ANALYZE ---------- *)
+
+(* Both sides are preorder walks of the same (optimized) plan with
+   children in Plan.children order: the metric tree because Compile
+   registers one Obs node per operator as it recurses, the estimate list
+   by construction of Cost.estimate_tree.  So the report is a positional
+   zip of the two. *)
+let analyze_report cat plan sink rel =
+  let stats = match Obs.snapshot sink with
+    | Some s -> Obs.flatten s
+    | None -> []
+  in
+  let ests = Cost.estimate_tree cat plan in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "== explain analyze ==\n";
+  let rec zip stats ests =
+    match (stats, ests) with
+    | [], _ | _, [] -> ()
+    | (depth, (s : Obs.stat)) :: stats', (_, (e : Cost.estimate)) :: ests' ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%s%s  (est rows=%s) (rows=%d loops=%d%s time=%s first=%s)\n"
+             (String.make (2 * depth) ' ')
+             s.op (Pretty.card e.card) s.rows s.invocations
+             (if s.partitions > 0 then
+                Printf.sprintf " groups=%d" s.partitions
+              else "")
+             (Pretty.duration_ns s.time_ns)
+             (Pretty.duration_ns s.ttft_ns));
+        zip stats' ests'
+  in
+  zip stats ests;
+  (match ests with
+  | (_, (e : Cost.estimate)) :: _ ->
+      Buffer.add_string buf
+        (Printf.sprintf "== actual rows: %d  estimated: %s ==\n"
+           (Relation.cardinality rel) (Pretty.card e.card))
+  | [] -> ());
+  Buffer.contents buf
+
+(* Optimize, compile under a fresh sink, run to completion, render. *)
+let analyze_plan db plan =
+  let plan =
+    if db.optimize then (Optimizer.optimize db.catalog plan).Optimizer.plan
+    else plan
+  in
+  let sink = Obs.make () in
+  let rel =
+    Executor.run ~config:(config ~observe:sink db) db.catalog plan
+  in
+  (rel, analyze_report db.catalog plan sink rel)
+
+(** Run a query under per-operator instrumentation: the result relation
+    plus the rendered EXPLAIN ANALYZE report. *)
+let analyze db src =
+  match Sql_binder.bind_statement db.catalog (Sql_parser.parse_statement src)
+  with
+  | Sql_binder.Bound_query plan
+  | Sql_binder.Bound_explain plan
+  | Sql_binder.Bound_explain_analyze plan ->
+      analyze_plan db plan
+  | Sql_binder.Bound_ddl _ ->
+      Errors.plan_errorf "expected a query, got a DDL statement"
 
 (** Execute one SQL statement. *)
 let exec db src : outcome =
@@ -83,6 +150,9 @@ let exec db src : outcome =
         (Printf.sprintf "== estimated cost: %.0f ==\n"
            (Cost.plan_cost db.catalog opt.Optimizer.plan));
       Explanation (Buffer.contents buf)
+  | Sql_binder.Bound_explain_analyze plan ->
+      let _rel, report = analyze_plan db plan in
+      Explanation report
 
 (** Execute a whole ';'-separated script, returning each outcome. *)
 let exec_script db src : outcome list =
@@ -98,7 +168,10 @@ let exec_script db src : outcome list =
           in
           Rows (run_plan db plan)
       | Sql_binder.Bound_explain plan ->
-          Explanation (Plan.to_string plan))
+          Explanation (Plan.to_string plan)
+      | Sql_binder.Bound_explain_analyze plan ->
+          let _rel, report = analyze_plan db plan in
+          Explanation report)
     (Sql_parser.parse_script src)
 
 (** Run a query and return the relation (raises on DDL). *)

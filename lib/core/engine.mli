@@ -44,8 +44,17 @@ val effective_plan : t -> string -> Plan.t
 
 val run_plan : t -> Plan.t -> Relation.t
 
+val analyze : t -> string -> Relation.t * string
+(** Run a query under per-operator instrumentation (a fresh {!Obs} sink
+    per call) and return the result relation together with the rendered
+    EXPLAIN ANALYZE report: one line per operator with the cost model's
+    estimated cardinality next to observed rows / invocations / groups /
+    inclusive time / time-to-first-tuple.  [EXPLAIN ANALYZE <query>]
+    through {!exec} returns the same report as an [Explanation]. *)
+
 val exec : t -> string -> outcome
-(** Execute one SQL statement (query, EXPLAIN, or DDL/DML). *)
+(** Execute one SQL statement (query, EXPLAIN, EXPLAIN ANALYZE, or
+    DDL/DML). *)
 
 val exec_script : t -> string -> outcome list
 (** Execute a ';'-separated script. *)

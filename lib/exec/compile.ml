@@ -25,6 +25,10 @@ type config = {
       (* total domains (submitter included) for the partition and
          execution phases of GApply/Group_by: 1 = sequential,
          0 = automatic (Domain.recommended_domain_count) *)
+  observe : Obs.t option;
+      (* per-operator metrics sink (EXPLAIN ANALYZE / --analyze).  None
+         compiles exactly the uninstrumented operators — zero overhead
+         on the per-tuple path when tracing is off. *)
 }
 
 let default_config =
@@ -33,11 +37,17 @@ let default_config =
     apply_cache = true;
     use_indexes = true;
     parallelism = 1;
+    observe = None;
   }
 
 let config_with ?(partition = Hash_partition) ?(apply_cache = true)
-    ?(use_indexes = true) ?(parallelism = 1) () =
-  { partition; apply_cache; use_indexes; parallelism }
+    ?(use_indexes = true) ?(parallelism = 1) ?observe () =
+  { partition; apply_cache; use_indexes; parallelism; observe }
+
+(* the Obs node of the operator currently being compiled (used by the
+   GApply / Group_by cases to report their partition phase) *)
+let obs_current config =
+  match config.observe with None -> None | Some sink -> Obs.current sink
 
 type compiled = { schema : Schema.t; run : Env.t -> Cursor.t }
 
@@ -144,8 +154,21 @@ let compile_agg_args schema (aggs : (Expr.agg * string) list) =
 
 (* ---------- the compiler ---------- *)
 
+(* [plan] is the public entry: with a metrics sink in the config it
+   registers one Obs node per operator (the metric tree mirrors the plan
+   tree, since [compile] recurses through [plan] for every child) and
+   wraps the operator's cursor with the metering pull; without a sink it
+   is exactly [compile]. *)
 let rec plan ?(config = default_config) ?(outer : Schema.t list = [])
     (p : Plan.t) : compiled =
+  match config.observe with
+  | None -> compile ~config ~outer p
+  | Some sink ->
+      Obs.enter sink ~op:(Plan.op_name p) (fun node ->
+          let c = compile ~config ~outer p in
+          { c with run = (fun env -> Obs.instrument sink node (c.run env)) })
+
+and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
   let schema = Props.schema_of ~outer p in
   match p with
   | Plan.Table_scan { table; _ } ->
@@ -193,6 +216,7 @@ let rec plan ?(config = default_config) ?(outer : Schema.t list = [])
       let c = plan ~config ~outer input in
       let idxs = key_indexes c.schema keys in
       let specs = compile_agg_args c.schema aggs in
+      let obs_node = obs_current config in
       {
         schema;
         run =
@@ -201,6 +225,9 @@ let rec plan ?(config = default_config) ?(outer : Schema.t list = [])
                 let pool = Domain_pool.for_parallelism config.parallelism in
                 let rows = Cursor.to_array (c.run env) in
                 let groups = group_rows ?pool (project_key idxs) rows in
+                Option.iter
+                  (fun n -> Obs.add_partitions n (List.length groups))
+                  obs_node;
                 let finish (key, members) =
                   Tuple.concat key
                     (run_aggregates specs env.Env.frames members)
@@ -349,6 +376,7 @@ let rec plan ?(config = default_config) ?(outer : Schema.t list = [])
       let co = plan ~config ~outer outer_plan in
       let cp = plan ~config ~outer pgq in
       let idxs = key_indexes co.schema gcols in
+      let obs_node = obs_current config in
       {
         schema;
         run =
@@ -357,6 +385,9 @@ let rec plan ?(config = default_config) ?(outer : Schema.t list = [])
                 let pool = Domain_pool.for_parallelism config.parallelism in
                 let rows = Cursor.to_array (co.run env) in
                 let groups = partition ~config ?pool ~idxs rows in
+                Option.iter
+                  (fun n -> Obs.add_partitions n (List.length groups))
+                  obs_node;
                 let groups =
                   (* the Section 3.1 clustering guarantee: emit groups in
                      key order; sort partitioning already provides it,

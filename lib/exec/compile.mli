@@ -28,16 +28,25 @@ type config = {
           {!Domain_pool}: [1] = sequential, [0] = automatic
           ([Domain.recommended_domain_count ()]).  Output is
           tuple-identical to sequential execution at any setting. *)
+  observe : Obs.t option;
+      (** per-operator metrics sink (EXPLAIN ANALYZE / --analyze): one
+          {!Obs.node} is registered per plan operator and every cursor is
+          wrapped with the metering pull.  [None] compiles the exact
+          uninstrumented operators — zero per-tuple overhead when
+          tracing is off.  A sink observes one compilation; use a fresh
+          sink per compiled plan. *)
 }
 
 val default_config : config
-(** Hash partitioning, Apply caching on, indexes on, sequential. *)
+(** Hash partitioning, Apply caching on, indexes on, sequential,
+    unobserved. *)
 
 val config_with :
   ?partition:partition_strategy ->
   ?apply_cache:bool ->
   ?use_indexes:bool ->
   ?parallelism:int ->
+  ?observe:Obs.t ->
   unit ->
   config
 

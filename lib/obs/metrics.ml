@@ -1,0 +1,26 @@
+(* Atomic counters, accumulating timers, and a monotonic clock.
+
+   Counters and timers are plain [int Atomic.t]: fetch-and-add is a
+   single hardware RMW, cheap enough to sit on the per-tuple path of an
+   instrumented cursor, and safe under the domain pool. *)
+
+type counter = int Atomic.t
+
+let counter () = Atomic.make 0
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let add c n = ignore (Atomic.fetch_and_add c n)
+let get = Atomic.get
+let reset c = Atomic.set c 0
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+type timer = int Atomic.t
+
+let timer () = Atomic.make 0
+let add_span t ns = if ns > 0 then ignore (Atomic.fetch_and_add t ns)
+let elapsed_ns = Atomic.get
+let reset_timer t = Atomic.set t 0
+
+let time t f =
+  let t0 = now_ns () in
+  Fun.protect ~finally:(fun () -> add_span t (now_ns () - t0)) f

@@ -1,0 +1,38 @@
+(** Low-level observability primitives: atomic counters, accumulating
+    timers, and a monotonic clock.
+
+    Everything here is safe to update from several domains at once —
+    the per-operator instrumentation runs inside
+    [Domain_pool.parallel_map_array] workers during the parallel
+    execution phase of GApply, so counters use [Atomic] fetch-and-add
+    (no lost updates) and timers accumulate non-negative spans
+    atomically. *)
+
+type counter
+
+val counter : unit -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val get : counter -> int
+val reset : counter -> unit
+
+val now_ns : unit -> int
+(** Monotonic clock reading in nanoseconds ([CLOCK_MONOTONIC] via
+    bechamel's stub — immune to wall-clock adjustments).  Only
+    differences between two readings are meaningful. *)
+
+type timer
+(** A timer accumulates elapsed nanosecond spans; it is not a stopwatch
+    (concurrent spans from several domains simply sum). *)
+
+val timer : unit -> timer
+
+val add_span : timer -> int -> unit
+(** Accumulate one elapsed span; non-positive spans are ignored, so a
+    timer never decreases. *)
+
+val elapsed_ns : timer -> int
+val reset_timer : timer -> unit
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk and add its elapsed time (also on exception). *)

@@ -99,6 +99,23 @@ let product_distinct ctx refs =
 
 let sort_cost n = if n <= 1. then n else n *. (1. +. Float.log2 (Float.max 2. n))
 
+(* The paper's Section 4.4 group model, shared by [estimate] and
+   [estimate_tree]: groups = distinct grouping values (capped at the
+   outer cardinality), uniform group sizes, and a shrink factor scaling
+   distinct counts inside the per-group query. *)
+let gapply_groups_ctx ctx ~gcols ~var ~outer_card =
+  let groups =
+    Float.max 1. (Float.min outer_card (product_distinct ctx gcols))
+  in
+  let avg_group = Float.max 1. (outer_card /. groups) in
+  let shrink = avg_group /. Float.max 1. outer_card in
+  ( groups,
+    {
+      ctx with
+      group_cards = (var, avg_group) :: ctx.group_cards;
+      group_shrink = (var, shrink) :: ctx.group_shrink;
+    } )
+
 let rec estimate (ctx : ctx) (p : Plan.t) : estimate =
   match p with
   | Plan.Table_scan { table; _ } ->
@@ -178,17 +195,8 @@ let rec estimate (ctx : ctx) (p : Plan.t) : estimate =
       { card = 1.; cost = e.cost /. 2. }
   | Plan.G_apply { gcols; var; outer; pgq; _ } ->
       let o = estimate ctx outer in
-      let groups =
-        Float.max 1. (Float.min o.card (product_distinct ctx gcols))
-      in
-      let avg_group = Float.max 1. (o.card /. groups) in
-      let shrink = avg_group /. Float.max 1. o.card in
-      let ctx' =
-        {
-          ctx with
-          group_cards = (var, avg_group) :: ctx.group_cards;
-          group_shrink = (var, shrink) :: ctx.group_shrink;
-        }
+      let groups, ctx' =
+        gapply_groups_ctx ctx ~gcols ~var ~outer_card:o.card
       in
       let pgq_est = estimate ctx' pgq in
       let partition_cost = o.card in
@@ -201,3 +209,23 @@ let rec estimate (ctx : ctx) (p : Plan.t) : estimate =
 let plan_cost cat p = (estimate (make_ctx cat) p).cost
 
 let plan_cardinality cat p = (estimate (make_ctx cat) p).card
+
+(* Per-node estimates in preorder (node before its children, children in
+   [Plan.children] order) — the layout of the Obs metric tree, so EXPLAIN
+   ANALYZE can zip estimated against observed cardinalities.  The only
+   context split is GApply: the outer input is estimated under the
+   enclosing context, the per-group query under the group context. *)
+let estimate_tree cat p =
+  let acc = ref [] in
+  let rec walk ctx p =
+    acc := (p, estimate ctx p) :: !acc;
+    match p with
+    | Plan.G_apply { gcols; var; outer; pgq; _ } ->
+        walk ctx outer;
+        let o = estimate ctx outer in
+        let _, ctx' = gapply_groups_ctx ctx ~gcols ~var ~outer_card:o.card in
+        walk ctx' pgq
+    | _ -> List.iter (walk ctx) (Plan.children p)
+  in
+  walk (make_ctx cat) p;
+  List.rev !acc

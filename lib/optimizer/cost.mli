@@ -31,3 +31,9 @@ val estimate : ctx -> Plan.t -> estimate
 
 val plan_cost : Catalog.t -> Plan.t -> float
 val plan_cardinality : Catalog.t -> Plan.t -> float
+
+val estimate_tree : Catalog.t -> Plan.t -> (Plan.t * estimate) list
+(** One estimate per operator, preorder (node before children, children
+    in {!Plan.children} order) with group contexts threaded through
+    GApply — the estimated column of EXPLAIN ANALYZE's
+    observed-vs-estimated cardinality report. *)

@@ -1,0 +1,14 @@
+(* Shared pretty-printing helpers. *)
+
+let duration_ns ns =
+  let ns = max 0 ns in
+  if ns < 1_000 then Printf.sprintf "%dns" ns
+  else if ns < 1_000_000 then Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+  else if ns < 1_000_000_000 then
+    Printf.sprintf "%.2fms" (float_of_int ns /. 1e6)
+  else Printf.sprintf "%.2fs" (float_of_int ns /. 1e9)
+
+let pp_duration_ns ppf ns = Format.pp_print_string ppf (duration_ns ns)
+
+let card f =
+  if Float.is_finite f then Printf.sprintf "%.0f" (Float.max 0. f) else "?"

@@ -1,0 +1,12 @@
+(** Small shared pretty-printing helpers (durations, cardinalities) used
+    by the observability layer, the CLI, and the benchmark harness. *)
+
+val duration_ns : int -> string
+(** Render a nanosecond span at a human scale: ["812ns"], ["3.4us"],
+    ["1.23ms"], ["2.50s"].  Negative spans are clamped to ["0ns"]. *)
+
+val pp_duration_ns : Format.formatter -> int -> unit
+
+val card : float -> string
+(** Render an estimated cardinality: non-negative, no decimals
+    (["1234"]); non-finite estimates render as ["?"]. *)

@@ -76,6 +76,9 @@ type statement =
   | Stmt_drop_table of string
   | Stmt_drop_index of string
   | Stmt_explain of query
+  | Stmt_explain_analyze of query
+      (* execute the query under per-operator instrumentation and render
+         the annotated operator tree *)
 
 (* ---------- printing (used by error messages, the CLI, and the
    parse/print round-trip property tests) ---------- *)
@@ -241,3 +244,4 @@ let statement_to_string = function
   | Stmt_drop_table t -> "DROP TABLE " ^ t
   | Stmt_drop_index t -> "DROP INDEX " ^ t
   | Stmt_explain q -> "EXPLAIN " ^ query_to_string q
+  | Stmt_explain_analyze q -> "EXPLAIN ANALYZE " ^ query_to_string q

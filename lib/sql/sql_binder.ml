@@ -940,6 +940,7 @@ let bind_literal_row scope (exprs : Sql_ast.expr list) : Tuple.t =
 type bound_statement =
   | Bound_query of Plan.t
   | Bound_explain of Plan.t
+  | Bound_explain_analyze of Plan.t
   | Bound_ddl of string   (* human-readable confirmation *)
 
 let bind_statement (catalog : Catalog.t) (stmt : Sql_ast.statement) :
@@ -947,6 +948,8 @@ let bind_statement (catalog : Catalog.t) (stmt : Sql_ast.statement) :
   match stmt with
   | Sql_ast.Stmt_select q -> Bound_query (bind_query catalog q)
   | Sql_ast.Stmt_explain q -> Bound_explain (bind_query catalog q)
+  | Sql_ast.Stmt_explain_analyze q ->
+      Bound_explain_analyze (bind_query catalog q)
   | Sql_ast.Stmt_create_table (name, cols, constraints) ->
       let primary_key =
         List.concat_map

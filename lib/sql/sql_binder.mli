@@ -27,6 +27,8 @@ val bind_query :
 type bound_statement =
   | Bound_query of Plan.t
   | Bound_explain of Plan.t
+  | Bound_explain_analyze of Plan.t
+      (** EXPLAIN ANALYZE: execute under per-operator instrumentation *)
   | Bound_ddl of string  (** human-readable confirmation *)
 
 val bind_statement : Catalog.t -> Sql_ast.statement -> bound_statement

@@ -596,7 +596,11 @@ let parse_statement_inner st =
   end
   else if is_keyword st "explain" then begin
     advance st;
-    Sql_ast.Stmt_explain (parse_query st)
+    (* ANALYZE is a soft keyword: only significant right after EXPLAIN,
+       still usable as an ordinary identifier elsewhere *)
+    if accept_keyword st "analyze" then
+      Sql_ast.Stmt_explain_analyze (parse_query st)
+    else Sql_ast.Stmt_explain (parse_query st)
   end
   else Sql_ast.Stmt_select (parse_query st)
 

@@ -21,4 +21,5 @@ let () =
       ("index", Test_index.suite);
       ("properties-extensions", Test_properties2.suite);
       ("parallel", Test_parallel.suite);
+      ("observe", Test_observe.suite);
     ]

@@ -131,6 +131,50 @@ let prop_parallel_group_by_equals_sequential =
       in
       check_levels cat plan)
 
+(* ---------- metrics agree across parallelism levels ---------- *)
+
+(* The Obs counters are shared atomics updated from pool domains; the
+   totals a run reports must not depend on how many domains ran it:
+   same rows emitted at the root, same number of groups partitioned,
+   same per-group PGQ invocation count. *)
+let prop_parallel_metrics_agree =
+  QCheck2.Test.make ~count:40
+    ~name:"observed metrics agree across parallelism 1/2/4"
+    (Gen.triple
+       (Test_properties.gen_relation Test_properties.g_schema)
+       Test_properties.gen_gcols Test_properties.gen_pgq)
+    (fun (rel, gcols, pgq) ->
+      let cat = Test_properties.catalog_with_r rel in
+      let plan =
+        Plan.g_apply ~gcols ~var:"g"
+          ~outer:Test_properties.unqualified_scan_r ~pgq
+      in
+      let stats_at parallelism =
+        let sink = Obs.make () in
+        let c =
+          Compile.plan
+            ~config:(Compile.config_with ~observe:sink ~parallelism ())
+            plan
+        in
+        ignore (Cursor.length (c.Compile.run (Env.make cat)));
+        match Obs.snapshot sink with
+        | Some s -> s
+        | None -> QCheck2.Test.fail_report "no metric tree"
+      in
+      let seq = stats_at 1 in
+      List.for_all
+        (fun parallelism ->
+          let s = stats_at parallelism in
+          s.Obs.rows = seq.Obs.rows
+          && s.Obs.partitions = seq.Obs.partitions
+          &&
+          match (s.Obs.children, seq.Obs.children) with
+          | [ _; pgq_par ], [ _; pgq_seq ] ->
+              pgq_par.Obs.invocations = pgq_seq.Obs.invocations
+              && pgq_par.Obs.rows = pgq_seq.Obs.rows
+          | _ -> false)
+        [ 2; 4 ])
+
 (* A large deterministic input so the *partition phase* itself takes the
    parallel path (per-domain partial tables / parallel merge sort), not
    just the execution phase. *)
@@ -199,4 +243,5 @@ let suite =
     QCheck_alcotest.to_alcotest prop_parallel_gapply_equals_sequential;
     QCheck_alcotest.to_alcotest prop_parallel_clustered_gapply_equals_sequential;
     QCheck_alcotest.to_alcotest prop_parallel_group_by_equals_sequential;
+    QCheck_alcotest.to_alcotest prop_parallel_metrics_agree;
   ]
