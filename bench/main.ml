@@ -681,6 +681,108 @@ let bench_analyze ~msf ~repeat () =
      plan; trace counts come from a hook-instrumented run: one open per \
      operator invocation, one next per yielded tuple)@."
 
+(* ---------- plan-cache throughput (prepared statements) ---------- *)
+
+let bench_throughput ~msf ~repeat () =
+  header
+    (Printf.sprintf
+       "Plan-cache throughput: cold vs warm, repeat sweep, concurrent \
+        sessions (msf %g)"
+       msf);
+  (* 1. per-query cold vs warm execution: the warm path skips parse,
+     bind, optimize and compile entirely *)
+  let db = Engine.create () in
+  Engine.load_tpch db ~msf;
+  Format.printf "%-4s %12s %12s %10s@." "" "cold (ms)" "warm (ms)" "speedup";
+  List.iter
+    (fun (name, gapply_src, _) ->
+      Engine.set_plan_cache_enabled db false;
+      let t_cold =
+        time_runs ~repeat (fun () -> Engine.query db gapply_src)
+      in
+      Engine.set_plan_cache_enabled db true;
+      ignore (Engine.query db gapply_src);  (* warm the entry *)
+      let t_warm =
+        time_runs ~repeat (fun () -> Engine.query db gapply_src)
+      in
+      Format.printf "%-4s %12.2f %12.2f %9.2fx@." name (ms t_cold)
+        (ms t_warm) (t_cold /. t_warm);
+      record ~section:"throughput" ~query:name
+        [
+          ("cold_ms", Json.Float (ms t_cold));
+          ("warm_ms", Json.Float (ms t_warm));
+          ("speedup", Json.Float (t_cold /. t_warm));
+        ])
+    Workloads.figure8_queries;
+  (* 2. single-session repeat sweep: Q1-Q4 executed 12 times each on a
+     fresh engine — 4 cold preparations then hits, so the expected hit
+     rate is 44/48 ~ 0.92 (the >= 0.9 acceptance gate) *)
+  let queries =
+    List.map (fun (name, src, _) -> (name, src)) Workloads.figure8_queries
+  in
+  let iterations = 12 in
+  let db = Engine.create () in
+  Engine.load_tpch db ~msf;
+  let trace _ =
+    List.concat
+      (List.init iterations (fun _ -> List.map snd queries))
+  in
+  let sweep = Session.run ~concurrent:false db ~sessions:1 ~script:trace in
+  let hit_rate = Cache_stats.hit_rate sweep.Session.cache in
+  let saved_ms =
+    float_of_int sweep.Session.cache.Cache_stats.saved_ns /. 1e6
+  in
+  Format.printf
+    "@.Repeat sweep (Q1-Q4 x %d): %.0f statements/s, p50 %.2f ms, p99 %.2f \
+     ms@.  cache: %a@."
+    iterations sweep.Session.qps sweep.Session.p50_ms sweep.Session.p99_ms
+    Cache_stats.pp sweep.Session.cache;
+  record ~section:"throughput" ~query:"repeat-sweep"
+    [
+      ("iterations", Json.Int iterations);
+      ("statements", Json.Int sweep.Session.statements);
+      ("qps", Json.Float sweep.Session.qps);
+      ("p50_ms", Json.Float sweep.Session.p50_ms);
+      ("p99_ms", Json.Float sweep.Session.p99_ms);
+      ("hits", Json.Int sweep.Session.cache.Cache_stats.hits);
+      ("misses", Json.Int sweep.Session.cache.Cache_stats.misses);
+      ("hit_rate", Json.Float hit_rate);
+      ("prepare_saved_ms", Json.Float saved_ms);
+    ];
+  (* 3. concurrent sessions over the shared cache vs a sequential replay
+     of the identical traces: digests must agree *)
+  let sessions = 4 in
+  let db = Engine.create () in
+  Engine.load_tpch db ~msf;
+  let concurrent = Session.run ~concurrent:true db ~sessions ~script:trace in
+  let db' = Engine.create () in
+  Engine.load_tpch db' ~msf;
+  let sequential =
+    Session.run ~concurrent:false db' ~sessions ~script:trace
+  in
+  let identical =
+    Session.equal_results concurrent.Session.results
+      sequential.Session.results
+  in
+  Format.printf
+    "@.%d concurrent sessions: %.0f statements/s (sequential replay %.0f), \
+     identical results: %b@.  cache: %a@."
+    sessions concurrent.Session.qps sequential.Session.qps identical
+    Cache_stats.pp concurrent.Session.cache;
+  record ~section:"throughput" ~query:(Printf.sprintf "sessions-%d" sessions)
+    [
+      ("sessions", Json.Int sessions);
+      ("statements", Json.Int concurrent.Session.statements);
+      ("qps", Json.Float concurrent.Session.qps);
+      ("sequential_qps", Json.Float sequential.Session.qps);
+      ("p99_ms", Json.Float concurrent.Session.p99_ms);
+      ("hits", Json.Int concurrent.Session.cache.Cache_stats.hits);
+      ("misses", Json.Int concurrent.Session.cache.Cache_stats.misses);
+      ( "hit_rate",
+        Json.Float (Cache_stats.hit_rate concurrent.Session.cache) );
+      ("identical", Json.Bool identical);
+    ]
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let bench_micro () =
@@ -735,7 +837,7 @@ let bench_micro () =
 let all_sections =
   [
     "figure8"; "table1"; "partitioning"; "parallel"; "clientsim";
-    "pipeline"; "ablation"; "analyze"; "micro";
+    "pipeline"; "ablation"; "analyze"; "throughput"; "micro";
   ]
 
 let run_section ~msf ~repeat = function
@@ -747,6 +849,7 @@ let run_section ~msf ~repeat = function
   | "pipeline" -> bench_pipeline ~msf ~repeat ()
   | "ablation" -> bench_ablation ~msf ~repeat ()
   | "analyze" -> bench_analyze ~msf ~repeat ()
+  | "throughput" -> bench_throughput ~msf ~repeat ()
   | "micro" -> bench_micro ()
   | other ->
       Format.eprintf "unknown section %s (known: %s)@." other

@@ -11,7 +11,11 @@
      \stats TABLE  show table statistics
      \timing       toggle per-query timing
      \analyze      toggle EXPLAIN ANALYZE instrumentation on queries
-     explain Q     show plans and the rules that fired               *)
+     \cache        show plan-cache counters and occupancy
+     explain Q     show plans and the rules that fired
+
+   --sessions N runs the concurrent workload driver (N sessions over
+   the Q1-Q4 trace, --iterations repeats each) instead of the REPL.  *)
 
 open Cmdliner
 
@@ -66,6 +70,7 @@ let run_meta db ~timing ~analyze cmd =
   | [ "\\analyze" ] ->
       analyze := not !analyze;
       Format.printf "analyze %s@." (if !analyze then "on" else "off")
+  | [ "\\cache" ] -> Format.printf "%s@." (Engine.cache_report db)
   | _ -> Format.printf "unknown meta-command: %s@." cmd
 
 let repl db ~analyze =
@@ -100,7 +105,20 @@ let repl db ~analyze =
     done
   with Exit -> Format.printf "bye.@."
 
-let main tpch_msf partition no_optimize parallelism analyze script =
+(* --sessions: drive N concurrent sessions over the Q1-Q4 GApply trace
+   (each repeated --iterations times) and print the throughput report. *)
+let run_sessions db ~sessions ~iterations =
+  let queries =
+    List.map (fun (_, gapply, _) -> gapply) Workloads.figure8_queries
+  in
+  let script _ =
+    List.concat (List.init iterations (fun _ -> queries))
+  in
+  let report = Session.run db ~sessions ~script in
+  Format.printf "%a@." Session.pp_report report
+
+let main tpch_msf partition no_optimize parallelism analyze sessions
+    iterations script =
   let partition =
     match partition with
     | "sort" -> Compile.Sort_partition
@@ -121,6 +139,11 @@ let main tpch_msf partition no_optimize parallelism analyze script =
       Engine.load_tpch db ~msf;
       Format.printf "loaded TPC-H micro data at msf %g@." msf
   | None -> ());
+  if sessions > 0 then begin
+    if tpch_msf = None then Engine.load_tpch db ~msf:0.2;
+    run_sessions db ~sessions ~iterations:(max 1 iterations);
+    exit 0
+  end;
   match script with
   | Some path ->
       let ic = open_in path in
@@ -162,6 +185,20 @@ let analyze_arg =
            ~doc:"Run every SELECT under per-operator instrumentation and \
                  print its EXPLAIN ANALYZE report after the rows.")
 
+let sessions_arg =
+  Arg.(value & opt int 0
+       & info [ "sessions" ] ~docv:"N"
+           ~doc:"Run N concurrent sessions over the Q1-Q4 workload trace \
+                 against the shared plan cache and print the throughput \
+                 report (loads TPC-H data at msf 0.2 unless --tpch is \
+                 given), then exit.")
+
+let iterations_arg =
+  Arg.(value & opt int 5
+       & info [ "iterations" ] ~docv:"M"
+           ~doc:"With --sessions: repeat the Q1-Q4 trace M times per \
+                 session.")
+
 let script_arg =
   Arg.(value & opt (some file) None
        & info [ "f"; "file" ] ~docv:"SCRIPT"
@@ -172,6 +209,7 @@ let cmd =
   Cmd.v
     (Cmd.info "gapply_cli" ~doc)
     Term.(const main $ tpch_arg $ partition_arg $ no_optimize_arg
-          $ parallelism_arg $ analyze_arg $ script_arg)
+          $ parallelism_arg $ analyze_arg $ sessions_arg $ iterations_arg
+          $ script_arg)
 
 let () = exit (Cmd.eval cmd)

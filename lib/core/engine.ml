@@ -7,32 +7,77 @@
      Engine.load_tpch db ~msf:1.0;
      match Engine.exec db "select gapply(...) ... group by k : g" with
      | Engine.Rows rel -> Format.printf "%a" Relation.pp rel
-     | ...                                                            *)
+     | ...
+
+   Queries go through a version-invalidated plan cache (Plan_cache):
+   re-executing the same SQL text under the same knobs skips parse,
+   bind, optimize and compile entirely, while any DDL/DML transparently
+   evicts the dependent entries.  [prepare] / [exec_prepared] expose the
+   same machinery as an explicit handle, and SQL-level
+   PREPARE / EXECUTE / DEALLOCATE drive it from scripts. *)
 
 type t = {
   catalog : Catalog.t;
   mutable partition : Compile.partition_strategy;
   mutable optimize : bool;
   mutable parallelism : int;
+  cache : Plan_cache.t;
+  mutable cache_enabled : bool;
+  prepared : (string, prepared) Hashtbl.t;  (* SQL-level PREPARE names *)
+  ddl_lock : Mutex.t;  (* serializes DDL/DML statement bodies *)
 }
+
+and prepared = { p_sql : string; mutable p_entry : Plan_cache.entry }
 
 type outcome =
   | Rows of Relation.t
   | Message of string
   | Explanation of string
 
+(* The cache can be force-disabled from the environment so the whole
+   test suite can be replayed over the cold path (CI runs it once with
+   GAPPLY_PLAN_CACHE=off). *)
+let cache_enabled_from_env () =
+  match Sys.getenv_opt "GAPPLY_PLAN_CACHE" with
+  | Some ("off" | "0" | "false" | "no") -> false
+  | _ -> true
+
 let create ?(partition = Compile.Hash_partition) ?(optimize = true)
-    ?(parallelism = 1) () =
-  { catalog = Catalog.create (); partition; optimize; parallelism }
+    ?(parallelism = 1) ?plan_cache ?(cache_capacity = 128) () =
+  let cache_enabled =
+    (match plan_cache with Some b -> b | None -> true)
+    && cache_enabled_from_env ()
+  in
+  {
+    catalog = Catalog.create ();
+    partition;
+    optimize;
+    parallelism;
+    cache = Plan_cache.create ~capacity:cache_capacity ();
+    cache_enabled;
+    prepared = Hashtbl.create 8;
+    ddl_lock = Mutex.create ();
+  }
 
 let catalog db = db.catalog
+
+(* Knob setters need no cache action: the knobs are part of the cache
+   key, so flipping one key-splits — the old entries stay behind for
+   when the knob flips back, and can never be served under the new
+   setting (regression-tested in test_plan_cache.ml). *)
 let set_partition_strategy db p = db.partition <- p
 let set_optimize db b = db.optimize <- b
 let set_parallelism db n = db.parallelism <- n
 
+let plan_cache db = db.cache
+let plan_cache_enabled db = db.cache_enabled
+let set_plan_cache_enabled db b = db.cache_enabled <- b
+
 (** Load the TPC-H style dataset (supplier/part/partsupp) at micro scale
     factor [msf] (1.0 = 100 suppliers / 2000 parts / 8000 partsupp). *)
-let load_tpch ?seed db ~msf = ignore (Tpch_gen.load ?seed db.catalog ~msf)
+let load_tpch ?seed db ~msf =
+  ignore (Tpch_gen.load ?seed db.catalog ~msf);
+  ignore (Plan_cache.invalidate_stale db.cache db.catalog)
 
 let config ?observe db =
   Compile.config_with ~partition:db.partition ~parallelism:db.parallelism
@@ -46,7 +91,8 @@ let plan_of_sql db src =
   | Sql_binder.Bound_explain p
   | Sql_binder.Bound_explain_analyze p ->
       p
-  | Sql_binder.Bound_ddl _ ->
+  | Sql_binder.Bound_ddl _ | Sql_binder.Bound_prepare _
+  | Sql_binder.Bound_execute _ | Sql_binder.Bound_deallocate _ ->
       Errors.plan_errorf "expected a query, got a DDL statement"
 
 (** The plan that would actually run (optimized if enabled). *)
@@ -57,6 +103,99 @@ let effective_plan db src =
 
 (** Run a logical plan directly. *)
 let run_plan db plan = Executor.run ~config:(config db) db.catalog plan
+
+(* ---------- plan cache ---------- *)
+
+let normalize_sql src =
+  let s = String.trim src in
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = ';' then String.trim (String.sub s 0 (n - 1)) else s
+
+let cache_key db sql =
+  {
+    Plan_cache.sql;
+    partition = db.partition;
+    optimize = db.optimize;
+    parallelism = db.parallelism;
+  }
+
+(* Cold path: parse + bind + optimize + compile, timed, fingerprinted
+   against the catalog as of just before the parse (a concurrent DDL
+   mid-prepare then simply leaves the entry already-stale). *)
+let prepare_entry db (key : Plan_cache.key) =
+  let generation = Catalog.generation db.catalog in
+  let t0 = Metrics.now_ns () in
+  let plan = plan_of_sql db key.Plan_cache.sql in
+  let plan =
+    if key.Plan_cache.optimize then
+      (Optimizer.optimize db.catalog plan).Optimizer.plan
+    else plan
+  in
+  let compiled = Compile.plan ~config:(config db) plan in
+  let prepare_ns = Metrics.now_ns () - t0 in
+  if db.cache_enabled then
+    Cache_stats.add_prepare_ns (Plan_cache.stats db.cache) prepare_ns;
+  {
+    Plan_cache.key;
+    plan;
+    compiled;
+    generation;
+    deps = Plan_cache.snapshot_deps db.catalog plan;
+    prepare_ns;
+    last_used = 0;
+  }
+
+let lookup_or_prepare db sql =
+  let key = cache_key db sql in
+  if not db.cache_enabled then prepare_entry db key
+  else
+    match Plan_cache.find db.cache db.catalog key with
+    | Some e -> e
+    | None ->
+        Plan_cache.record_miss db.cache;
+        let e = prepare_entry db key in
+        Plan_cache.add db.cache e;
+        e
+
+let cached_plan db src =
+  match Plan_cache.peek db.cache (cache_key db (normalize_sql src)) with
+  | Some e -> Some e.Plan_cache.plan
+  | None -> None
+
+let cache_report db =
+  let s = Cache_stats.snapshot (Plan_cache.stats db.cache) in
+  Format.asprintf "plan cache: %a entries=%d/%d%s" Cache_stats.pp s
+    (Plan_cache.length db.cache)
+    (Plan_cache.capacity db.cache)
+    (if db.cache_enabled then "" else " (disabled)")
+
+(* ---------- prepared statements ---------- *)
+
+let prepare db src =
+  let sql = normalize_sql src in
+  { p_sql = sql; p_entry = lookup_or_prepare db sql }
+
+let prepared_sql h = h.p_sql
+let prepared_plan h = h.p_entry.Plan_cache.plan
+
+(** Warm path of a handle: if its entry still matches the current knobs
+    and catalog versions, run it directly (counted as a hit); otherwise
+    transparently re-prepare (via the cache, so a handle re-validating
+    after unrelated knob flips can still hit an older entry). *)
+let exec_prepared db h =
+  let e = h.p_entry in
+  if
+    e.Plan_cache.key = cache_key db h.p_sql
+    && Plan_cache.is_valid db.catalog e
+  then begin
+    if db.cache_enabled then Plan_cache.note_hit db.cache e;
+    Executor.run_compiled db.catalog e.Plan_cache.compiled
+  end
+  else begin
+    let e = lookup_or_prepare db h.p_sql in
+    h.p_entry <- e;
+    Executor.run_compiled db.catalog e.Plan_cache.compiled
+  end
 
 (* ---------- EXPLAIN ANALYZE ---------- *)
 
@@ -98,7 +237,12 @@ let analyze_report cat plan sink rel =
   | [] -> ());
   Buffer.contents buf
 
-(* Optimize, compile under a fresh sink, run to completion, render. *)
+(* Optimize, compile under a fresh sink, run to completion, render.
+   Never served from the cache: the Obs sink observes exactly one
+   compilation, so the plan is always compiled fresh here.  When the
+   engine's cache has seen traffic, a summary line is appended (kept
+   silent on untouched engines so plain EXPLAIN ANALYZE output is
+   stable). *)
 let analyze_plan db plan =
   let plan =
     if db.optimize then (Optimizer.optimize db.catalog plan).Optimizer.plan
@@ -108,7 +252,20 @@ let analyze_plan db plan =
   let rel =
     Executor.run ~config:(config ~observe:sink db) db.catalog plan
   in
-  (rel, analyze_report db.catalog plan sink rel)
+  let report = analyze_report db.catalog plan sink rel in
+  let s = Cache_stats.snapshot (Plan_cache.stats db.cache) in
+  let report =
+    if Cache_stats.lookups s + s.Cache_stats.evictions
+       + s.Cache_stats.invalidations > 0
+    then
+      report
+      ^ Format.asprintf "== plan cache: %a entries=%d/%d ==\n" Cache_stats.pp
+          s
+          (Plan_cache.length db.cache)
+          (Plan_cache.capacity db.cache)
+    else report
+  in
+  (rel, report)
 
 (** Run a query under per-operator instrumentation: the result relation
     plus the rendered EXPLAIN ANALYZE report. *)
@@ -119,59 +276,100 @@ let analyze db src =
   | Sql_binder.Bound_explain plan
   | Sql_binder.Bound_explain_analyze plan ->
       analyze_plan db plan
-  | Sql_binder.Bound_ddl _ ->
+  | Sql_binder.Bound_ddl _ | Sql_binder.Bound_prepare _
+  | Sql_binder.Bound_execute _ | Sql_binder.Bound_deallocate _ ->
       Errors.plan_errorf "expected a query, got a DDL statement"
+
+(* ---------- statement execution ---------- *)
+
+let render_explain db plan =
+  let opt = Optimizer.optimize db.catalog plan in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "== unoptimized ==\n";
+  Buffer.add_string buf (Plan.to_string plan);
+  Buffer.add_string buf "== optimized ==\n";
+  Buffer.add_string buf (Plan.to_string opt.Optimizer.plan);
+  (match opt.Optimizer.trace with
+  | [] -> Buffer.add_string buf "== no rules fired ==\n"
+  | trace ->
+      Buffer.add_string buf "== rules fired ==\n";
+      Buffer.add_string buf (Optimizer.trace_to_string trace);
+      Buffer.add_char buf '\n');
+  Buffer.add_string buf
+    (Printf.sprintf "== estimated cost: %.0f ==\n"
+       (Cost.plan_cost db.catalog opt.Optimizer.plan));
+  Buffer.contents buf
+
+let prepared_name name = String.lowercase_ascii name
+
+(* Execute one parsed statement; [sql] is the normalized source text
+   used as the cache key for plain queries. *)
+let exec_stmt db ~sql (stmt : Sql_ast.statement) : outcome =
+  match stmt with
+  | Sql_ast.Stmt_select _ ->
+      let e = lookup_or_prepare db sql in
+      Rows (Executor.run_compiled db.catalog e.Plan_cache.compiled)
+  | Sql_ast.Stmt_prepare (name, q) ->
+      let h = prepare db (Sql_ast.query_to_string q) in
+      Hashtbl.replace db.prepared (prepared_name name) h;
+      Message (Printf.sprintf "prepared %s" name)
+  | Sql_ast.Stmt_execute name -> (
+      match Hashtbl.find_opt db.prepared (prepared_name name) with
+      | Some h -> Rows (exec_prepared db h)
+      | None -> Errors.name_errorf "unknown prepared statement %s" name)
+  | Sql_ast.Stmt_deallocate name ->
+      if not (Hashtbl.mem db.prepared (prepared_name name)) then
+        Errors.name_errorf "unknown prepared statement %s" name;
+      Hashtbl.remove db.prepared (prepared_name name);
+      Message (Printf.sprintf "deallocated %s" name)
+  | Sql_ast.Stmt_explain q ->
+      Explanation (render_explain db (Sql_binder.bind_query db.catalog q))
+  | Sql_ast.Stmt_explain_analyze q ->
+      let _rel, report =
+        analyze_plan db (Sql_binder.bind_query db.catalog q)
+      in
+      Explanation report
+  | Sql_ast.Stmt_create_table _ | Sql_ast.Stmt_create_index _
+  | Sql_ast.Stmt_insert _ | Sql_ast.Stmt_drop_table _
+  | Sql_ast.Stmt_drop_index _ ->
+      (* DDL/DML bodies are serialized (concurrent sessions may interleave
+         queries freely, but two writers to the same table must not
+         race); the eager sweep then evicts exactly the entries whose
+         fingerprints the statement changed. *)
+      let msg =
+        Mutex.protect db.ddl_lock (fun () ->
+            match Sql_binder.bind_statement db.catalog stmt with
+            | Sql_binder.Bound_ddl msg -> msg
+            | _ -> assert false)
+      in
+      ignore (Plan_cache.invalidate_stale db.cache db.catalog);
+      Message msg
 
 (** Execute one SQL statement. *)
 let exec db src : outcome =
-  match Sql_binder.bind_statement db.catalog (Sql_parser.parse_statement src)
-  with
-  | Sql_binder.Bound_ddl msg -> Message msg
-  | Sql_binder.Bound_query plan ->
-      let plan =
-        if db.optimize then (Optimizer.optimize db.catalog plan).Optimizer.plan
-        else plan
-      in
-      Rows (run_plan db plan)
-  | Sql_binder.Bound_explain plan ->
-      let opt = Optimizer.optimize db.catalog plan in
-      let buf = Buffer.create 256 in
-      Buffer.add_string buf "== unoptimized ==\n";
-      Buffer.add_string buf (Plan.to_string plan);
-      Buffer.add_string buf "== optimized ==\n";
-      Buffer.add_string buf (Plan.to_string opt.Optimizer.plan);
-      (match opt.Optimizer.trace with
-      | [] -> Buffer.add_string buf "== no rules fired ==\n"
-      | trace ->
-          Buffer.add_string buf "== rules fired ==\n";
-          Buffer.add_string buf (Optimizer.trace_to_string trace);
-          Buffer.add_char buf '\n');
-      Buffer.add_string buf
-        (Printf.sprintf "== estimated cost: %.0f ==\n"
-           (Cost.plan_cost db.catalog opt.Optimizer.plan));
-      Explanation (Buffer.contents buf)
-  | Sql_binder.Bound_explain_analyze plan ->
-      let _rel, report = analyze_plan db plan in
-      Explanation report
+  let sql = normalize_sql src in
+  (* warm fast path: a still-valid cached plan for this exact text skips
+     even the parse *)
+  let fast =
+    if db.cache_enabled then
+      Plan_cache.find db.cache db.catalog (cache_key db sql)
+    else None
+  in
+  match fast with
+  | Some e -> Rows (Executor.run_compiled db.catalog e.Plan_cache.compiled)
+  | None -> exec_stmt db ~sql (Sql_parser.parse_statement sql)
 
-(** Execute a whole ';'-separated script, returning each outcome. *)
+(** Execute a whole ';'-separated script, returning each outcome.
+    Queries are keyed on their printed (canonical) text, so a repeated
+    script statement warms the same entries as {!exec}. *)
 let exec_script db src : outcome list =
   List.map
     (fun stmt ->
-      match Sql_binder.bind_statement db.catalog stmt with
-      | Sql_binder.Bound_ddl msg -> Message msg
-      | Sql_binder.Bound_query plan ->
-          let plan =
-            if db.optimize then
-              (Optimizer.optimize db.catalog plan).Optimizer.plan
-            else plan
-          in
-          Rows (run_plan db plan)
-      | Sql_binder.Bound_explain plan ->
-          Explanation (Plan.to_string plan)
-      | Sql_binder.Bound_explain_analyze plan ->
-          let _rel, report = analyze_plan db plan in
-          Explanation report)
+      match stmt with
+      | Sql_ast.Stmt_explain q ->
+          (* scripts keep the historical terse EXPLAIN rendering *)
+          Explanation (Plan.to_string (Sql_binder.bind_query db.catalog q))
+      | _ -> exec_stmt db ~sql:(Sql_ast.statement_to_string stmt) stmt)
     (Sql_parser.parse_script src)
 
 (** Run a query and return the relation (raises on DDL). *)

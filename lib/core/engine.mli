@@ -8,9 +8,23 @@
       match Engine.exec db "select gapply(...) ... group by k : g" with
       | Engine.Rows rel -> Format.printf "%a" Relation.pp rel
       | _ -> ...
-    ]} *)
+    ]}
+
+    Queries run through a version-invalidated plan cache: re-executing
+    the same SQL text under the same knobs skips parse / bind /
+    optimize / compile, and any DDL or DML transparently evicts the
+    dependent entries (see {!Plan_cache}).  {!prepare} /
+    {!exec_prepared} expose the warm path as an explicit handle;
+    SQL-level [PREPARE name AS q] / [EXECUTE name] / [DEALLOCATE name]
+    drive the same machinery from scripts. *)
 
 type t
+
+type prepared
+(** A prepared statement: the bound + optimized + compiled plan of one
+    query, fingerprinted against the compile-time knobs and the catalog
+    version.  Re-prepared transparently by {!exec_prepared} when a knob
+    flip or DDL/DML made it stale. *)
 
 type outcome =
   | Rows of Relation.t          (** result of a query *)
@@ -21,16 +35,61 @@ val create :
   ?partition:Compile.partition_strategy ->
   ?optimize:bool ->
   ?parallelism:int ->
+  ?plan_cache:bool ->
+  ?cache_capacity:int ->
   unit ->
   t
 (** A fresh engine with an empty catalog.  Defaults: hash-partitioned
     GApply, optimizer enabled, sequential execution.  [parallelism]
-    follows {!Compile.config}: total domains, [0] = automatic. *)
+    follows {!Compile.config}: total domains, [0] = automatic.
+
+    The plan cache is on by default with a 128-entry LRU capacity; pass
+    [~plan_cache:false] to force every execution down the cold path.
+    The environment variable [GAPPLY_PLAN_CACHE=off] (or [0] / [false] /
+    [no]) disables it globally — CI replays the whole test suite that
+    way to prove warm and cold paths agree. *)
 
 val catalog : t -> Catalog.t
+
 val set_partition_strategy : t -> Compile.partition_strategy -> unit
 val set_optimize : t -> bool -> unit
 val set_parallelism : t -> int -> unit
+(** Compile knobs are part of the plan-cache key, so flipping one can
+    never serve a plan compiled under the old setting — the cache
+    key-splits, and flipping back re-hits the older entries. *)
+
+(** {1 Plan cache} *)
+
+val plan_cache : t -> Plan_cache.t
+val plan_cache_enabled : t -> bool
+val set_plan_cache_enabled : t -> bool -> unit
+
+val cached_plan : t -> string -> Plan.t option
+(** The cached (optimized) plan this engine would reuse for [sql] under
+    its current knobs, if any — counter-free introspection. *)
+
+val cache_report : t -> string
+(** One-line human-readable cache summary (the CLI's [\cache]). *)
+
+(** {1 Prepared statements} *)
+
+val prepare : t -> string -> prepared
+(** Parse, bind, optimize and compile a query once; the handle replays
+    it with {!exec_prepared}.  Goes through the plan cache (so preparing
+    an already-cached text is itself a hit). *)
+
+val exec_prepared : t -> prepared -> Relation.t
+(** Execute a prepared query.  If the handle is still valid this runs
+    the compiled plan directly — no parse, bind, optimize or compile;
+    if a knob changed or dependent DDL/DML ran, it transparently
+    re-prepares first. *)
+
+val prepared_sql : prepared -> string
+val prepared_plan : prepared -> Plan.t
+(** The normalized SQL text / currently-compiled optimized plan of a
+    handle. *)
+
+(** {1 Loading and running} *)
 
 val load_tpch : ?seed:int -> t -> msf:float -> unit
 (** Load the TPC-H style dataset (supplier/part/partsupp) at micro scale
@@ -50,11 +109,14 @@ val analyze : t -> string -> Relation.t * string
     EXPLAIN ANALYZE report: one line per operator with the cost model's
     estimated cardinality next to observed rows / invocations / groups /
     inclusive time / time-to-first-tuple.  [EXPLAIN ANALYZE <query>]
-    through {!exec} returns the same report as an [Explanation]. *)
+    through {!exec} returns the same report as an [Explanation].  Never
+    served from the plan cache (the instrumented compilation is always
+    fresh); once the engine's cache has seen any traffic the report
+    gains a [== plan cache: ... ==] summary line. *)
 
 val exec : t -> string -> outcome
-(** Execute one SQL statement (query, EXPLAIN, EXPLAIN ANALYZE, or
-    DDL/DML). *)
+(** Execute one SQL statement (query, EXPLAIN, EXPLAIN ANALYZE,
+    PREPARE / EXECUTE / DEALLOCATE, or DDL/DML). *)
 
 val exec_script : t -> string -> outcome list
 (** Execute a ';'-separated script. *)

@@ -1,0 +1,47 @@
+(** A concurrent multi-session workload driver over one shared engine.
+
+    Each of [sessions] sessions executes its own statement trace
+    (queries and DML) against the same catalog and plan cache; with
+    [~concurrent:true] (the default) sessions run on the shared domain
+    pool, so cache lookups, hits and invalidations genuinely interleave.
+    The report carries per-session result digests so a concurrent run
+    can be checked against a sequential replay of the same traces.
+
+    Concurrent sessions issuing DML must write to session-private
+    tables; shared tables should stay read-only during a run (the engine
+    serializes statement bodies, but row arrival order across two
+    writers to one table is nondeterministic). *)
+
+type session_result = {
+  id : int;
+  statements : int;
+  rows : int;                (** total result rows across the trace *)
+  digest : int;              (** order-sensitive hash of every outcome *)
+  latencies_ns : int array;  (** one entry per statement *)
+}
+
+type report = {
+  sessions : int;
+  statements : int;          (** across all sessions *)
+  elapsed_ns : int;          (** wall clock for the whole run *)
+  qps : float;               (** statements / elapsed seconds *)
+  p50_ms : float;            (** statement latency percentiles, pooled *)
+  p99_ms : float;
+  cache : Cache_stats.snapshot;
+      (** plan-cache counter delta attributable to this run *)
+  results : session_result array;  (** indexed by session id *)
+}
+
+val run :
+  ?concurrent:bool -> Engine.t -> sessions:int -> script:(int -> string list)
+  -> report
+(** Run [script i] (the statement trace of session [i]) for each of
+    [sessions] sessions.  [~concurrent:false] replays the identical
+    traces sequentially on the calling domain — same digests expected
+    when the traces only write session-private tables. *)
+
+val equal_results : session_result array -> session_result array -> bool
+(** Same ids, statement counts, row counts and digests — the
+    concurrent-vs-sequential acceptance check. *)
+
+val pp_report : Format.formatter -> report -> unit

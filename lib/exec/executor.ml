@@ -13,6 +13,13 @@ let run_count ?config (catalog : Catalog.t) (p : Plan.t) : int =
   let env = Env.make catalog in
   Cursor.length (compiled.Compile.run env)
 
+(** Run an already-compiled plan (the plan-cache / prepared-statement
+    warm path: no parse, bind, optimize, or compile).  The compiled
+    closures hold no per-run state, so one [compiled] value can be run
+    repeatedly and from several domains at once. *)
+let run_compiled (catalog : Catalog.t) (c : Compile.compiled) : Relation.t =
+  Cursor.to_relation c.Compile.schema (c.Compile.run (Env.make catalog))
+
 (** Run a plan under an explicit environment (used by the client-side
     GApply simulation, which pre-binds group variables). *)
 let run_in ?config (env : Env.t) (p : Plan.t) : Relation.t =

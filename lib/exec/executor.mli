@@ -7,6 +7,11 @@ val run_count : ?config:Compile.config -> Catalog.t -> Plan.t -> int
 (** Run and count output rows without retaining them (used by the
     benchmarks). *)
 
+val run_compiled : Catalog.t -> Compile.compiled -> Relation.t
+(** Run an already-compiled plan against a fresh environment — the warm
+    path of the plan cache and of prepared statements.  Safe to call
+    repeatedly and concurrently on the same [compiled] value. *)
+
 val run_in : ?config:Compile.config -> Env.t -> Plan.t -> Relation.t
 (** Run under an explicit environment (pre-bound relation-valued
     variables / outer frames). *)

@@ -1,0 +1,83 @@
+(* Plan-cache counters: atomics, so the concurrent sessions of the
+   workload driver can hit/miss/invalidate the shared cache from pool
+   domains without lost updates ("no counter tears"). *)
+
+type t = {
+  hits : Metrics.counter;
+  misses : Metrics.counter;
+  evictions : Metrics.counter;
+  invalidations : Metrics.counter;
+  prepare_ns : Metrics.timer;
+  saved_ns : Metrics.timer;
+}
+
+let create () =
+  {
+    hits = Metrics.counter ();
+    misses = Metrics.counter ();
+    evictions = Metrics.counter ();
+    invalidations = Metrics.counter ();
+    prepare_ns = Metrics.timer ();
+    saved_ns = Metrics.timer ();
+  }
+
+let hit t = Metrics.incr t.hits
+let miss t = Metrics.incr t.misses
+let eviction t = Metrics.incr t.evictions
+let invalidation t = Metrics.incr t.invalidations
+let add_prepare_ns t ns = Metrics.add_span t.prepare_ns ns
+let add_saved_ns t ns = Metrics.add_span t.saved_ns ns
+
+type snapshot = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  prepare_ns : int;
+  saved_ns : int;
+}
+
+let snapshot (t : t) =
+  {
+    hits = Metrics.get t.hits;
+    misses = Metrics.get t.misses;
+    evictions = Metrics.get t.evictions;
+    invalidations = Metrics.get t.invalidations;
+    prepare_ns = Metrics.elapsed_ns t.prepare_ns;
+    saved_ns = Metrics.elapsed_ns t.saved_ns;
+  }
+
+let reset (t : t) =
+  Metrics.reset t.hits;
+  Metrics.reset t.misses;
+  Metrics.reset t.evictions;
+  Metrics.reset t.invalidations;
+  Metrics.reset_timer t.prepare_ns;
+  Metrics.reset_timer t.saved_ns
+
+(* Counters only grow, so the delta of two snapshots of the same sink is
+   itself a valid snapshot (used to report one workload run against a
+   long-lived engine). *)
+let diff (after : snapshot) (before : snapshot) =
+  {
+    hits = after.hits - before.hits;
+    misses = after.misses - before.misses;
+    evictions = after.evictions - before.evictions;
+    invalidations = after.invalidations - before.invalidations;
+    prepare_ns = after.prepare_ns - before.prepare_ns;
+    saved_ns = after.saved_ns - before.saved_ns;
+  }
+
+let lookups (s : snapshot) = s.hits + s.misses
+
+let hit_rate (s : snapshot) =
+  let n = lookups s in
+  if n = 0 then 0. else float_of_int s.hits /. float_of_int n
+
+let pp ppf (s : snapshot) =
+  Format.fprintf ppf
+    "hits=%d misses=%d evictions=%d invalidations=%d hit_rate=%.2f \
+     prepare=%s saved=%s"
+    s.hits s.misses s.evictions s.invalidations (hit_rate s)
+    (Pretty.duration_ns s.prepare_ns)
+    (Pretty.duration_ns s.saved_ns)

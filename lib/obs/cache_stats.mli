@@ -1,0 +1,50 @@
+(** Counters for a plan cache: hits, misses, evictions,
+    version-invalidations, total time spent preparing statements (parse
+    + bind + optimize + compile) and the preparation time a hit avoided.
+
+    Everything is a {!Metrics} atomic, so concurrent sessions updating
+    the shared cache from pool domains never lose an update; in
+    particular [hits + misses] always equals the number of cache
+    lookups that ran, however many domains issued them. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording} *)
+
+val hit : t -> unit
+val miss : t -> unit
+val eviction : t -> unit
+val invalidation : t -> unit
+
+val add_prepare_ns : t -> int -> unit
+(** Time spent on one cold-path preparation. *)
+
+val add_saved_ns : t -> int -> unit
+(** Preparation time a hit skipped (the entry's own prepare cost). *)
+
+(** {1 Reporting} *)
+
+type snapshot = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  prepare_ns : int;
+  saved_ns : int;
+}
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff after before]: per-run delta of a monotonic sink. *)
+
+val lookups : snapshot -> int
+(** [hits + misses]. *)
+
+val hit_rate : snapshot -> float
+(** [hits / (hits + misses)]; [0.] when no lookups ran. *)
+
+val pp : Format.formatter -> snapshot -> unit

@@ -79,6 +79,9 @@ type statement =
   | Stmt_explain_analyze of query
       (* execute the query under per-operator instrumentation and render
          the annotated operator tree *)
+  | Stmt_prepare of string * query  (* PREPARE name AS query *)
+  | Stmt_execute of string
+  | Stmt_deallocate of string
 
 (* ---------- printing (used by error messages, the CLI, and the
    parse/print round-trip property tests) ---------- *)
@@ -245,3 +248,6 @@ let statement_to_string = function
   | Stmt_drop_index t -> "DROP INDEX " ^ t
   | Stmt_explain q -> "EXPLAIN " ^ query_to_string q
   | Stmt_explain_analyze q -> "EXPLAIN ANALYZE " ^ query_to_string q
+  | Stmt_prepare (name, q) -> "PREPARE " ^ name ^ " AS " ^ query_to_string q
+  | Stmt_execute name -> "EXECUTE " ^ name
+  | Stmt_deallocate name -> "DEALLOCATE " ^ name

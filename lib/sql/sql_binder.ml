@@ -942,6 +942,11 @@ type bound_statement =
   | Bound_explain of Plan.t
   | Bound_explain_analyze of Plan.t
   | Bound_ddl of string   (* human-readable confirmation *)
+  | Bound_prepare of string * Sql_ast.query
+  | Bound_execute of string
+  | Bound_deallocate of string
+      (* prepared-statement statements are resolved by the engine, which
+         owns the prepared-handle namespace and the plan cache *)
 
 let bind_statement (catalog : Catalog.t) (stmt : Sql_ast.statement) :
     bound_statement =
@@ -996,3 +1001,6 @@ let bind_statement (catalog : Catalog.t) (stmt : Sql_ast.statement) :
   | Sql_ast.Stmt_drop_index name ->
       Catalog.drop_index catalog name;
       Bound_ddl (Printf.sprintf "dropped index %s" name)
+  | Sql_ast.Stmt_prepare (name, q) -> Bound_prepare (name, q)
+  | Sql_ast.Stmt_execute name -> Bound_execute name
+  | Sql_ast.Stmt_deallocate name -> Bound_deallocate name

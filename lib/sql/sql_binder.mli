@@ -30,6 +30,11 @@ type bound_statement =
   | Bound_explain_analyze of Plan.t
       (** EXPLAIN ANALYZE: execute under per-operator instrumentation *)
   | Bound_ddl of string  (** human-readable confirmation *)
+  | Bound_prepare of string * Sql_ast.query
+  | Bound_execute of string
+  | Bound_deallocate of string
+      (** prepared-statement statements pass through unbound: the engine
+          owns the handle namespace and the plan cache *)
 
 val bind_statement : Catalog.t -> Sql_ast.statement -> bound_statement
 (** DDL/DML statements are executed against the catalog as a side

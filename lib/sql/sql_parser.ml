@@ -602,6 +602,22 @@ let parse_statement_inner st =
       Sql_ast.Stmt_explain_analyze (parse_query st)
     else Sql_ast.Stmt_explain (parse_query st)
   end
+  else if is_keyword st "prepare" then begin
+    (* PREPARE / EXECUTE / DEALLOCATE are soft keywords like ANALYZE:
+       only significant in statement-head position *)
+    advance st;
+    let name = ident st in
+    expect_keyword st "as";
+    Sql_ast.Stmt_prepare (name, parse_query st)
+  end
+  else if is_keyword st "execute" then begin
+    advance st;
+    Sql_ast.Stmt_execute (ident st)
+  end
+  else if is_keyword st "deallocate" then begin
+    advance st;
+    Sql_ast.Stmt_deallocate (ident st)
+  end
   else Sql_ast.Stmt_select (parse_query st)
 
 (** Parse a single statement (an optional trailing ';' is consumed). *)

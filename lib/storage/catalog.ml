@@ -1,9 +1,22 @@
-(* The catalog: a name -> table map plus statistics cache. *)
+(* The catalog: a name -> table map plus statistics cache.
+
+   A generation counter is bumped on every shape change (create/drop
+   table or index): the plan cache validates entries against it, so DDL
+   conservatively invalidates every cached plan while DML only bumps the
+   affected table's own version.
+
+   A mutex guards the three hash tables so concurrent sessions can
+   resolve names and read/invalidate statistics while another session
+   runs DDL/DML.  Table *contents* are not protected here: writers to
+   the same table must be serialized by the caller (Engine serializes
+   DDL/DML statements). *)
 
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   stats : (string, Stats.table_stats) Hashtbl.t;
   indexes : (string, Index.t) Hashtbl.t;  (* by index name *)
+  generation : int Atomic.t;              (* bumped on DDL *)
+  lock : Mutex.t;
 }
 
 let create () =
@@ -11,68 +24,99 @@ let create () =
     tables = Hashtbl.create 16;
     stats = Hashtbl.create 16;
     indexes = Hashtbl.create 16;
+    generation = Atomic.make 0;
+    lock = Mutex.create ();
   }
+
+let generation cat = Atomic.get cat.generation
+let bump_generation cat = Atomic.incr cat.generation
+
+let locked cat f = Mutex.protect cat.lock f
 
 let normalize name = String.lowercase_ascii name
 
-let add_table cat table =
-  let key = normalize (Table.name table) in
-  if Hashtbl.mem cat.tables key then
-    Errors.name_errorf "table %s already exists" (Table.name table);
-  Hashtbl.replace cat.tables key table
+(* unlocked internals (the lock is not reentrant) *)
 
-let find_table cat name =
-  match Hashtbl.find_opt cat.tables (normalize name) with
+let find_table_opt_u cat name = Hashtbl.find_opt cat.tables (normalize name)
+
+let find_table_u cat name =
+  match find_table_opt_u cat name with
   | Some t -> t
   | None -> Errors.name_errorf "unknown table %s" name
 
-let find_table_opt cat name = Hashtbl.find_opt cat.tables (normalize name)
-let mem_table cat name = Hashtbl.mem cat.tables (normalize name)
+let add_table cat table =
+  locked cat (fun () ->
+      let key = normalize (Table.name table) in
+      if Hashtbl.mem cat.tables key then
+        Errors.name_errorf "table %s already exists" (Table.name table);
+      Hashtbl.replace cat.tables key table);
+  bump_generation cat
+
+let find_table cat name = locked cat (fun () -> find_table_u cat name)
+
+let find_table_opt cat name =
+  locked cat (fun () -> find_table_opt_u cat name)
+
+let mem_table cat name =
+  locked cat (fun () -> Hashtbl.mem cat.tables (normalize name))
 
 let drop_table cat name =
-  let key = normalize name in
-  if not (Hashtbl.mem cat.tables key) then
-    Errors.name_errorf "unknown table %s" name;
-  Hashtbl.remove cat.tables key;
-  Hashtbl.remove cat.stats key
+  locked cat (fun () ->
+      let key = normalize name in
+      if not (Hashtbl.mem cat.tables key) then
+        Errors.name_errorf "unknown table %s" name;
+      Hashtbl.remove cat.tables key;
+      Hashtbl.remove cat.stats key);
+  bump_generation cat
 
 let table_names cat =
-  Hashtbl.fold (fun k _ acc -> k :: acc) cat.tables []
+  locked cat (fun () ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) cat.tables [])
   |> List.sort String.compare
 
 (** Statistics are cached per table and recomputed lazily after
     [invalidate_stats] (e.g. following inserts). *)
 let stats_of cat name =
   let key = normalize name in
-  match Hashtbl.find_opt cat.stats key with
+  let cached = locked cat (fun () -> Hashtbl.find_opt cat.stats key) in
+  match cached with
   | Some s -> s
   | None ->
+      (* compute outside the lock (it walks the whole table); a racing
+         recomputation just replaces the entry with an equal value *)
       let table = find_table cat name in
       let s = Stats.compute (Table.schema table) (Table.to_relation table) in
-      Hashtbl.replace cat.stats key s;
+      locked cat (fun () -> Hashtbl.replace cat.stats key s);
       s
 
-let invalidate_stats cat name = Hashtbl.remove cat.stats (normalize name)
-let invalidate_all_stats cat = Hashtbl.reset cat.stats
+let invalidate_stats cat name =
+  locked cat (fun () -> Hashtbl.remove cat.stats (normalize name))
+
+let invalidate_all_stats cat = locked cat (fun () -> Hashtbl.reset cat.stats)
 
 (* ---------- indexes ---------- *)
 
 let create_index cat ~name ~table ~columns =
-  let key = normalize name in
-  if Hashtbl.mem cat.indexes key then
-    Errors.name_errorf "index %s already exists" name;
-  let t = find_table cat table in
-  let index = Index.create ~name ~table:t ~columns in
-  Hashtbl.replace cat.indexes key index
+  locked cat (fun () ->
+      let key = normalize name in
+      if Hashtbl.mem cat.indexes key then
+        Errors.name_errorf "index %s already exists" name;
+      let t = find_table_u cat table in
+      let index = Index.create ~name ~table:t ~columns in
+      Hashtbl.replace cat.indexes key index);
+  bump_generation cat
 
 let drop_index cat name =
-  let key = normalize name in
-  if not (Hashtbl.mem cat.indexes key) then
-    Errors.name_errorf "unknown index %s" name;
-  Hashtbl.remove cat.indexes key
+  locked cat (fun () ->
+      let key = normalize name in
+      if not (Hashtbl.mem cat.indexes key) then
+        Errors.name_errorf "unknown index %s" name;
+      Hashtbl.remove cat.indexes key);
+  bump_generation cat
 
 let index_names cat =
-  Hashtbl.fold (fun k _ acc -> k :: acc) cat.indexes []
+  locked cat (fun () ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) cat.indexes [])
   |> List.sort String.compare
 
 (** An index on [table] whose column set equals [cols] (any order). *)
@@ -80,17 +124,18 @@ let find_index_on cat ~table ~cols =
   let set_eq a b =
     List.sort String.compare a = List.sort String.compare b
   in
-  Hashtbl.fold
-    (fun _ index acc ->
-      match acc with
-      | Some _ -> acc
-      | None ->
-          if
-            String.equal (normalize (Index.table index)) (normalize table)
-            && set_eq (Index.columns index) cols
-          then Some index
-          else None)
-    cat.indexes None
+  locked cat (fun () ->
+      Hashtbl.fold
+        (fun _ index acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if
+                String.equal (normalize (Index.table index)) (normalize table)
+                && set_eq (Index.columns index) cols
+              then Some index
+              else None)
+        cat.indexes None)
 
 (** Does [table] declare a foreign key on [cols] referencing key columns
     [ref_cols] of [ref_table]?  Column sets are compared as sets. *)
@@ -117,3 +162,10 @@ let covers_primary_key cat ~table ~cols =
   | Some t ->
       let pk = Table.primary_key t in
       pk <> [] && List.for_all (fun k -> List.mem k cols) pk
+
+(** Current version of [table] ([0] when it does not exist): the
+    per-table half of the plan cache's invalidation fingerprint. *)
+let table_version cat name =
+  match find_table_opt cat name with
+  | Some t -> Table.version t
+  | None -> 0

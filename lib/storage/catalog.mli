@@ -1,11 +1,25 @@
 (** The catalog: a name -> table map plus a statistics cache.
 
     Table names are case-insensitive.  Statistics are computed lazily
-    and cached; call {!invalidate_stats} after mutating a table. *)
+    and cached; call {!invalidate_stats} after mutating a table.
+
+    Lookups, statistics and DDL are safe to call from concurrent
+    sessions (a mutex guards the maps); writers to the same table's
+    *contents* must still be serialized by the caller. *)
 
 type t
 
 val create : unit -> t
+
+val generation : t -> int
+(** Monotonic DDL counter, bumped by {!add_table} / {!drop_table} /
+    {!create_index} / {!drop_index}.  Cached plans are fingerprinted
+    against it: any catalog shape change conservatively invalidates
+    them, while DML only bumps the affected table's {!Table.version}. *)
+
+val table_version : t -> string -> int
+(** [Table.version] of the named table, [0] if absent — the per-table
+    half of a cached plan's invalidation fingerprint. *)
 
 val add_table : t -> Table.t -> unit
 (** @raise Errors.Name_error if the name is taken. *)

@@ -22,4 +22,5 @@ let () =
       ("properties-extensions", Test_properties2.suite);
       ("parallel", Test_parallel.suite);
       ("observe", Test_observe.suite);
+      ("plan-cache", Test_plan_cache.suite);
     ]

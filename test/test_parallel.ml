@@ -230,6 +230,74 @@ let test_large_input_partition_phase () =
         [ Compile.Hash_partition; Compile.Sort_partition ])
     plans
 
+(* ---------- concurrent sessions over the shared plan cache ---------- *)
+
+let cache_enabled_in_env =
+  match Sys.getenv_opt "GAPPLY_PLAN_CACHE" with
+  | Some ("off" | "0" | "false" | "no") -> false
+  | _ -> true
+
+(* N sessions x M iterations of the paper queries with interleaved
+   inserts.  Shared TPC-H tables stay read-only; each session writes a
+   private table created sequentially up front, so a sequential replay
+   of the identical traces must produce identical per-session results
+   (digests cover rows *and* DML confirmations).  The atomics behind the
+   cache counters must balance exactly — no tears under domains. *)
+let sessions = 4
+let iterations = 3
+
+let stress_db () =
+  let db = Engine.create () in
+  Engine.load_tpch db ~msf:0.05;
+  for i = 0 to sessions - 1 do
+    ignore
+      (Engine.exec db (Printf.sprintf "create table priv%d (x int, y int)" i));
+    ignore
+      (Engine.exec db (Printf.sprintf "insert into priv%d values (0, %d)" i i))
+  done;
+  db
+
+(* 4 query statements + 1 insert per iteration *)
+let stress_script i =
+  List.concat
+    (List.init iterations (fun j ->
+         [
+           Printf.sprintf "insert into priv%d values (%d, %d)" i (j + 1)
+             ((i * 10) + j);
+           Workloads.q1_gapply;
+           Workloads.q2_gapply;
+           Printf.sprintf "select x, y from priv%d where x >= 1" i;
+           Workloads.q4_gapply;
+         ]))
+
+let test_concurrent_sessions_stress () =
+  let concurrent =
+    Session.run ~concurrent:true (stress_db ()) ~sessions
+      ~script:stress_script
+  in
+  let sequential =
+    Session.run ~concurrent:false (stress_db ()) ~sessions
+      ~script:stress_script
+  in
+  Alcotest.(check bool)
+    "per-session results match sequential replay" true
+    (Session.equal_results concurrent.Session.results
+       sequential.Session.results);
+  Alcotest.(check int) "all statements ran"
+    (sessions * iterations * 5)
+    concurrent.Session.statements;
+  if cache_enabled_in_env then begin
+    let s = concurrent.Session.cache in
+    Alcotest.(check int)
+      "no counter tears: hits + misses = query executions"
+      (sessions * iterations * 4)
+      (Cache_stats.lookups s);
+    Alcotest.(check bool) "concurrent sessions shared warm plans" true
+      (s.Cache_stats.hits > 0);
+    Alcotest.(check bool) "interleaved DML invalidated dependents" true
+      (s.Cache_stats.invalidations > 0)
+  end
+
 let suite =
   [
     Alcotest.test_case "map preserves input order" `Quick
@@ -244,4 +312,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_parallel_clustered_gapply_equals_sequential;
     QCheck_alcotest.to_alcotest prop_parallel_group_by_equals_sequential;
     QCheck_alcotest.to_alcotest prop_parallel_metrics_agree;
+    Alcotest.test_case "concurrent sessions = sequential replay" `Quick
+      test_concurrent_sessions_stress;
   ]

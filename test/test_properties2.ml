@@ -131,6 +131,124 @@ let prop_plan_rewrite_exprs_identity =
       Plan.equal plan
         (Plan.rewrite_exprs ~f_expr:(fun e -> e) ~f_ref:(fun r -> r) plan))
 
+(* ---------- plan-cache differential property ----------
+
+   Random queries interleaved with random DDL/DML, applied identically
+   to a cache-enabled engine and a cache-disabled twin.  Every query
+   runs warm-twice plus through a prepared handle on the cached engine:
+   all three must be byte-identical to each other, to the cold twin,
+   and multiset-equal to the reference evaluator — whatever inserts and
+   index creations happened in between. *)
+
+type diff_op = DQ of string | DI of string | DX of bool  (* index on t1? *)
+
+let gen_diff_op =
+  let gen_query =
+    Gen.oneof
+      [
+        Gen.map
+          (fun n -> Printf.sprintf "select a, c from t1 where a >= %d" n)
+          (Gen.int_range (-3) 3);
+        Gen.return "select a, v from t1, t2 where a = k";
+        Gen.return "select distinct k from t2";
+        Gen.return "select k, avg(v) from t2 group by k";
+        Gen.map
+          (fun n -> Printf.sprintf "select k, v from t2 where k = %d" n)
+          (Gen.int_range (-3) 3);
+        Gen.return
+          "select a, c from t1 where c > (select avg(v) from t2 where k = a)";
+      ]
+  in
+  let gen_insert =
+    Gen.map3
+      (fun into_t1 x y ->
+        if into_t1 then Printf.sprintf "insert into t1 values (%d, %d.5)" x y
+        else Printf.sprintf "insert into t2 values (%d, %d.5)" x y)
+      Gen.bool
+      (Gen.int_range (-4) 4)
+      (Gen.int_range (-4) 4)
+  in
+  Gen.frequency
+    [
+      (6, Gen.map (fun q -> DQ q) gen_query);
+      (2, Gen.map (fun i -> DI i) gen_insert);
+      (1, Gen.map (fun b -> DX b) Gen.bool);
+    ]
+
+let gen_diff_ops = Gen.list_size (Gen.int_range 1 12) gen_diff_op
+
+let cache_enabled_in_env =
+  match Sys.getenv_opt "GAPPLY_PLAN_CACHE" with
+  | Some ("off" | "0" | "false" | "no") -> false
+  | _ -> true
+
+let prop_cache_differential =
+  QCheck2.Test.make ~count:100
+    ~name:"cached/prepared execution = cold path = reference across DDL/DML"
+    gen_diff_ops
+    (fun ops ->
+      let warm = Engine.create () in
+      let cold = Engine.create ~plan_cache:false () in
+      List.iter
+        (fun src ->
+          ignore (Engine.exec warm src);
+          ignore (Engine.exec cold src))
+        [
+          "create table t1 (a int, c float)";
+          "insert into t1 values (1, 1.5), (2, 0.5), (3, 2.5)";
+          "create table t2 (k int, v float)";
+          "insert into t2 values (1, 4.5), (1, 0.5), (2, 2.5)";
+        ];
+      let executions = ref 0 and fresh = ref 0 in
+      let ok =
+        List.for_all
+          (function
+            | DQ q ->
+                (* four warm-engine executions: cold-or-warm, warm,
+                   prepare (a cache lookup itself), handle replay *)
+                executions := !executions + 4;
+                let w1 = Engine.query warm q in
+                let w2 = Engine.query warm q in
+                let h = Engine.prepare warm q in
+                let w3 = Engine.exec_prepared warm h in
+                let c1 = Engine.query cold q in
+                let reference =
+                  Reference.run (Engine.catalog cold)
+                    (Engine.plan_of_sql cold q)
+                in
+                Relation.equal_as_list w1 w2
+                && Relation.equal_as_list w1 w3
+                && Relation.equal_as_list w1 c1
+                && Relation.equal_as_multiset reference w1
+            | DI ins ->
+                ignore (Engine.exec warm ins);
+                ignore (Engine.exec cold ins);
+                true
+            | DX on_t1 ->
+                incr fresh;
+                let ddl =
+                  if on_t1 then
+                    Printf.sprintf "create index d%d on t1 (a)" !fresh
+                  else Printf.sprintf "create index d%d on t2 (k)" !fresh
+                in
+                ignore (Engine.exec warm ddl);
+                ignore (Engine.exec cold ddl);
+                true)
+          ops
+      in
+      (* counter conservation: with the cache live, every query-path
+         execution is accounted as exactly one hit or miss; the cold
+         twin accounts nothing *)
+      let warm_s = Cache_stats.snapshot (Plan_cache.stats (Engine.plan_cache warm)) in
+      let cold_s = Cache_stats.snapshot (Plan_cache.stats (Engine.plan_cache cold)) in
+      let conserved =
+        if cache_enabled_in_env then
+          Cache_stats.lookups warm_s = !executions
+          && Cache_stats.lookups cold_s = 0
+        else Cache_stats.lookups warm_s = 0
+      in
+      ok && conserved)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -139,4 +257,5 @@ let suite =
       prop_nulleq_semantics;
       prop_decorrelation_preserves;
       prop_plan_rewrite_exprs_identity;
+      prop_cache_differential;
     ]
