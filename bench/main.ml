@@ -783,6 +783,81 @@ let bench_throughput ~msf ~repeat () =
       ("identical", Json.Bool identical);
     ]
 
+(* ---------- resource governor ---------- *)
+
+(* Two records.  [timeout-abort]: a 50 ms wall-clock budget must abort
+   the slow correlated Q2 plan almost immediately with the typed
+   timeout error — the CI gate asserts abort_ms < 500.
+   [memory-downgrade]: a ceiling between the sort- and hash-partition
+   materialization peaks forces the documented hash -> sort downgrade,
+   which must still complete. *)
+let bench_governor ~msf ~repeat:_ () =
+  header (Printf.sprintf "Resource governor (msf %g)" msf);
+  (* the correlated plan is quadratic in the outer cardinality, so a
+     floor on the scale factor keeps it comfortably past the budget
+     even when the sweep runs at a small --msf *)
+  let msf' = Float.max msf 4.0 in
+  let timeout_ms = 50 in
+  let db = Engine.create ~timeout_ms () in
+  Engine.load_tpch db ~msf:msf';
+  let t0 = Metrics.now_ns () in
+  let outcome = Engine.exec db Workloads.q2_correlated in
+  let abort_ms = float_of_int (Metrics.now_ns () - t0) /. 1e6 in
+  let kind =
+    match outcome with
+    | Engine.Failed (Errors.Resource_error v) ->
+        Errors.resource_kind_to_string v.Errors.kind
+    | Engine.Rows _ -> "completed"
+    | _ -> "unexpected"
+  in
+  Format.printf
+    "timeout: %d ms budget on correlated Q2 (msf %g) -> %s after %.1f ms \
+     wall@."
+    timeout_ms msf' kind abort_ms;
+  record ~section:"governor" ~query:"timeout-abort"
+    [
+      ("timeout_ms", Json.Int timeout_ms);
+      ("abort_ms", Json.Float abort_ms);
+      ("kind", Json.Str kind);
+      ("aborted", Json.Bool (kind = "timeout"));
+    ];
+  let peak ~partition =
+    let db = Engine.create ~partition ~mem_limit:max_int () in
+    Engine.load_tpch db ~msf;
+    ignore (Engine.query db Workloads.q1_gapply);
+    (Gov_stats.snapshot (Engine.gov_stats db)).Gov_stats.peak_bytes
+  in
+  let hash_peak = peak ~partition:Compile.Hash_partition in
+  let sort_peak = peak ~partition:Compile.Sort_partition in
+  let limit = (hash_peak + sort_peak) / 2 in
+  let db = Engine.create ~partition:Compile.Hash_partition ~mem_limit:limit () in
+  Engine.load_tpch db ~msf;
+  let t0 = Metrics.now_ns () in
+  let completed =
+    match Engine.exec db Workloads.q1_gapply with
+    | Engine.Rows _ -> true
+    | _ -> false
+  in
+  let elapsed_ms = float_of_int (Metrics.now_ns () - t0) /. 1e6 in
+  let downgrades =
+    (Gov_stats.snapshot (Engine.gov_stats db)).Gov_stats.downgrades
+  in
+  Format.printf
+    "memory: Q1 peaks %d B (hash) vs %d B (sort); ceiling %d B -> %s via \
+     %d downgrade(s) in %.1f ms@."
+    hash_peak sort_peak limit
+    (if completed then "completed" else "failed")
+    downgrades elapsed_ms;
+  record ~section:"governor" ~query:"memory-downgrade"
+    [
+      ("hash_peak_bytes", Json.Int hash_peak);
+      ("sort_peak_bytes", Json.Int sort_peak);
+      ("limit_bytes", Json.Int limit);
+      ("downgrades", Json.Int downgrades);
+      ("completed", Json.Bool completed);
+      ("elapsed_ms", Json.Float elapsed_ms);
+    ]
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let bench_micro () =
@@ -837,7 +912,7 @@ let bench_micro () =
 let all_sections =
   [
     "figure8"; "table1"; "partitioning"; "parallel"; "clientsim";
-    "pipeline"; "ablation"; "analyze"; "throughput"; "micro";
+    "pipeline"; "ablation"; "analyze"; "throughput"; "governor"; "micro";
   ]
 
 let run_section ~msf ~repeat = function
@@ -850,6 +925,7 @@ let run_section ~msf ~repeat = function
   | "ablation" -> bench_ablation ~msf ~repeat ()
   | "analyze" -> bench_analyze ~msf ~repeat ()
   | "throughput" -> bench_throughput ~msf ~repeat ()
+  | "governor" -> bench_governor ~msf ~repeat ()
   | "micro" -> bench_micro ()
   | other ->
       Format.eprintf "unknown section %s (known: %s)@." other

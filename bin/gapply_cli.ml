@@ -12,6 +12,10 @@
      \timing       toggle per-query timing
      \analyze      toggle EXPLAIN ANALYZE instrumentation on queries
      \cache        show plan-cache counters and occupancy
+     \governor     show resource-governor counters
+     \timeout MS   per-statement wall-clock budget (off = unlimited)
+     \rowlimit N   per-statement output-row budget (off = unlimited)
+     \memlimit B   per-statement materialization budget, bytes
      explain Q     show plans and the rules that fired
 
    --sessions N runs the concurrent workload driver (N sessions over
@@ -25,6 +29,7 @@ let print_outcome timing elapsed = function
       if timing then Format.printf "(%.1f ms)@." (1000. *. elapsed))
   | Engine.Message m -> Format.printf "%s@." m
   | Engine.Explanation text -> Format.printf "%s" text
+  | Engine.Failed e -> Format.printf "error: %s@." (Errors.to_string e)
 
 (* With --analyze / \analyze on, plain SELECTs run under per-operator
    instrumentation: rows first, then the EXPLAIN ANALYZE report. *)
@@ -71,6 +76,24 @@ let run_meta db ~timing ~analyze cmd =
       analyze := not !analyze;
       Format.printf "analyze %s@." (if !analyze then "on" else "off")
   | [ "\\cache" ] -> Format.printf "%s@." (Engine.cache_report db)
+  | [ "\\governor" ] -> Format.printf "%s@." (Engine.governor_report db)
+  | [ ("\\timeout" | "\\rowlimit" | "\\memlimit") as knob; v ] -> (
+      let set =
+        match knob with
+        | "\\timeout" -> Engine.set_timeout_ms db
+        | "\\rowlimit" -> Engine.set_row_limit db
+        | _ -> Engine.set_mem_limit db
+      in
+      match v with
+      | "off" | "default" ->
+          set None;
+          Format.printf "%s off@." knob
+      | v -> (
+          match int_of_string_opt v with
+          | Some n when n > 0 ->
+              set (Some n);
+              Format.printf "%s %d@." knob n
+          | _ -> Format.printf "usage: %s <positive int> | off@." knob))
   | _ -> Format.printf "unknown meta-command: %s@." cmd
 
 let repl db ~analyze =
@@ -118,7 +141,7 @@ let run_sessions db ~sessions ~iterations =
   Format.printf "%a@." Session.pp_report report
 
 let main tpch_msf partition no_optimize parallelism analyze sessions
-    iterations script =
+    iterations timeout_ms row_limit mem_limit fault script =
   let partition =
     match partition with
     | "sort" -> Compile.Sort_partition
@@ -131,8 +154,18 @@ let main tpch_msf partition no_optimize parallelism analyze sessions
     Format.eprintf "--parallelism must be >= 0 (0 = auto)@.";
     exit 2
   end;
+  (match fault with
+  | None -> ()
+  | Some spec -> (
+      match Fault.parse_spec spec with
+      | Some plan -> Fault.arm plan
+      | None ->
+          Format.eprintf
+            "bad --fault spec %s (seed:<n> | <site>:<n>[:delay=<ns>])@." spec;
+          exit 2));
   let db =
-    Engine.create ~partition ~optimize:(not no_optimize) ~parallelism ()
+    Engine.create ~partition ~optimize:(not no_optimize) ~parallelism
+      ?timeout_ms ?row_limit ?mem_limit ()
   in
   (match tpch_msf with
   | Some msf ->
@@ -199,6 +232,31 @@ let iterations_arg =
            ~doc:"With --sessions: repeat the Q1-Q4 trace M times per \
                  session.")
 
+let timeout_arg =
+  Arg.(value & opt (some int) None
+       & info [ "timeout" ] ~docv:"MS"
+           ~doc:"Per-statement wall-clock budget in milliseconds; a \
+                 statement over budget aborts with a typed timeout error.")
+
+let row_limit_arg =
+  Arg.(value & opt (some int) None
+       & info [ "row-limit" ] ~docv:"N"
+           ~doc:"Per-statement output-row budget.")
+
+let mem_limit_arg =
+  Arg.(value & opt (some int) None
+       & info [ "mem-limit" ] ~docv:"BYTES"
+           ~doc:"Per-statement materialization budget in bytes; a \
+                 hash-partitioned statement over budget is retried once \
+                 with sort partitioning at parallelism 1.")
+
+let fault_arg =
+  Arg.(value & opt (some string) None
+       & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Arm the deterministic fault-injection harness: seed:<n> \
+                 or <site>:<n>[:delay=<ns>] with site one of alloc, open, \
+                 next, close (same syntax as \\$(b,GAPPLY_FAULT)).")
+
 let script_arg =
   Arg.(value & opt (some file) None
        & info [ "f"; "file" ] ~docv:"SCRIPT"
@@ -210,6 +268,7 @@ let cmd =
     (Cmd.info "gapply_cli" ~doc)
     Term.(const main $ tpch_arg $ partition_arg $ no_optimize_arg
           $ parallelism_arg $ analyze_arg $ sessions_arg $ iterations_arg
+          $ timeout_arg $ row_limit_arg $ mem_limit_arg $ fault_arg
           $ script_arg)
 
 let () = exit (Cmd.eval cmd)

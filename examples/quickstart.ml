@@ -11,6 +11,7 @@ let show db src =
   | Engine.Rows rel -> Format.printf "%a" Relation.pp rel
   | Engine.Message m -> Format.printf "%s@." m
   | Engine.Explanation text -> Format.printf "%s" text
+  | Engine.Failed e -> Format.printf "error: %s@." (Errors.to_string e)
 
 let () =
   let db = Engine.create () in

@@ -25,6 +25,8 @@ type t = {
   mutable cache_enabled : bool;
   prepared : (string, prepared) Hashtbl.t;  (* SQL-level PREPARE names *)
   ddl_lock : Mutex.t;  (* serializes DDL/DML statement bodies *)
+  mutable budget : Governor.budget;  (* per-statement resource budget *)
+  gov_stats : Gov_stats.t;
 }
 
 and prepared = { p_sql : string; mutable p_entry : Plan_cache.entry }
@@ -33,6 +35,10 @@ type outcome =
   | Rows of Relation.t
   | Message of string
   | Explanation of string
+  | Failed of exn
+      (* the statement failed with a typed engine error (budget violation,
+         injected fault, unknown prepared handle, stale re-prepare...);
+         the engine itself is untouched and siblings keep running *)
 
 (* The cache can be force-disabled from the environment so the whole
    test suite can be replayed over the cold path (CI runs it once with
@@ -43,7 +49,8 @@ let cache_enabled_from_env () =
   | _ -> true
 
 let create ?(partition = Compile.Hash_partition) ?(optimize = true)
-    ?(parallelism = 1) ?plan_cache ?(cache_capacity = 128) () =
+    ?(parallelism = 1) ?plan_cache ?(cache_capacity = 128) ?timeout_ms
+    ?row_limit ?mem_limit () =
   let cache_enabled =
     (match plan_cache with Some b -> b | None -> true)
     && cache_enabled_from_env ()
@@ -57,6 +64,13 @@ let create ?(partition = Compile.Hash_partition) ?(optimize = true)
     cache_enabled;
     prepared = Hashtbl.create 8;
     ddl_lock = Mutex.create ();
+    budget =
+      {
+        Governor.timeout_ns = Option.map (fun ms -> ms * 1_000_000) timeout_ms;
+        row_limit;
+        mem_limit_bytes = mem_limit;
+      };
+    gov_stats = Gov_stats.create ();
   }
 
 let catalog db = db.catalog
@@ -72,6 +86,58 @@ let set_parallelism db n = db.parallelism <- n
 let plan_cache db = db.cache
 let plan_cache_enabled db = db.cache_enabled
 let set_plan_cache_enabled db b = db.cache_enabled <- b
+
+(* Budget knobs are runtime state, not compile knobs: they are *not*
+   part of the plan-cache key, because the same compiled plan is valid
+   under any budget — the governor rides in the environment. *)
+let budget db = db.budget
+
+let set_timeout_ms db ms =
+  db.budget <-
+    {
+      db.budget with
+      Governor.timeout_ns = Option.map (fun m -> m * 1_000_000) ms;
+    }
+
+let set_row_limit db n = db.budget <- { db.budget with Governor.row_limit = n }
+
+let set_mem_limit db bytes =
+  db.budget <- { db.budget with Governor.mem_limit_bytes = bytes }
+
+let gov_stats db = db.gov_stats
+
+let governor_report db =
+  Format.asprintf "governor: %a%s" Gov_stats.pp
+    (Gov_stats.snapshot db.gov_stats)
+    (match Fault.current () with
+    | Some p -> Printf.sprintf " fault=%s" (Fault.plan_to_string p)
+    | None -> "")
+
+(* A statement runs governed when any budget is set — or when a fault
+   plan is armed, because the fault sites live inside the governor's
+   wrappers. *)
+let governor_for db =
+  if Governor.is_unlimited db.budget && not (Fault.armed ()) then None
+  else Some (Governor.start db.budget)
+
+(* One governed attempt: create the statement's governor, run, record
+   any violation in the engine's counters, and keep the peak-accounted
+   gauge fresh either way. *)
+let governed_attempt : 'a. t -> (Governor.t option -> 'a) -> 'a =
+ fun db run ->
+  match governor_for db with
+  | None -> run None
+  | Some gov -> (
+      let note () = Gov_stats.note_peak db.gov_stats (Governor.mem_bytes gov) in
+      try
+        let r = run (Some gov) in
+        note ();
+        r
+      with
+      | Errors.Resource_error v as e ->
+          note ();
+          Gov_stats.record db.gov_stats v.Errors.kind;
+          raise e)
 
 (** Load the TPC-H style dataset (supplier/part/partsupp) at micro scale
     factor [msf] (1.0 = 100 suppliers / 2000 parts / 8000 partsupp). *)
@@ -92,7 +158,8 @@ let plan_of_sql db src =
   | Sql_binder.Bound_explain_analyze p ->
       p
   | Sql_binder.Bound_ddl _ | Sql_binder.Bound_prepare _
-  | Sql_binder.Bound_execute _ | Sql_binder.Bound_deallocate _ ->
+  | Sql_binder.Bound_execute _ | Sql_binder.Bound_deallocate _
+  | Sql_binder.Bound_set _ ->
       Errors.plan_errorf "expected a query, got a DDL statement"
 
 (** The plan that would actually run (optimized if enabled). *)
@@ -119,6 +186,13 @@ let cache_key db sql =
     parallelism = db.parallelism;
   }
 
+(* The compile configuration is derived from the cache key (not from
+   the engine's current knobs): the graceful-degradation retry prepares
+   entries under a key whose knobs differ from the engine's. *)
+let config_of_key (key : Plan_cache.key) =
+  Compile.config_with ~partition:key.Plan_cache.partition
+    ~parallelism:key.Plan_cache.parallelism ()
+
 (* Cold path: parse + bind + optimize + compile, timed, fingerprinted
    against the catalog as of just before the parse (a concurrent DDL
    mid-prepare then simply leaves the entry already-stale). *)
@@ -131,7 +205,7 @@ let prepare_entry db (key : Plan_cache.key) =
       (Optimizer.optimize db.catalog plan).Optimizer.plan
     else plan
   in
-  let compiled = Compile.plan ~config:(config db) plan in
+  let compiled = Compile.plan ~config:(config_of_key key) plan in
   let prepare_ns = Metrics.now_ns () - t0 in
   if db.cache_enabled then
     Cache_stats.add_prepare_ns (Plan_cache.stats db.cache) prepare_ns;
@@ -145,8 +219,7 @@ let prepare_entry db (key : Plan_cache.key) =
     last_used = 0;
   }
 
-let lookup_or_prepare db sql =
-  let key = cache_key db sql in
+let lookup_or_prepare_key db (key : Plan_cache.key) =
   if not db.cache_enabled then prepare_entry db key
   else
     match Plan_cache.find db.cache db.catalog key with
@@ -156,6 +229,41 @@ let lookup_or_prepare db sql =
         let e = prepare_entry db key in
         Plan_cache.add db.cache e;
         e
+
+let lookup_or_prepare db sql = lookup_or_prepare_key db (cache_key db sql)
+
+(* ---------- governed execution + graceful degradation ---------- *)
+
+(* The memory ceiling almost always trips in a materialization phase
+   whose footprint depends on the partitioning strategy: hash
+   partitioning buffers a table slot + bucket cell + key copy per row
+   (plus a merge pass when parallel), sort partitioning only a decorated
+   row tag.  So when a hash-partitioned (or parallel) statement trips
+   the ceiling, one retry under {sort partitioning, parallelism 1} —
+   with a fresh governor and the same budget — frequently completes.
+   The downgrade is recorded in [Gov_stats] and keyed into the plan
+   cache under its own knobs, so repeated degraded runs warm-hit. *)
+
+let downgraded_key (key : Plan_cache.key) =
+  { key with Plan_cache.partition = Compile.Sort_partition; parallelism = 1 }
+
+let can_downgrade (key : Plan_cache.key) = downgraded_key key <> key
+
+let is_mem_trip = function
+  | Errors.Resource_error { Errors.kind = Errors.Memory_exceeded; _ } -> true
+  | _ -> false
+
+(* Run one cached entry under the governor; on a memory-ceiling trip
+   with room to degrade, retry once via the downgraded cache key. *)
+let run_entry_governed db (e : Plan_cache.entry) : Relation.t =
+  try
+    governed_attempt db (fun gov ->
+        Executor.run_compiled ?governor:gov db.catalog e.Plan_cache.compiled)
+  with ex when is_mem_trip ex && can_downgrade e.Plan_cache.key ->
+    Gov_stats.downgrade db.gov_stats;
+    governed_attempt db (fun gov ->
+        let d = lookup_or_prepare_key db (downgraded_key e.Plan_cache.key) in
+        Executor.run_compiled ?governor:gov db.catalog d.Plan_cache.compiled)
 
 let cached_plan db src =
   match Plan_cache.peek db.cache (cache_key db (normalize_sql src)) with
@@ -189,12 +297,12 @@ let exec_prepared db h =
     && Plan_cache.is_valid db.catalog e
   then begin
     if db.cache_enabled then Plan_cache.note_hit db.cache e;
-    Executor.run_compiled db.catalog e.Plan_cache.compiled
+    run_entry_governed db e
   end
   else begin
     let e = lookup_or_prepare db h.p_sql in
     h.p_entry <- e;
-    Executor.run_compiled db.catalog e.Plan_cache.compiled
+    run_entry_governed db e
   end
 
 (* ---------- EXPLAIN ANALYZE ---------- *)
@@ -248,11 +356,40 @@ let analyze_plan db plan =
     if db.optimize then (Optimizer.optimize db.catalog plan).Optimizer.plan
     else plan
   in
-  let sink = Obs.make () in
-  let rel =
-    Executor.run ~config:(config ~observe:sink db) db.catalog plan
+  let attempt ~partition ~parallelism =
+    let sink = Obs.make () in
+    let cfg =
+      Compile.config_with ~partition ~parallelism ~observe:sink ()
+    in
+    governed_attempt db (fun gov ->
+        let rel = Executor.run ~config:cfg ?governor:gov db.catalog plan in
+        (rel, sink))
+  in
+  (* EXPLAIN ANALYZE follows the same graceful degradation as plain
+     execution, and records it in the report — the observable trace the
+     acceptance test reads. *)
+  let rel, sink, degraded =
+    try
+      let rel, sink =
+        attempt ~partition:db.partition ~parallelism:db.parallelism
+      in
+      (rel, sink, false)
+    with ex
+    when is_mem_trip ex
+         && not (db.partition = Compile.Sort_partition && db.parallelism = 1)
+    ->
+      Gov_stats.downgrade db.gov_stats;
+      let rel, sink = attempt ~partition:Compile.Sort_partition ~parallelism:1 in
+      (rel, sink, true)
   in
   let report = analyze_report db.catalog plan sink rel in
+  let report =
+    if degraded then
+      report
+      ^ "== degraded: memory ceiling tripped under hash partitioning; \
+         re-ran with sort partitioning, parallelism=1 ==\n"
+    else report
+  in
   let s = Cache_stats.snapshot (Plan_cache.stats db.cache) in
   let report =
     if Cache_stats.lookups s + s.Cache_stats.evictions
@@ -277,7 +414,8 @@ let analyze db src =
   | Sql_binder.Bound_explain_analyze plan ->
       analyze_plan db plan
   | Sql_binder.Bound_ddl _ | Sql_binder.Bound_prepare _
-  | Sql_binder.Bound_execute _ | Sql_binder.Bound_deallocate _ ->
+  | Sql_binder.Bound_execute _ | Sql_binder.Bound_deallocate _
+  | Sql_binder.Bound_set _ ->
       Errors.plan_errorf "expected a query, got a DDL statement"
 
 (* ---------- statement execution ---------- *)
@@ -302,26 +440,68 @@ let render_explain db plan =
 
 let prepared_name name = String.lowercase_ascii name
 
+(* SQL-level session knobs (SET <knob> = <int> | DEFAULT).  The knob
+   namespace mirrors the engine API; an unknown knob is a typed error
+   that fails the statement without touching the engine. *)
+let apply_set db name v : outcome =
+  match name with
+  | "statement_timeout_ms" ->
+      set_timeout_ms db v;
+      Message
+        (match v with
+        | Some ms -> Printf.sprintf "statement_timeout_ms = %d" ms
+        | None -> "statement_timeout_ms = default")
+  | "statement_row_limit" ->
+      set_row_limit db v;
+      Message
+        (match v with
+        | Some n -> Printf.sprintf "statement_row_limit = %d" n
+        | None -> "statement_row_limit = default")
+  | "statement_mem_limit" ->
+      set_mem_limit db v;
+      Message
+        (match v with
+        | Some b -> Printf.sprintf "statement_mem_limit = %d" b
+        | None -> "statement_mem_limit = default")
+  | _ -> Failed (Errors.Name_error (Printf.sprintf "unknown SET knob %s" name))
+
 (* Execute one parsed statement; [sql] is the normalized source text
    used as the cache key for plain queries. *)
 let exec_stmt db ~sql (stmt : Sql_ast.statement) : outcome =
   match stmt with
-  | Sql_ast.Stmt_select _ ->
+  | Sql_ast.Stmt_select _ -> (
       let e = lookup_or_prepare db sql in
-      Rows (Executor.run_compiled db.catalog e.Plan_cache.compiled)
-  | Sql_ast.Stmt_prepare (name, q) ->
-      let h = prepare db (Sql_ast.query_to_string q) in
-      Hashtbl.replace db.prepared (prepared_name name) h;
-      Message (Printf.sprintf "prepared %s" name)
+      try Rows (run_entry_governed db e)
+      with Errors.Resource_error _ as ex -> Failed ex)
+  | Sql_ast.Stmt_prepare (name, q) -> (
+      (* prepared-statement misuse (unknown table, bad binding...) fails
+         the statement, not the session *)
+      try
+        let h = prepare db (Sql_ast.query_to_string q) in
+        Hashtbl.replace db.prepared (prepared_name name) h;
+        Message (Printf.sprintf "prepared %s" name)
+      with ex when Errors.is_engine_error ex -> Failed ex)
   | Sql_ast.Stmt_execute name -> (
       match Hashtbl.find_opt db.prepared (prepared_name name) with
-      | Some h -> Rows (exec_prepared db h)
-      | None -> Errors.name_errorf "unknown prepared statement %s" name)
+      | Some h -> (
+          (* a re-prepare over dropped tables, or a budget violation of
+             the execution itself, fails cleanly *)
+          try Rows (exec_prepared db h)
+          with ex when Errors.is_engine_error ex -> Failed ex)
+      | None ->
+          Failed
+            (Errors.Name_error
+               (Printf.sprintf "unknown prepared statement %s" name)))
   | Sql_ast.Stmt_deallocate name ->
       if not (Hashtbl.mem db.prepared (prepared_name name)) then
-        Errors.name_errorf "unknown prepared statement %s" name;
-      Hashtbl.remove db.prepared (prepared_name name);
-      Message (Printf.sprintf "deallocated %s" name)
+        Failed
+          (Errors.Name_error
+             (Printf.sprintf "unknown prepared statement %s" name))
+      else begin
+        Hashtbl.remove db.prepared (prepared_name name);
+        Message (Printf.sprintf "deallocated %s" name)
+      end
+  | Sql_ast.Stmt_set (name, v) -> apply_set db name v
   | Sql_ast.Stmt_explain q ->
       Explanation (render_explain db (Sql_binder.bind_query db.catalog q))
   | Sql_ast.Stmt_explain_analyze q ->
@@ -356,7 +536,9 @@ let exec db src : outcome =
     else None
   in
   match fast with
-  | Some e -> Rows (Executor.run_compiled db.catalog e.Plan_cache.compiled)
+  | Some e -> (
+      try Rows (run_entry_governed db e)
+      with Errors.Resource_error _ as ex -> Failed ex)
   | None -> exec_stmt db ~sql (Sql_parser.parse_statement sql)
 
 (** Execute a whole ';'-separated script, returning each outcome.
@@ -378,3 +560,4 @@ let query db src =
   | Rows r -> r
   | Message m -> Errors.plan_errorf "expected rows, got: %s" m
   | Explanation _ -> Errors.plan_errorf "expected rows, got an explanation"
+  | Failed e -> raise e

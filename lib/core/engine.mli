@@ -30,6 +30,13 @@ type outcome =
   | Rows of Relation.t          (** result of a query *)
   | Message of string           (** DDL/DML confirmation *)
   | Explanation of string       (** EXPLAIN output *)
+  | Failed of exn
+      (** the statement failed with a typed engine error — a budget
+          violation ({!Errors.Resource_error}), an injected fault, an
+          unknown prepared handle, a stale re-prepare over dropped
+          tables.  The engine is untouched: sibling statements, cached
+          entries and catalog state are exactly as if the statement had
+          never run. *)
 
 val create :
   ?partition:Compile.partition_strategy ->
@@ -37,6 +44,9 @@ val create :
   ?parallelism:int ->
   ?plan_cache:bool ->
   ?cache_capacity:int ->
+  ?timeout_ms:int ->
+  ?row_limit:int ->
+  ?mem_limit:int ->
   unit ->
   t
 (** A fresh engine with an empty catalog.  Defaults: hash-partitioned
@@ -47,7 +57,11 @@ val create :
     [~plan_cache:false] to force every execution down the cold path.
     The environment variable [GAPPLY_PLAN_CACHE=off] (or [0] / [false] /
     [no]) disables it globally — CI replays the whole test suite that
-    way to prove warm and cold paths agree. *)
+    way to prove warm and cold paths agree.
+
+    [timeout_ms] / [row_limit] / [mem_limit] seed the per-statement
+    resource budget (see {!set_timeout_ms}); all default to
+    unlimited. *)
 
 val catalog : t -> Catalog.t
 
@@ -57,6 +71,43 @@ val set_parallelism : t -> int -> unit
 (** Compile knobs are part of the plan-cache key, so flipping one can
     never serve a plan compiled under the old setting — the cache
     key-splits, and flipping back re-hits the older entries. *)
+
+(** {1 Resource governor}
+
+    Every statement executes under a per-statement budget: wall-clock
+    timeout, output-row limit, and a ceiling on accounted
+    materialization bytes (partition tables, hash/sort buffers, group
+    copies — see {!Governor}).  A violation aborts the statement with a
+    typed {!Errors.Resource_error}, surfaced as {!Failed}; the plan
+    cache, catalog, and sibling sessions are unaffected, and an
+    immediate re-run (warm, from the same cache entry) produces the
+    reference result.
+
+    When a hash-partitioned or parallel statement trips the {e memory}
+    ceiling, the engine retries it once under sort partitioning with
+    parallelism 1 — the degraded shape buffers strictly less — and
+    records the downgrade in {!gov_stats} (and in the EXPLAIN ANALYZE
+    report).  Budgets are engine state, not compile knobs: they are not
+    part of the plan-cache key, and flipping them never splits or
+    evicts cache entries. *)
+
+val budget : t -> Governor.budget
+
+val set_timeout_ms : t -> int option -> unit
+(** Wall-clock budget per statement execution (the degraded retry gets a
+    fresh budget).  [None] = unlimited. *)
+
+val set_row_limit : t -> int option -> unit
+(** Maximum output rows a statement may produce. *)
+
+val set_mem_limit : t -> int option -> unit
+(** Ceiling, in bytes, on a statement's accounted materialization. *)
+
+val gov_stats : t -> Gov_stats.t
+(** Violation / downgrade counters and the peak-accounted-bytes gauge. *)
+
+val governor_report : t -> string
+(** One-line human-readable governor summary (the CLI's [\governor]). *)
 
 (** {1 Plan cache} *)
 

@@ -17,6 +17,7 @@ type session_result = {
   id : int;
   statements : int;
   rows : int;               (* total result rows across the trace *)
+  errors : int;             (* statements that failed with a typed error *)
   digest : int;             (* order-sensitive hash of every outcome *)
   latencies_ns : int array; (* one entry per statement *)
 }
@@ -34,6 +35,20 @@ type report = {
 
 let combine h x = (h * 31) + x [@@inline]
 
+(* Failed statements are digested by error *class* (exception
+   constructor / violation kind), not by message: violation details
+   embed accounted byte counts and timings that legitimately vary
+   between a concurrent run and its sequential replay. *)
+let error_class (e : exn) =
+  match e with
+  | Errors.Resource_error v -> Errors.resource_kind_to_string v.Errors.kind
+  | Errors.Type_error _ -> "type"
+  | Errors.Name_error _ -> "name"
+  | Errors.Parse_error _ -> "parse"
+  | Errors.Plan_error _ -> "plan"
+  | Errors.Exec_error _ -> "exec"
+  | e -> Printexc.to_string e
+
 let digest_outcome acc (o : Engine.outcome) =
   match o with
   | Engine.Rows rel ->
@@ -42,27 +57,35 @@ let digest_outcome acc (o : Engine.outcome) =
         (combine acc 1) (Relation.rows_array rel)
   | Engine.Message m -> combine (combine acc 2) (Hashtbl.hash m)
   | Engine.Explanation e -> combine (combine acc 3) (Hashtbl.hash e)
+  | Engine.Failed e -> combine (combine acc 4) (Hashtbl.hash (error_class e))
 
 let rows_of_outcome = function
   | Engine.Rows rel -> Relation.cardinality rel
-  | Engine.Message _ | Engine.Explanation _ -> 0
+  | Engine.Message _ | Engine.Explanation _ | Engine.Failed _ -> 0
 
 let run_session db ~id stmts =
   let stmts = Array.of_list stmts in
   let latencies = Array.make (Array.length stmts) 0 in
-  let digest = ref 0 and rows = ref 0 in
+  let digest = ref 0 and rows = ref 0 and errors = ref 0 in
   Array.iteri
     (fun i src ->
       let t0 = Metrics.now_ns () in
-      let outcome = Engine.exec db src in
+      (* a statement failing (typed error, parse error...) must not take
+         its session — let alone its siblings — down with it *)
+      let outcome =
+        try Engine.exec db src
+        with e when Errors.is_engine_error e -> Engine.Failed e
+      in
       latencies.(i) <- Metrics.now_ns () - t0;
       digest := digest_outcome !digest outcome;
-      rows := !rows + rows_of_outcome outcome)
+      rows := !rows + rows_of_outcome outcome;
+      match outcome with Engine.Failed _ -> incr errors | _ -> ())
     stmts;
   {
     id;
     statements = Array.length stmts;
     rows = !rows;
+    errors = !errors;
     digest = !digest;
     latencies_ns = latencies;
   }
@@ -116,13 +139,16 @@ let equal_results (a : session_result array) (b : session_result array) =
   && Array.for_all2
        (fun (x : session_result) (y : session_result) ->
          x.id = y.id && x.statements = y.statements && x.rows = y.rows
-         && x.digest = y.digest)
+         && x.errors = y.errors && x.digest = y.digest)
        a b
 
 let pp_report ppf (r : report) =
+  let errors =
+    Array.fold_left (fun acc (x : session_result) -> acc + x.errors) 0 r.results
+  in
   Format.fprintf ppf
-    "@[<v>sessions=%d statements=%d elapsed=%s qps=%.0f p50=%.3fms \
+    "@[<v>sessions=%d statements=%d errors=%d elapsed=%s qps=%.0f p50=%.3fms \
      p99=%.3fms@,cache: %a@]"
-    r.sessions r.statements
+    r.sessions r.statements errors
     (Pretty.duration_ns r.elapsed_ns)
     r.qps r.p50_ms r.p99_ms Cache_stats.pp r.cache

@@ -16,6 +16,10 @@ type session_result = {
   id : int;
   statements : int;
   rows : int;                (** total result rows across the trace *)
+  errors : int;
+      (** statements that failed with a typed engine error (budget
+          violation, injected fault, bad SQL) — the session keeps
+          executing its remaining trace *)
   digest : int;              (** order-sensitive hash of every outcome *)
   latencies_ns : int array;  (** one entry per statement *)
 }
@@ -41,7 +45,9 @@ val run :
     when the traces only write session-private tables. *)
 
 val equal_results : session_result array -> session_result array -> bool
-(** Same ids, statement counts, row counts and digests — the
-    concurrent-vs-sequential acceptance check. *)
+(** Same ids, statement counts, row counts, error counts and digests —
+    the concurrent-vs-sequential acceptance check.  Failed statements
+    digest by error class (not message), so the check is stable across
+    interleavings. *)
 
 val pp_report : Format.formatter -> report -> unit

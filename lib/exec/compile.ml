@@ -76,10 +76,18 @@ let parallel_partition_threshold = 1024
    is re-reversed into its chunk's first-seen order before merging, so
    the global key-encounter order equals the sequential first-seen
    order; the final double reversal then reproduces the sequential
-   output exactly. *)
-let group_rows ?pool (key_of : Tuple.t -> Tuple.t) (rows : Tuple.t array) :
-    (Tuple.t * Tuple.t list) list =
+   output exactly.
+
+   Under a governor ([gov]), every chunk first passes a cancellation /
+   deadline check and charges the hash table's per-row structure
+   overhead against the memory ceiling — this is the accounting that
+   makes a hash-partition blow-up trip *during* partitioning, which the
+   engine then retries sort-based (see Governor). *)
+let group_rows ?pool ?gov ~op (key_of : Tuple.t -> Tuple.t)
+    (rows : Tuple.t array) : (Tuple.t * Tuple.t list) list =
   let chunk pos len : (Tuple.t * Tuple.t list) list =
+    Governor.check gov ~op;
+    Governor.charge gov ~op (len * Governor.hash_partition_overhead_per_row);
     let tbl : Tuple.t list ref Tuple.Tbl.t = Tuple.Tbl.create 64 in
     let order = ref [] in
     for k = pos to pos + len - 1 do
@@ -110,6 +118,11 @@ let group_rows ?pool (key_of : Tuple.t -> Tuple.t) (rows : Tuple.t array) :
           (fun (pos, len) -> chunk pos len)
           ranges
       in
+      (* the chunk-order merge re-reads every partial into one table:
+         charge its structure overhead too (the parallel hash path
+         really does hold partials + merged table at once) *)
+      Governor.charge gov ~op
+        (n * Governor.hash_partition_merge_overhead_per_row);
       let tbl : Tuple.t list list ref Tuple.Tbl.t = Tuple.Tbl.create 64 in
       let order = ref [] in
       Array.iter
@@ -158,15 +171,29 @@ let compile_agg_args schema (aggs : (Expr.agg * string) list) =
    registers one Obs node per operator (the metric tree mirrors the plan
    tree, since [compile] recurses through [plan] for every child) and
    wraps the operator's cursor with the metering pull; without a sink it
-   is exactly [compile]. *)
+   is exactly [compile].
+
+   Every operator additionally gets the resource governor's cooperative
+   wrapper: when the environment carries a governor, each pull checks
+   the cancellation token and the wall-clock deadline (and reports the
+   fault harness's Open/Next/Close sites).  Ungoverned runs pay one
+   [match] per operator invocation and nothing per tuple. *)
 let rec plan ?(config = default_config) ?(outer : Schema.t list = [])
     (p : Plan.t) : compiled =
+  let govern op (c : compiled) =
+    {
+      c with
+      run =
+        (fun env -> Governor.guard env.Env.governor ~op (c.run env));
+    }
+  in
   match config.observe with
-  | None -> compile ~config ~outer p
+  | None -> govern (Plan.op_name p) (compile ~config ~outer p)
   | Some sink ->
       Obs.enter sink ~op:(Plan.op_name p) (fun node ->
           let c = compile ~config ~outer p in
-          { c with run = (fun env -> Obs.instrument sink node (c.run env)) })
+          govern (Plan.op_name p)
+            { c with run = (fun env -> Obs.instrument sink node (c.run env)) })
 
 and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
   let schema = Props.schema_of ~outer p in
@@ -223,8 +250,16 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
           (fun env ->
             Cursor.deferred (fun () ->
                 let pool = Domain_pool.for_parallelism config.parallelism in
-                let rows = Cursor.to_array (c.run env) in
-                let groups = group_rows ?pool (project_key idxs) rows in
+                let gov = env.Env.governor in
+                let rows =
+                  Cursor.to_array
+                    ?account:(Governor.accountant gov ~op:"groupby.input")
+                    (c.run env)
+                in
+                let groups =
+                  group_rows ?pool ?gov ~op:"groupby.partition"
+                    (project_key idxs) rows
+                in
                 Option.iter
                   (fun n -> Obs.add_partitions n (List.length groups))
                   obs_node;
@@ -249,7 +284,14 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
         run =
           (fun env ->
             Cursor.deferred (fun () ->
-                let rows = Cursor.to_list (c.run env) in
+                let rows =
+                  Array.to_list
+                    (Cursor.to_array
+                       ?account:
+                         (Governor.accountant env.Env.governor
+                            ~op:"aggregate.input")
+                       (c.run env))
+                in
                 Cursor.singleton (run_aggregates specs env.Env.frames rows)));
       }
   | Plan.Distinct input ->
@@ -259,10 +301,14 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
         run =
           (fun env ->
             let seen = Tuple.Tbl.create 64 in
+            let account =
+              Governor.accountant env.Env.governor ~op:"distinct.hash"
+            in
             Cursor.filter
               (fun row ->
                 if Tuple.Tbl.mem seen row then false
                 else begin
+                  Option.iter (fun f -> f row) account;
                   Tuple.Tbl.add seen row ();
                   true
                 end)
@@ -278,7 +324,15 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
         run =
           (fun env ->
             Cursor.deferred (fun () ->
-                let rows = Cursor.to_array (c.run env) in
+                let gov = env.Env.governor in
+                let rows =
+                  Cursor.to_array
+                    ?account:(Governor.accountant gov ~op:"orderby.input")
+                    (c.run env)
+                in
+                Governor.charge gov ~op:"orderby.sort"
+                  (Array.length rows
+                  * Governor.sort_partition_overhead_per_row);
                 let decorated =
                   Array.map
                     (fun row ->
@@ -354,7 +408,14 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
           run =
             (fun env ->
               Cursor.deferred (fun () ->
-                  let inner_rows = lazy (Cursor.to_array (ci.run env)) in
+                  let inner_rows =
+                    lazy
+                      (Cursor.to_array
+                         ?account:
+                           (Governor.accountant env.Env.governor
+                              ~op:"apply.cache")
+                         (ci.run env))
+                  in
                   Cursor.concat_map
                     (fun outer_row ->
                       Cursor.map (Tuple.concat outer_row)
@@ -383,8 +444,14 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
           (fun env ->
             Cursor.deferred (fun () ->
                 let pool = Domain_pool.for_parallelism config.parallelism in
-                let rows = Cursor.to_array (co.run env) in
-                let groups = partition ~config ?pool ~idxs rows in
+                let gov = env.Env.governor in
+                let rows =
+                  Cursor.to_array
+                    ?account:
+                      (Governor.accountant gov ~op:"gapply.materialize")
+                    (co.run env)
+                in
+                let groups = partition ~config ?pool ?gov ~idxs rows in
                 Option.iter
                   (fun n -> Obs.add_partitions n (List.length groups))
                   obs_node;
@@ -396,15 +463,26 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
                     List.sort (fun (a, _) (b, _) -> Tuple.compare a b) groups
                   else groups
                 in
+                let group_account =
+                  Governor.accountant gov ~op:"gapply.group"
+                in
                 let run_group (key, members) =
                   (* each group is materialised as a temporary
                      relation (rows are copied into it, as the
                      paper's execution phase describes) — so the
                      width of the outer input is a real cost and
                      the projection-before-GApply rule matters *)
+                  let copy_row =
+                    match group_account with
+                    | None -> Tuple.copy
+                    | Some account ->
+                        fun row ->
+                          account row;
+                          Tuple.copy row
+                  in
                   let group_rel =
                     Relation.of_array co.schema
-                      (Array.of_list (List.map Tuple.copy members))
+                      (Array.of_list (List.map copy_row members))
                   in
                   let env' = Env.bind_group var group_rel env in
                   Cursor.map (Tuple.concat key) (cp.run env')
@@ -419,9 +497,13 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
                        order, keeping the output tuple-identical to the
                        sequential path — including the clustering
                        guarantee above. *)
+                    let exec_account =
+                      Governor.accountant gov ~op:"gapply.exec"
+                    in
                     let per_group =
                       Domain_pool.parallel_map_array pool
-                        (fun g -> Cursor.to_array (run_group g))
+                        (fun g ->
+                          Cursor.to_array ?account:exec_account (run_group g))
                         (Array.of_list groups)
                     in
                     Cursor.concat
@@ -438,12 +520,22 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
    by the grouping columns (the property the constant-space tagger
    needs).  With a pool, hashing merges per-domain partial partitions
    and sorting becomes a parallel merge sort; both orderings are
-   identical to the sequential result. *)
-and partition ~config ?pool ~idxs (rows : Tuple.t array) :
+   identical to the sequential result.
+
+   Memory accounting mirrors the real structures: hashing pays per-row
+   table overhead (plus a merge pass when parallel) through
+   [group_rows]; sorting only pays the decoration tags.  The governor's
+   graceful degradation leans on exactly this asymmetry. *)
+and partition ~config ?pool ?gov ~idxs (rows : Tuple.t array) :
     (Tuple.t * Tuple.t list) list =
   match config.partition with
-  | Hash_partition -> group_rows ?pool (project_key idxs) rows
+  | Hash_partition ->
+      group_rows ?pool ?gov ~op:"gapply.partition(hash)" (project_key idxs)
+        rows
   | Sort_partition ->
+      Governor.check gov ~op:"gapply.partition(sort)";
+      Governor.charge gov ~op:"gapply.partition(sort)"
+        (Array.length rows * Governor.sort_partition_overhead_per_row);
       (* decorate-sort-undecorate: keys are projected once per row; the
          index tiebreak makes the comparison a total order, so the
          (unstable) parallel sort gives the sequential answer *)
@@ -492,7 +584,13 @@ and compile_join ~config ~outer pred left right : compiled =
       run =
         (fun env ->
           Cursor.deferred (fun () ->
-              let right_rows = Cursor.to_array (cr.run env) in
+              let right_rows =
+                Cursor.to_array
+                  ?account:
+                    (Governor.accountant env.Env.governor
+                       ~op:"join.materialize")
+                  (cr.run env)
+              in
               Cursor.concat_map
                 (fun lrow ->
                   Cursor.filter (keep env.Env.frames)
@@ -593,6 +691,9 @@ and compile_join ~config ~outer pred left right : compiled =
           | None ->
           Cursor.deferred (fun () ->
               let frames = env.Env.frames in
+              let build_account =
+                Governor.accountant env.Env.governor ~op:"join.build"
+              in
               let table : Tuple.t list ref Tuple.Tbl.t =
                 Tuple.Tbl.create 256
               in
@@ -601,10 +702,12 @@ and compile_join ~config ~outer pred left right : compiled =
                   let key =
                     Tuple.of_list (List.map (fun ce -> ce frames rrow) right_keys)
                   in
-                  if not (key_rejected key) then
+                  if not (key_rejected key) then begin
+                    Option.iter (fun f -> f rrow) build_account;
                     match Tuple.Tbl.find_opt table key with
                     | Some bucket -> bucket := rrow :: !bucket
-                    | None -> Tuple.Tbl.add table key (ref [ rrow ]))
+                    | None -> Tuple.Tbl.add table key (ref [ rrow ])
+                  end)
                 (cr.run env);
               Cursor.concat_map
                 (fun lrow ->

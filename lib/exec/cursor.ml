@@ -105,20 +105,31 @@ let fold f init (c : t) =
 let iter f c = fold (fun () row -> f row) () c
 
 (* Drain into a growable buffer with amortised doubling — one pass and
-   no intermediate list (this sits on the partition-phase hot path). *)
-let to_array (c : t) : Tuple.t array =
+   no intermediate list (this sits on the partition-phase hot path).
+   [account] is the resource governor's allocation-accounting hook:
+   called per buffered row *as it is materialised*, so a memory ceiling
+   trips mid-buffer instead of after the damage is done.  The default
+   (no accounting) adds nothing to the loop. *)
+let to_array ?account (c : t) : Tuple.t array =
   let buf = ref (Array.make 32 Tuple.empty) in
   let n = ref 0 in
-  iter
-    (fun row ->
-      if !n = Array.length !buf then begin
-        let bigger = Array.make (2 * !n) Tuple.empty in
-        Array.blit !buf 0 bigger 0 !n;
-        buf := bigger
-      end;
-      !buf.(!n) <- row;
-      incr n)
-    c;
+  let push row =
+    if !n = Array.length !buf then begin
+      let bigger = Array.make (2 * !n) Tuple.empty in
+      Array.blit !buf 0 bigger 0 !n;
+      buf := bigger
+    end;
+    !buf.(!n) <- row;
+    incr n
+  in
+  (match account with
+  | None -> iter push c
+  | Some account ->
+      iter
+        (fun row ->
+          account row;
+          push row)
+        c);
   if !n = Array.length !buf then !buf else Array.sub !buf 0 !n
 
 let to_list (c : t) : Tuple.t list =

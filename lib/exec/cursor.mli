@@ -28,7 +28,13 @@ val deferred : (unit -> t) -> t
 
 val fold : ('a -> Tuple.t -> 'a) -> 'a -> t -> 'a
 val iter : (Tuple.t -> unit) -> t -> unit
-val to_array : t -> Tuple.t array
+
+val to_array : ?account:(Tuple.t -> unit) -> t -> Tuple.t array
+(** Drain into an array.  [account] is the allocation-accounting hook of
+    the resource governor: called once per row as it is buffered, so a
+    memory budget can trip mid-materialization.  It may raise; the
+    partially filled buffer is then simply dropped. *)
+
 val to_list : t -> Tuple.t list
 val to_relation : Schema.t -> t -> Relation.t
 

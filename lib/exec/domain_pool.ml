@@ -12,9 +12,14 @@
 
    Worker domains are spawned lazily on first use, kept for the life of
    the process, and shared by every query (pool reuse).  Exceptions
-   raised inside a chunk are captured and re-raised on the submitting
-   domain after the whole batch has drained, so the pool itself never
-   loses a worker to a user exception. *)
+   raised inside a chunk are captured (first one wins, with its original
+   backtrace) and re-raised on the submitting domain after the whole
+   batch has drained, so the pool itself never loses a worker to a user
+   exception.  A failed batch is *poisoned*: chunks claimed after the
+   failure complete immediately without running, so a cancelled or
+   crashed parallel GApply phase re-joins promptly instead of burning
+   workers on doomed work — no worker is ever still running batch work
+   when the submitter re-raises. *)
 
 type batch = {
   b_mutex : Mutex.t;
@@ -22,6 +27,7 @@ type batch = {
   nchunks : int;
   next : int Atomic.t;              (* next chunk index to claim *)
   mutable completed : int;          (* chunks finished (under b_mutex) *)
+  poisoned : bool Atomic.t;         (* a chunk failed: stop running more *)
   mutable error : (exn * Printexc.raw_backtrace) option;
   run_chunk : int -> unit;
 }
@@ -47,12 +53,20 @@ let drain (b : batch) =
   let rec go () =
     let i = Atomic.fetch_and_add b.next 1 in
     if i < b.nchunks then begin
-      (try b.run_chunk i
-       with e ->
-         let bt = Printexc.get_raw_backtrace () in
-         Mutex.lock b.b_mutex;
-         if b.error = None then b.error <- Some (e, bt);
-         Mutex.unlock b.b_mutex);
+      (* fast-drain a poisoned batch: the remaining chunks are claimed
+         and completed without running, so the batch converges at the
+         speed of the bookkeeping, not of the doomed work *)
+      if not (Atomic.get b.poisoned) then
+        (try b.run_chunk i
+         with e ->
+           (* capture the *first* failure with its original backtrace;
+              later failures (often knock-on [Cancelled]s from sibling
+              domains) never overwrite it *)
+           let bt = Printexc.get_raw_backtrace () in
+           Atomic.set b.poisoned true;
+           Mutex.lock b.b_mutex;
+           if b.error = None then b.error <- Some (e, bt);
+           Mutex.unlock b.b_mutex);
       Mutex.lock b.b_mutex;
       b.completed <- b.completed + 1;
       if b.completed = b.nchunks then Condition.broadcast b.b_cond;
@@ -146,6 +160,7 @@ let parallel_map_array (t : t) (f : 'a -> 'b) (input : 'a array) : 'b array =
         nchunks;
         next = Atomic.make 0;
         completed = 0;
+        poisoned = Atomic.make false;
         error = None;
         run_chunk;
       }

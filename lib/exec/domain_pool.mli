@@ -32,8 +32,11 @@ val num_domains : t -> int
 
 val parallel_map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Map [f] over the array on the pool.  The result preserves input
-    order.  If any application raises, the first exception observed is
-    re-raised on the submitting domain after all chunks finish.  [f]
+    order.  If any application raises, the batch is poisoned — chunks
+    not yet started are drained without running — and the {e first}
+    exception is re-raised on the submitting domain with its original
+    backtrace once every claimed chunk has re-joined, so no worker is
+    still executing batch work after the call returns or raises.  [f]
     must be safe to call from multiple domains at once. *)
 
 val parallel_sort : t -> ('a -> 'a -> int) -> 'a array -> unit

@@ -9,9 +9,13 @@ type t = {
   catalog : Catalog.t;
   frames : Eval.frames;
   groups : (string * Relation.t) list;
+  governor : Governor.t option;
+      (* the running statement's resource governor; derived envs (Apply
+         frames, GApply group bindings) inherit it, so budget checks
+         reach per-group queries on pool domains *)
 }
 
-let make catalog = { catalog; frames = []; groups = [] }
+let make ?governor catalog = { catalog; frames = []; groups = []; governor }
 
 let push_frame schema tuple env =
   { env with frames = (schema, tuple) :: env.frames }

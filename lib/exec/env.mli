@@ -9,9 +9,13 @@ type t = {
   catalog : Catalog.t;
   frames : Eval.frames;
   groups : (string * Relation.t) list;
+  governor : Governor.t option;
+      (** the running statement's resource governor, inherited by every
+          derived environment (so budget checks and cancellation reach
+          per-group queries running on pool domains) *)
 }
 
-val make : Catalog.t -> t
+val make : ?governor:Governor.t -> Catalog.t -> t
 val push_frame : Schema.t -> Tuple.t -> t -> t
 val bind_group : string -> Relation.t -> t -> t
 

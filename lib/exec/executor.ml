@@ -1,24 +1,33 @@
-(* Top-level plan execution. *)
+(* Top-level plan execution.
+
+   [?governor] threads a per-statement resource governor into the
+   environment (budget checks and cancellation inside every operator)
+   and wraps the root cursor with the output-row limit — the one budget
+   that only makes sense at the statement boundary. *)
 
 (** Compile and run [plan] against [catalog], materialising the result. *)
-let run ?config (catalog : Catalog.t) (p : Plan.t) : Relation.t =
+let run ?config ?governor (catalog : Catalog.t) (p : Plan.t) : Relation.t =
   let compiled = Compile.plan ?config p in
-  let env = Env.make catalog in
-  Cursor.to_relation compiled.Compile.schema (compiled.Compile.run env)
+  let env = Env.make ?governor catalog in
+  Cursor.to_relation compiled.Compile.schema
+    (Governor.wrap_root governor (compiled.Compile.run env))
 
 (** Run and count output rows without keeping them (used by benches to
     exclude materialisation of huge results from what we keep around). *)
-let run_count ?config (catalog : Catalog.t) (p : Plan.t) : int =
+let run_count ?config ?governor (catalog : Catalog.t) (p : Plan.t) : int =
   let compiled = Compile.plan ?config p in
-  let env = Env.make catalog in
-  Cursor.length (compiled.Compile.run env)
+  let env = Env.make ?governor catalog in
+  Cursor.length (Governor.wrap_root governor (compiled.Compile.run env))
 
 (** Run an already-compiled plan (the plan-cache / prepared-statement
     warm path: no parse, bind, optimize, or compile).  The compiled
     closures hold no per-run state, so one [compiled] value can be run
-    repeatedly and from several domains at once. *)
-let run_compiled (catalog : Catalog.t) (c : Compile.compiled) : Relation.t =
-  Cursor.to_relation c.Compile.schema (c.Compile.run (Env.make catalog))
+    repeatedly and from several domains at once — the governor, if any,
+    belongs to this single run. *)
+let run_compiled ?governor (catalog : Catalog.t) (c : Compile.compiled) :
+    Relation.t =
+  Cursor.to_relation c.Compile.schema
+    (Governor.wrap_root governor (c.Compile.run (Env.make ?governor catalog)))
 
 (** Run a plan under an explicit environment (used by the client-side
     GApply simulation, which pre-binds group variables). *)

@@ -1,16 +1,27 @@
-(** Top-level plan execution. *)
+(** Top-level plan execution.
 
-val run : ?config:Compile.config -> Catalog.t -> Plan.t -> Relation.t
+    [?governor] is the statement's resource governor: it is threaded
+    into the environment (so every operator's cursor checks budgets and
+    the cancellation token, on whatever domain it runs) and the root
+    cursor is wrapped with the output-row limit.  Omitting it runs
+    ungoverned, exactly as before. *)
+
+val run :
+  ?config:Compile.config -> ?governor:Governor.t -> Catalog.t -> Plan.t ->
+  Relation.t
 (** Compile and run a logical plan, materialising the result. *)
 
-val run_count : ?config:Compile.config -> Catalog.t -> Plan.t -> int
+val run_count :
+  ?config:Compile.config -> ?governor:Governor.t -> Catalog.t -> Plan.t -> int
 (** Run and count output rows without retaining them (used by the
     benchmarks). *)
 
-val run_compiled : Catalog.t -> Compile.compiled -> Relation.t
+val run_compiled :
+  ?governor:Governor.t -> Catalog.t -> Compile.compiled -> Relation.t
 (** Run an already-compiled plan against a fresh environment — the warm
     path of the plan cache and of prepared statements.  Safe to call
-    repeatedly and concurrently on the same [compiled] value. *)
+    repeatedly and concurrently on the same [compiled] value; the
+    governor, if any, belongs to this one run. *)
 
 val run_in : ?config:Compile.config -> Env.t -> Plan.t -> Relation.t
 (** Run under an explicit environment (pre-bound relation-valued

@@ -1,0 +1,129 @@
+(* Deterministic fault injection.
+
+   A fault plan names one injection *site* class (allocation accounting,
+   or an operator open / next / close boundary), a countdown N, and an
+   action (raise a typed [Errors.Injected_fault], or delay).  The armed
+   plan is process-global: the governor's wrappers call [hit] from
+   whichever domain runs the cursor, and an atomic countdown guarantees
+   exactly one domain observes the 0 transition — so a plan fires at
+   most once even under the domain pool.
+
+   [plan_of_seed] derives (site, nth, action) from a seed with a small
+   LCG, which is what the chaos suite sweeps: for every seed the
+   injected run must fail with [Injected_fault] (or complete untouched
+   when N overshoots the event count), and the immediately following
+   un-injected run must be reference-identical. *)
+
+type site = Alloc | Open | Next | Close
+type action = Raise | Delay_ns of int
+
+type plan = { seed : int; site : site; nth : int; action : action }
+
+type armed_state = { plan : plan; countdown : int Atomic.t }
+
+let state : armed_state option Atomic.t = Atomic.make None
+
+let site_to_string = function
+  | Alloc -> "alloc"
+  | Open -> "open"
+  | Next -> "next"
+  | Close -> "close"
+
+let site_of_string = function
+  | "alloc" -> Some Alloc
+  | "open" -> Some Open
+  | "next" -> Some Next
+  | "close" -> Some Close
+  | _ -> None
+
+let plan_to_string p =
+  Printf.sprintf "seed=%d %s#%d%s" p.seed (site_to_string p.site) p.nth
+    (match p.action with
+    | Raise -> ""
+    | Delay_ns ns -> Printf.sprintf " delay=%dns" ns)
+
+(* ---------- seeded plan derivation ---------- *)
+
+(* the 48-bit java.util.Random LCG — plenty for deriving plans *)
+let lcg x = ((x * 25214903917) + 11) land 0xFFFFFFFFFFFF
+
+let plan_of_seed seed =
+  let r1 = lcg (seed + 1) in
+  let r2 = lcg r1 in
+  let r3 = lcg r2 in
+  let site =
+    match r1 mod 4 with 0 -> Alloc | 1 -> Open | 2 -> Next | _ -> Close
+  in
+  (* keep N small enough that most seeds actually fire on small inputs,
+     but spread across the event stream *)
+  let nth = 1 + (r2 mod 200) in
+  (* one seed in eight delays instead of raising (exercises the timeout
+     path); delays are short busy-waits so suites stay fast *)
+  let action = if r3 mod 8 = 0 then Delay_ns 200_000 else Raise in
+  { seed; site; nth; action }
+
+(* ---------- arming ---------- *)
+
+let arm p = Atomic.set state (Some { plan = p; countdown = Atomic.make p.nth })
+let disarm () = Atomic.set state None
+let armed () = Atomic.get state <> None
+let current () = Option.map (fun s -> s.plan) (Atomic.get state)
+
+(** Events at [site] already consumed by the armed plan (counts up to
+    [nth]; introspection for tests). *)
+let consumed () =
+  match Atomic.get state with
+  | None -> 0
+  | Some s -> s.plan.nth - max 0 (Atomic.get s.countdown)
+
+(* [GAPPLY_FAULT] arms a plan at module-init time:
+     GAPPLY_FAULT=seed:<n>                  derive the plan from a seed
+     GAPPLY_FAULT=<site>:<n>[:delay=<ns>]   name it explicitly *)
+let parse_spec spec =
+  match String.split_on_char ':' (String.trim spec) with
+  | [ "seed"; n ] -> Option.map plan_of_seed (int_of_string_opt n)
+  | site :: n :: rest -> (
+      match (site_of_string site, int_of_string_opt n) with
+      | Some site, Some nth when nth > 0 ->
+          let action =
+            match rest with
+            | [ d ] when String.length d > 6
+                         && String.sub d 0 6 = "delay=" -> (
+                match
+                  int_of_string_opt (String.sub d 6 (String.length d - 6))
+                with
+                | Some ns -> Delay_ns ns
+                | None -> Raise)
+            | _ -> Raise
+          in
+          Some { seed = 0; site; nth; action }
+      | _ -> None)
+  | _ -> None
+
+let () =
+  match Sys.getenv_opt "GAPPLY_FAULT" with
+  | None -> ()
+  | Some spec -> Option.iter arm (parse_spec spec)
+
+(* ---------- the hot-path hook ---------- *)
+
+let busy_wait_ns ns =
+  let t0 = Metrics.now_ns () in
+  while Metrics.now_ns () - t0 < ns do
+    Domain.cpu_relax ()
+  done
+
+let fire p ~op =
+  match p.action with
+  | Delay_ns ns -> busy_wait_ns ns
+  | Raise ->
+      Errors.resource_errorf ?operator:op Errors.Injected_fault "%s"
+        (plan_to_string p)
+
+let hit site ~op =
+  match Atomic.get state with
+  | None -> ()
+  | Some s ->
+      if s.plan.site = site && Atomic.get s.countdown > 0 then
+        (* only the exact 1 -> 0 transition fires: one domain wins *)
+        if Atomic.fetch_and_add s.countdown (-1) = 1 then fire s.plan ~op

@@ -1,0 +1,45 @@
+(** Deterministic fault injection.
+
+    The chaos harness arms one process-global fault {!plan}: at the
+    [nth] event of the named {!site} class the plan fires — raising a
+    typed [Errors.Resource_error] with kind [Injected_fault], or
+    busy-delaying (to exercise timeout paths).  The countdown is atomic,
+    so a plan fires at most once even when cursors run on pool domains.
+
+    Sites are reported by the resource governor's wrappers: [Alloc] per
+    accounted materialized row, [Open] when an operator's cursor is
+    built, [Next] per yielded tuple, [Close] at end-of-stream.  Faults
+    therefore only fire while a statement runs under a governor; the
+    engine forces a governor whenever a plan is {!armed}.
+
+    [GAPPLY_FAULT=seed:<n>] (or [<site>:<n>[:delay=<ns>]]) arms a plan
+    from the environment at module-init time. *)
+
+type site = Alloc | Open | Next | Close
+type action = Raise | Delay_ns of int
+type plan = { seed : int; site : site; nth : int; action : action }
+
+val plan_of_seed : int -> plan
+(** Derive a (site, nth, action) plan from a seed — the chaos suite's
+    sweep axis.  Deterministic. *)
+
+val parse_spec : string -> plan option
+(** Parse a [GAPPLY_FAULT]-style spec ([seed:7], [next:25],
+    [alloc:100:delay=200000]). *)
+
+val arm : plan -> unit
+val disarm : unit -> unit
+val armed : unit -> bool
+val current : unit -> plan option
+
+val consumed : unit -> int
+(** Matching events consumed so far by the armed plan (saturates at the
+    plan's [nth]). *)
+
+val hit : site -> op:string option -> unit
+(** Report one event at [site]; fires the armed plan when its countdown
+    reaches zero.  No-op (one atomic read) when nothing is armed.
+    @raise Errors.Resource_error with kind [Injected_fault]. *)
+
+val site_to_string : site -> string
+val plan_to_string : plan -> string

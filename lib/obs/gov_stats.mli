@@ -1,0 +1,41 @@
+(** Resource-governor counters ({!Cache_stats}-style).
+
+    One {!t} lives inside each engine; every budget violation, every
+    graceful-degradation retry and every statement's accounted memory
+    peak is recorded here through atomics, so concurrent sessions on
+    pool domains never tear a counter.  [snapshot]/[diff]-style usage:
+    counters only grow ([peak_bytes] is a max gauge), so deltas of two
+    snapshots attribute one workload run. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> Errors.resource_kind -> unit
+(** Count one violation of the given kind. *)
+
+val downgrade : t -> unit
+(** Count one graceful-degradation retry (hash-partition memory ceiling
+    tripped; statement re-ran with sort partitioning, parallelism 1). *)
+
+val note_peak : t -> int -> unit
+(** Raise the peak-accounted-bytes gauge to [bytes] if higher. *)
+
+type snapshot = {
+  timeouts : int;
+  memory_trips : int;
+  row_limits : int;
+  cancellations : int;
+  injected_faults : int;
+  downgrades : int;
+  peak_bytes : int;
+}
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val violations : snapshot -> int
+(** Total violations of every kind (downgrades and the peak gauge are
+    not violations). *)
+
+val pp : Format.formatter -> snapshot -> unit

@@ -20,6 +20,48 @@ exception Plan_error of string
 exception Exec_error of string
 (** A runtime evaluation failure. *)
 
+(* Resource-governor violations get their own structured exception: the
+   engine's budget checks, cancellation token and fault-injection
+   harness all raise through here, so callers (Engine, Session, the
+   CLI, the chaos suite) can switch on the kind instead of parsing a
+   message, and the operator field carries provenance — which plan
+   operator's cursor or materialization tripped the budget. *)
+
+type resource_kind =
+  | Timeout
+  | Memory_exceeded
+  | Row_limit
+  | Cancelled
+  | Injected_fault
+
+type resource_violation = {
+  kind : resource_kind;
+  operator : string option;  (* [Plan.op_name]-style provenance *)
+  detail : string;
+}
+
+exception Resource_error of resource_violation
+
+let resource_kind_to_string = function
+  | Timeout -> "timeout"
+  | Memory_exceeded -> "memory limit exceeded"
+  | Row_limit -> "row limit exceeded"
+  | Cancelled -> "cancelled"
+  | Injected_fault -> "injected fault"
+
+let resource_errorf ?operator kind fmt =
+  Format.kasprintf
+    (fun detail -> raise (Resource_error { kind; operator; detail }))
+    fmt
+
+let resource_violation_to_string (v : resource_violation) =
+  Printf.sprintf "%s%s%s"
+    (resource_kind_to_string v.kind)
+    (if v.detail = "" then "" else ": " ^ v.detail)
+    (match v.operator with
+    | None -> ""
+    | Some op -> Printf.sprintf " (in %s)" op)
+
 let type_errorf fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 let name_errorf fmt = Format.kasprintf (fun s -> raise (Name_error s)) fmt
 let parse_errorf fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
@@ -34,10 +76,11 @@ let to_string = function
   | Parse_error m -> "parse error: " ^ m
   | Plan_error m -> "plan error: " ^ m
   | Exec_error m -> "execution error: " ^ m
+  | Resource_error v -> "resource error: " ^ resource_violation_to_string v
   | e -> raise e
 
 let is_engine_error = function
   | Type_error _ | Name_error _ | Parse_error _ | Plan_error _ | Exec_error _
-    ->
+  | Resource_error _ ->
       true
   | _ -> false

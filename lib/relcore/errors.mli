@@ -10,6 +10,37 @@ exception Parse_error of string
 exception Plan_error of string
 exception Exec_error of string
 
+(** {1 Resource-governor violations}
+
+    Budget checks, the cooperative cancellation token and the
+    fault-injection harness raise {!Resource_error} with a structured
+    payload: the violation kind, the plan operator whose cursor or
+    materialization tripped (when known), and a human-readable detail
+    line.  Tests and the engine's degradation logic switch on [kind]
+    rather than parsing messages. *)
+
+type resource_kind =
+  | Timeout          (** wall-clock budget exhausted *)
+  | Memory_exceeded  (** accounted materialization bytes over the ceiling *)
+  | Row_limit        (** statement produced more output rows than allowed *)
+  | Cancelled        (** the statement's cancellation token was flipped *)
+  | Injected_fault   (** raised by the deterministic fault harness *)
+
+type resource_violation = {
+  kind : resource_kind;
+  operator : string option;
+  detail : string;
+}
+
+exception Resource_error of resource_violation
+
+val resource_errorf :
+  ?operator:string -> resource_kind ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val resource_kind_to_string : resource_kind -> string
+val resource_violation_to_string : resource_violation -> string
+
 val type_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val name_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val parse_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a

@@ -12,3 +12,11 @@ let pp_duration_ns ppf ns = Format.pp_print_string ppf (duration_ns ns)
 
 let card f =
   if Float.is_finite f then Printf.sprintf "%.0f" (Float.max 0. f) else "?"
+
+let bytes n =
+  let n = max 0 n in
+  if n < 1024 then Printf.sprintf "%dB" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1fKiB" (float_of_int n /. 1024.)
+  else if n < 1024 * 1024 * 1024 then
+    Printf.sprintf "%.1fMiB" (float_of_int n /. (1024. *. 1024.))
+  else Printf.sprintf "%.2fGiB" (float_of_int n /. (1024. *. 1024. *. 1024.))

@@ -10,3 +10,7 @@ val pp_duration_ns : Format.formatter -> int -> unit
 val card : float -> string
 (** Render an estimated cardinality: non-negative, no decimals
     (["1234"]); non-finite estimates render as ["?"]. *)
+
+val bytes : int -> string
+(** Render a byte count at a human scale (["640B"], ["1.5KiB"],
+    ["12.0MiB"]); negative counts are clamped to ["0B"]. *)

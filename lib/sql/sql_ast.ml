@@ -82,6 +82,10 @@ type statement =
   | Stmt_prepare of string * query  (* PREPARE name AS query *)
   | Stmt_execute of string
   | Stmt_deallocate of string
+  | Stmt_set of string * int option
+      (* SET <knob> = <int> | DEFAULT — session resource knobs
+         (statement_timeout_ms, statement_mem_limit, statement_row_limit);
+         [None] resets the knob to unlimited *)
 
 (* ---------- printing (used by error messages, the CLI, and the
    parse/print round-trip property tests) ---------- *)
@@ -251,3 +255,5 @@ let statement_to_string = function
   | Stmt_prepare (name, q) -> "PREPARE " ^ name ^ " AS " ^ query_to_string q
   | Stmt_execute name -> "EXECUTE " ^ name
   | Stmt_deallocate name -> "DEALLOCATE " ^ name
+  | Stmt_set (name, Some v) -> Printf.sprintf "SET %s = %d" name v
+  | Stmt_set (name, None) -> Printf.sprintf "SET %s = DEFAULT" name

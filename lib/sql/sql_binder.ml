@@ -947,6 +947,9 @@ type bound_statement =
   | Bound_deallocate of string
       (* prepared-statement statements are resolved by the engine, which
          owns the prepared-handle namespace and the plan cache *)
+  | Bound_set of string * int option
+      (* session resource knobs are interpreted by the engine, which owns
+         the per-statement budget *)
 
 let bind_statement (catalog : Catalog.t) (stmt : Sql_ast.statement) :
     bound_statement =
@@ -986,9 +989,10 @@ let bind_statement (catalog : Catalog.t) (stmt : Sql_ast.statement) :
   | Sql_ast.Stmt_insert (name, rows) ->
       let table = Catalog.find_table catalog name in
       let scope = root_scope catalog () in
-      List.iter
-        (fun row -> Table.insert table (bind_literal_row scope row))
-        rows;
+      (* bind every row before inserting any: a bad literal in row k must
+         not leave rows 1..k-1 inserted (and the table version bumped) *)
+      let bound = List.map (bind_literal_row scope) rows in
+      List.iter (Table.insert table) bound;
       Catalog.invalidate_stats catalog name;
       Bound_ddl
         (Printf.sprintf "inserted %d row(s) into %s" (List.length rows) name)
@@ -1004,3 +1008,4 @@ let bind_statement (catalog : Catalog.t) (stmt : Sql_ast.statement) :
   | Sql_ast.Stmt_prepare (name, q) -> Bound_prepare (name, q)
   | Sql_ast.Stmt_execute name -> Bound_execute name
   | Sql_ast.Stmt_deallocate name -> Bound_deallocate name
+  | Sql_ast.Stmt_set (name, v) -> Bound_set (name, v)

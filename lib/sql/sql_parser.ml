@@ -618,6 +618,21 @@ let parse_statement_inner st =
     advance st;
     Sql_ast.Stmt_deallocate (ident st)
   end
+  else if is_keyword st "set" then begin
+    (* SET <knob> = <int> | DEFAULT — another soft statement-head keyword;
+       the knob value DEFAULT (or OFF) resets to unlimited *)
+    advance st;
+    let name = ident st in
+    expect st Sql_token.Eq "=";
+    match peek st with
+    | Sql_token.Int_lit v ->
+        advance st;
+        Sql_ast.Stmt_set (name, Some v)
+    | Sql_token.Ident ("default" | "off") ->
+        advance st;
+        Sql_ast.Stmt_set (name, None)
+    | _ -> errorf st "expected an integer, DEFAULT, or OFF"
+  end
   else Sql_ast.Stmt_select (parse_query st)
 
 (** Parse a single statement (an optional trailing ';' is consumed). *)

@@ -23,4 +23,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("observe", Test_observe.suite);
       ("plan-cache", Test_plan_cache.suite);
+      ("governor", Test_governor.suite);
+      ("chaos", Test_chaos.suite);
     ]

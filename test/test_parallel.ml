@@ -230,6 +230,30 @@ let test_large_input_partition_phase () =
         [ Compile.Hash_partition; Compile.Sort_partition ])
     plans
 
+(* ---------- governed execution on pool domains ---------- *)
+
+(* A resource violation raised by the governor from inside a pool
+   domain must surface as one typed statement failure (not a hang, not
+   a crash), and the pool must stay usable: clearing the budget and
+   re-running the same statement on the same engine yields the
+   reference rows.  The ceiling is small enough that the automatic
+   sort-partition downgrade also trips, so the failure is genuine. *)
+let test_governed_parallel_abort () =
+  let db = Engine.create ~parallelism:4 () in
+  Engine.load_tpch db ~msf:0.3;
+  let reference = Engine.query db Workloads.q1_gapply in
+  Engine.set_mem_limit db (Some 512);
+  (match Engine.exec db Workloads.q1_gapply with
+  | Engine.Failed (Errors.Resource_error v) ->
+      Alcotest.(check string) "typed memory violation crossed domains"
+        "memory limit exceeded"
+        (Errors.resource_kind_to_string v.Errors.kind)
+  | _ -> Alcotest.fail "expected a typed memory violation");
+  Engine.set_mem_limit db None;
+  Alcotest.check relation_ordered_testable
+    "pool reusable after governed abort" reference
+    (Engine.query db Workloads.q1_gapply)
+
 (* ---------- concurrent sessions over the shared plan cache ---------- *)
 
 let cache_enabled_in_env =
@@ -312,6 +336,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_parallel_clustered_gapply_equals_sequential;
     QCheck_alcotest.to_alcotest prop_parallel_group_by_equals_sequential;
     QCheck_alcotest.to_alcotest prop_parallel_metrics_agree;
+    Alcotest.test_case "governed abort on pool domains, pool reusable" `Quick
+      test_governed_parallel_abort;
     Alcotest.test_case "concurrent sessions = sequential replay" `Quick
       test_concurrent_sessions_stress;
   ]

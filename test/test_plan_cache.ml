@@ -229,9 +229,13 @@ let test_sql_prepare_execute_deallocate () =
   | Engine.Message m ->
       Alcotest.(check string) "deallocate confirmation" "deallocated p1" m
   | _ -> Alcotest.fail "expected a confirmation");
-  Alcotest.check_raises "EXECUTE after DEALLOCATE"
-    (Errors.Name_error "unknown prepared statement p1") (fun () ->
-      ignore (Engine.exec db "execute p1"))
+  (* misuse fails the statement with a typed error instead of raising
+     out of [exec] — the session can keep going *)
+  match Engine.exec db "execute p1" with
+  | Engine.Failed (Errors.Name_error m) ->
+      Alcotest.(check string) "EXECUTE after DEALLOCATE"
+        "unknown prepared statement p1" m
+  | _ -> Alcotest.fail "expected a typed failure"
 
 (* ---------- cache disabled ---------- *)
 
