@@ -22,6 +22,9 @@
      analyze       per-operator breakdown of Q1-Q4 through the EXPLAIN
                    ANALYZE instrumentation (Obs sinks + trace hooks),
                    including the tracing-off overhead check
+     durability    WAL logging overhead (off/lazy/strict vs in-memory),
+                   Q1-Q4 read-path parity under strict, and recovery
+                   time vs WAL length / snapshot
      micro         Bechamel micro-benchmarks of the core operators
 
    Usage:
@@ -858,6 +861,171 @@ let bench_governor ~msf ~repeat:_ () =
       ("elapsed_ms", Json.Float elapsed_ms);
     ]
 
+(* ---------- durability (WAL + snapshots + recovery) ---------- *)
+
+(* Three records per concern.  [ingest-*]: the same row-at-a-time INSERT
+   workload acknowledged under no-data-dir / off / lazy / strict — the
+   cost of the log is the delta, and the fsync counters prove the sync
+   policy did what it claims (strict ~ one fsync per commit, lazy a
+   fraction, off none).  [q1..q4]: the read path never touches the WAL,
+   so strict-vs-off on Q1-Q4 is the CI-gated "logging leaves queries
+   alone" check (< 2x, generous because msf 0.05 timings are sub-ms).
+   [recovery-*]: wall-clock to reopen a directory as the WAL grows, and
+   with a snapshot in place of the log. *)
+let bench_durability ~msf ~repeat () =
+  header
+    (Printf.sprintf
+       "Durability: WAL logging overhead and recovery (msf %g)" msf);
+  let dir_counter = ref 0 in
+  let fresh_dir () =
+    incr dir_counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gapply_bench_dur_%d_%d" (Unix.getpid ())
+           !dir_counter)
+    in
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir)
+    else Unix.mkdir dir 0o755;
+    dir
+  in
+  let exec_ok db sql =
+    match Engine.exec db sql with
+    | Engine.Message _ -> ()
+    | _ -> failwith ("unexpected outcome for: " ^ sql)
+  in
+  (* 1. ingest: n acknowledged single-row INSERTs per durability mode *)
+  let n = 500 in
+  Format.printf "@.Ingest (%d row-at-a-time INSERTs):@." n;
+  Format.printf "%-10s %12s %10s %9s %8s %10s@." "mode" "elapsed (ms)"
+    "rows/s" "appends" "fsyncs" "batch";
+  List.iter
+    (fun (label, make) ->
+      let last_stats = ref None in
+      let t =
+        time_runs ~repeat (fun () ->
+            let db = make () in
+            exec_ok db "create table ingest (a int, b varchar)";
+            for i = 1 to n do
+              exec_ok db
+                (Printf.sprintf "insert into ingest values (%d, 'row-%d')" i
+                   i)
+            done;
+            last_stats := Engine.wal_stats db;
+            Engine.close db;
+            0)
+      in
+      let appends, fsyncs, batch =
+        match !last_stats with
+        | Some s ->
+            (s.Wal_stats.appends, s.Wal_stats.fsyncs, Wal_stats.mean_batch s)
+        | None -> (0, 0, 0.)
+      in
+      Format.printf "%-10s %12.1f %10.0f %9d %8d %10.1f@." label (ms t)
+        (float_of_int n /. t) appends fsyncs batch;
+      record ~section:"durability" ~query:("ingest-" ^ label)
+        [
+          ("rows", Json.Int n);
+          ("elapsed_ms", Json.Float (ms t));
+          ("rows_per_s", Json.Float (float_of_int n /. t));
+          ("appends", Json.Int appends);
+          ("fsyncs", Json.Int fsyncs);
+          ("mean_batch", Json.Float batch);
+        ])
+    [
+      ("memory", fun () -> Engine.create ());
+      ( "off",
+        fun () ->
+          Engine.create ~data_dir:(fresh_dir ()) ~durability:Store.Off () );
+      ( "lazy",
+        fun () ->
+          Engine.create ~data_dir:(fresh_dir ()) ~durability:Store.Lazy () );
+      ( "strict",
+        fun () ->
+          Engine.create ~data_dir:(fresh_dir ()) ~durability:Store.Strict ()
+      );
+    ];
+  (* 2. read path: Q1-Q4 on a strict-durability engine vs durability off
+     — queries never touch the WAL, so these must track each other (the
+     CI gate allows 2x plus a small absolute slack for timer noise) *)
+  let repeat' = max repeat 3 in
+  let durable mode =
+    let db = Engine.create ~data_dir:(fresh_dir ()) ~durability:mode () in
+    Engine.load_tpch db ~msf;
+    db
+  in
+  let strict = durable Store.Strict in
+  let off = durable Store.Off in
+  Format.printf "@.Query overhead (read path, strict vs off):@.";
+  Format.printf "%-4s %12s %12s %10s@." "" "off (ms)" "strict (ms)"
+    "overhead";
+  List.iter
+    (fun (name, src, _) ->
+      let t_off = time_runs ~repeat:repeat' (fun () -> Engine.query off src) in
+      let t_strict =
+        time_runs ~repeat:repeat' (fun () -> Engine.query strict src)
+      in
+      Format.printf "%-4s %12.2f %12.2f %9.2fx@." name (ms t_off)
+        (ms t_strict) (t_strict /. t_off);
+      record ~section:"durability" ~query:name
+        [
+          ("off_ms", Json.Float (ms t_off));
+          ("strict_ms", Json.Float (ms t_strict));
+          ("overhead", Json.Float (t_strict /. t_off));
+        ])
+    Workloads.figure8_queries;
+  Engine.close strict;
+  Engine.close off;
+  (* 3. recovery: reopen time as the WAL grows, then with a snapshot
+     standing in for the whole log *)
+  Format.printf "@.Recovery (reopen a data directory):@.";
+  Format.printf "%-18s %10s %10s %12s %10s@." "" "records" "replayed"
+    "recover (ms)" "snapshot";
+  let build k ~checkpoint =
+    let dir = fresh_dir () in
+    let db = Engine.create ~data_dir:dir ~durability:Store.Lazy () in
+    exec_ok db "create table r (a int, b varchar)";
+    for i = 1 to k do
+      exec_ok db
+        (Printf.sprintf "insert into r values (%d, 'payload-%d')" i i)
+    done;
+    if checkpoint then ignore (Engine.checkpoint db);
+    Engine.close db;
+    dir
+  in
+  let recover_once label k ~checkpoint =
+    let dir = build k ~checkpoint in
+    let t0 = Metrics.now_ns () in
+    let db = Engine.create ~data_dir:dir () in
+    let recover_ms = float_of_int (Metrics.now_ns () - t0) /. 1e6 in
+    let replayed, snapshot_loaded =
+      match Engine.recovery_outcome db with
+      | Some o -> (o.Recovery.replayed, o.Recovery.snapshot_loaded)
+      | None -> (0, false)
+    in
+    Engine.close db;
+    Format.printf "%-18s %10d %10d %12.1f %10b@." label (k + 1) replayed
+      recover_ms snapshot_loaded;
+    record ~section:"durability" ~query:label
+      [
+        ("records", Json.Int (k + 1));
+        ("replayed", Json.Int replayed);
+        ("recover_ms", Json.Float recover_ms);
+        ("snapshot_loaded", Json.Bool snapshot_loaded);
+      ]
+  in
+  List.iter
+    (fun k -> recover_once (Printf.sprintf "recovery-%d" k) k ~checkpoint:false)
+    [ 100; 400; 1600 ];
+  recover_once "recovery-snapshot" 1600 ~checkpoint:true;
+  Format.printf
+    "@.(strict acknowledges after the commit fsync; lazy group-commits \
+     every 64 records; off never touches the WAL — recovery replays the \
+     log suffix past the newest snapshot)@."
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let bench_micro () =
@@ -912,7 +1080,8 @@ let bench_micro () =
 let all_sections =
   [
     "figure8"; "table1"; "partitioning"; "parallel"; "clientsim";
-    "pipeline"; "ablation"; "analyze"; "throughput"; "governor"; "micro";
+    "pipeline"; "ablation"; "analyze"; "throughput"; "governor";
+    "durability"; "micro";
   ]
 
 let run_section ~msf ~repeat = function
@@ -926,6 +1095,7 @@ let run_section ~msf ~repeat = function
   | "analyze" -> bench_analyze ~msf ~repeat ()
   | "throughput" -> bench_throughput ~msf ~repeat ()
   | "governor" -> bench_governor ~msf ~repeat ()
+  | "durability" -> bench_durability ~msf ~repeat ()
   | "micro" -> bench_micro ()
   | other ->
       Format.eprintf "unknown section %s (known: %s)@." other

@@ -16,6 +16,8 @@
      \timeout MS   per-statement wall-clock budget (off = unlimited)
      \rowlimit N   per-statement output-row budget (off = unlimited)
      \memlimit B   per-statement materialization budget, bytes
+     \wal          show durability counters (WAL/snapshot/recovery)
+     \checkpoint   cut a snapshot and reset the WAL (needs --data-dir)
      explain Q     show plans and the rules that fired
 
    --sessions N runs the concurrent workload driver (N sessions over
@@ -77,6 +79,14 @@ let run_meta db ~timing ~analyze cmd =
       Format.printf "analyze %s@." (if !analyze then "on" else "off")
   | [ "\\cache" ] -> Format.printf "%s@." (Engine.cache_report db)
   | [ "\\governor" ] -> Format.printf "%s@." (Engine.governor_report db)
+  | [ "\\wal" ] -> Format.printf "%s@." (Engine.wal_report db)
+  | [ "\\checkpoint" ] -> (
+      try
+        let bytes = Engine.checkpoint db in
+        Format.printf "checkpoint: snapshot written (%s)@."
+          (Pretty.bytes bytes)
+      with e when Errors.is_engine_error e ->
+        Format.printf "error: %s@." (Errors.to_string e))
   | [ ("\\timeout" | "\\rowlimit" | "\\memlimit") as knob; v ] -> (
       let set =
         match knob with
@@ -141,7 +151,34 @@ let run_sessions db ~sessions ~iterations =
   Format.printf "%a@." Session.pp_report report
 
 let main tpch_msf partition no_optimize parallelism analyze sessions
-    iterations timeout_ms row_limit mem_limit fault script =
+    iterations timeout_ms row_limit mem_limit fault data_dir durability
+    wal_dump script =
+  (* --wal-dump is a standalone debugging mode: render the records and
+     leave without touching the database *)
+  (match wal_dump with
+  | None -> ()
+  | Some path ->
+      let path =
+        if (try Sys.is_directory path with Sys_error _ -> false) then
+          Recovery.wal_path path
+        else path
+      in
+      if not (Sys.file_exists path) then begin
+        Format.eprintf "--wal-dump: no such file %s@." path;
+        exit 2
+      end;
+      Wal.dump Format.std_formatter path;
+      exit 0);
+  let durability =
+    match durability with
+    | None -> None
+    | Some s -> (
+        match Store.durability_of_string s with
+        | Some d -> Some d
+        | None ->
+            Format.eprintf "unknown durability mode %s (off|lazy|strict)@." s;
+            exit 2)
+  in
   let partition =
     match partition with
     | "sort" -> Compile.Sort_partition
@@ -164,9 +201,19 @@ let main tpch_msf partition no_optimize parallelism analyze sessions
             "bad --fault spec %s (seed:<n> | <site>:<n>[:delay=<ns>])@." spec;
           exit 2));
   let db =
-    Engine.create ~partition ~optimize:(not no_optimize) ~parallelism
-      ?timeout_ms ?row_limit ?mem_limit ()
+    try
+      Engine.create ~partition ~optimize:(not no_optimize) ~parallelism
+        ?timeout_ms ?row_limit ?mem_limit ?data_dir ?durability ()
+    with Errors.Recovery_error _ as e ->
+      Format.eprintf "recovery failed: %s@." (Errors.to_string e);
+      exit 1
   in
+  (match Engine.recovery_outcome db with
+  | Some o
+    when o.Recovery.snapshot_loaded || o.Recovery.replayed > 0
+         || o.Recovery.quarantined <> None ->
+      Format.printf "%s@." (Recovery.outcome_to_string o)
+  | _ -> ());
   (match tpch_msf with
   | Some msf ->
       Engine.load_tpch db ~msf;
@@ -175,9 +222,10 @@ let main tpch_msf partition no_optimize parallelism analyze sessions
   if sessions > 0 then begin
     if tpch_msf = None then Engine.load_tpch db ~msf:0.2;
     run_sessions db ~sessions ~iterations:(max 1 iterations);
+    Engine.close db;
     exit 0
   end;
-  match script with
+  (match script with
   | Some path ->
       let ic = open_in path in
       let n = in_channel_length ic in
@@ -190,7 +238,8 @@ let main tpch_msf partition no_optimize parallelism analyze sessions
               (Sql_ast.statement_to_string stmt))
           (Sql_parser.parse_script src)
       else List.iter (print_outcome false 0.) (Engine.exec_script db src)
-  | None -> repl db ~analyze
+  | None -> repl db ~analyze);
+  Engine.close db
 
 let tpch_arg =
   Arg.(value & opt (some float) None
@@ -257,6 +306,27 @@ let fault_arg =
                  or <site>:<n>[:delay=<ns>] with site one of alloc, open, \
                  next, close (same syntax as \\$(b,GAPPLY_FAULT)).")
 
+let data_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Durable database directory: recovered on startup \
+                 (snapshot + WAL replay), every committed DDL/DML logged \
+                 from then on.  Created if missing.")
+
+let durability_arg =
+  Arg.(value & opt (some string) None
+       & info [ "durability" ] ~docv:"MODE"
+           ~doc:"WAL sync policy with --data-dir: off (no logging), lazy \
+                 (group-commit fsync), or strict (fsync before every \
+                 acknowledgement; the default).")
+
+let wal_dump_arg =
+  Arg.(value & opt (some string) None
+       & info [ "wal-dump" ] ~docv:"PATH"
+           ~doc:"Pretty-print the WAL at PATH (a wal.log file or a data \
+                 directory) with per-record offsets and checksum status, \
+                 then exit.  Tolerant of torn or corrupt logs.")
+
 let script_arg =
   Arg.(value & opt (some file) None
        & info [ "f"; "file" ] ~docv:"SCRIPT"
@@ -269,6 +339,6 @@ let cmd =
     Term.(const main $ tpch_arg $ partition_arg $ no_optimize_arg
           $ parallelism_arg $ analyze_arg $ sessions_arg $ iterations_arg
           $ timeout_arg $ row_limit_arg $ mem_limit_arg $ fault_arg
-          $ script_arg)
+          $ data_dir_arg $ durability_arg $ wal_dump_arg $ script_arg)
 
 let () = exit (Cmd.eval cmd)

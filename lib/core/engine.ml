@@ -27,6 +27,8 @@ type t = {
   ddl_lock : Mutex.t;  (* serializes DDL/DML statement bodies *)
   mutable budget : Governor.budget;  (* per-statement resource budget *)
   gov_stats : Gov_stats.t;
+  store : Store.t option;  (* durability layer, when a data_dir is given *)
+  recovery : Recovery.outcome option;  (* what opening the store found *)
 }
 
 and prepared = { p_sql : string; mutable p_entry : Plan_cache.entry }
@@ -50,13 +52,31 @@ let cache_enabled_from_env () =
 
 let create ?(partition = Compile.Hash_partition) ?(optimize = true)
     ?(parallelism = 1) ?plan_cache ?(cache_capacity = 128) ?timeout_ms
-    ?row_limit ?mem_limit () =
+    ?row_limit ?mem_limit ?data_dir ?durability ?wal_group_commit
+    ?checkpoint_wal_bytes () =
+  (* re-read the fault/crash environment on every engine, not only at
+     module init: chaos harnesses create many engines per process, each
+     wanting a freshly armed countdown *)
+  Fault.arm_from_env ();
   let cache_enabled =
     (match plan_cache with Some b -> b | None -> true)
     && cache_enabled_from_env ()
   in
+  let store, recovery =
+    match data_dir with
+    | None -> (None, None)
+    | Some dir ->
+        let s, outcome =
+          Store.open_dir ?durability ?group_commit:wal_group_commit
+            ?checkpoint_bytes:checkpoint_wal_bytes dir
+        in
+        (Some s, Some outcome)
+  in
   {
-    catalog = Catalog.create ();
+    catalog =
+      (match store with
+      | Some s -> Store.catalog s  (* recovered from disk *)
+      | None -> Catalog.create ());
     partition;
     optimize;
     parallelism;
@@ -71,9 +91,58 @@ let create ?(partition = Compile.Hash_partition) ?(optimize = true)
         mem_limit_bytes = mem_limit;
       };
     gov_stats = Gov_stats.create ();
+    store;
+    recovery;
   }
 
 let catalog db = db.catalog
+
+(* ---------- durability ---------- *)
+
+let data_dir db = Option.map Store.dir db.store
+let durability db = Option.map Store.durability db.store
+let recovery_outcome db = db.recovery
+let wal_stats db = Option.map (fun s -> Wal_stats.snapshot (Store.stats s)) db.store
+
+let set_durability db d =
+  match db.store with
+  | None ->
+      Errors.exec_errorf "durability requires a data directory (--data-dir)"
+  | Some s -> Mutex.protect db.ddl_lock (fun () -> Store.set_durability s d)
+
+(** Cut a snapshot and reset the WAL; returns the snapshot size.
+    @raise Errors.Exec_error without a data directory. *)
+let checkpoint db =
+  match db.store with
+  | None -> Errors.exec_errorf "no data directory: nothing to checkpoint"
+  | Some s -> Mutex.protect db.ddl_lock (fun () -> Store.checkpoint s)
+
+let flush_wal db = Option.iter Store.flush db.store
+let close db = Option.iter Store.close db.store
+
+let wal_report db =
+  match db.store with
+  | None -> "wal: no data directory"
+  | Some s ->
+      Format.asprintf "wal: %a mode=%s epoch=%d len=%s dir=%s%s" Wal_stats.pp
+        (Wal_stats.snapshot (Store.stats s))
+        (Store.durability_to_string (Store.durability s))
+        (Store.wal_epoch s)
+        (Pretty.bytes (Store.wal_length s))
+        (Store.dir s)
+        (match db.recovery with
+        | Some o when o.Recovery.snapshot_loaded || o.Recovery.replayed > 0
+                      || o.Recovery.quarantined <> None ->
+            "\n  " ^ Recovery.outcome_to_string o
+        | _ -> "")
+
+(* Log a committed statement (called with the ddl_lock held, so WAL
+   order is apply order).  A crash injected at a WAL hook point escapes
+   as [Fault.Crash] — deliberately not an engine error: the statement
+   was applied in memory but never acknowledged, exactly the window a
+   real crash hits. *)
+let log_committed db sql =
+  match db.store with None -> () | Some s -> Store.log_statement s sql
 
 (* Knob setters need no cache action: the knobs are part of the cache
    key, so flipping one key-splits — the old entries stay behind for
@@ -142,7 +211,13 @@ let governed_attempt : 'a. t -> (Governor.t option -> 'a) -> 'a =
 (** Load the TPC-H style dataset (supplier/part/partsupp) at micro scale
     factor [msf] (1.0 = 100 suppliers / 2000 parts / 8000 partsupp). *)
 let load_tpch ?seed db ~msf =
-  ignore (Tpch_gen.load ?seed db.catalog ~msf);
+  Mutex.protect db.ddl_lock (fun () ->
+      ignore (Tpch_gen.load ?seed db.catalog ~msf);
+      (* the generator is deterministic in (seed, msf), so logging the
+         parameters is a complete redo record *)
+      match db.store with
+      | None -> ()
+      | Some s -> Store.log_load_tpch s ~seed ~msf);
   ignore (Plan_cache.invalidate_stale db.cache db.catalog)
 
 let config ?observe db =
@@ -402,6 +477,18 @@ let analyze_plan db plan =
           (Plan_cache.capacity db.cache)
     else report
   in
+  (* durability footer, only once the store has seen traffic (plain
+     in-memory engines keep the historical output byte-for-byte) *)
+  let report =
+    match db.store with
+    | Some st
+      when Wal_stats.active (Wal_stats.snapshot (Store.stats st)) ->
+        report
+        ^ Format.asprintf "== wal: %a mode=%s ==\n" Wal_stats.pp
+            (Wal_stats.snapshot (Store.stats st))
+            (Store.durability_to_string (Store.durability st))
+    | _ -> report
+  in
   (rel, report)
 
 (** Run a query under per-operator instrumentation: the result relation
@@ -440,29 +527,85 @@ let render_explain db plan =
 
 let prepared_name name = String.lowercase_ascii name
 
-(* SQL-level session knobs (SET <knob> = <int> | DEFAULT).  The knob
-   namespace mirrors the engine API; an unknown knob is a typed error
-   that fails the statement without touching the engine. *)
-let apply_set db name v : outcome =
+(* SQL-level session knobs (SET <knob> = <int> | <ident> | DEFAULT).
+   The knob namespace mirrors the engine API; an unknown knob or a
+   value of the wrong shape is a typed error that fails the statement
+   without touching the engine.
+
+   Resource knobs take an int; DEFAULT and OFF both reset to unlimited
+   (OFF is the historical spelling).  durability takes a mode name,
+   wal_group_commit an int, checkpoint_wal_bytes an int or OFF. *)
+let apply_set db name (v : Sql_ast.set_value) : outcome =
+  let bad_value what =
+    Failed
+      (Errors.Type_error
+         (Printf.sprintf "SET %s expects %s" name what))
+  in
+  let int_knob setter =
+    match v with
+    | Sql_ast.Set_int n ->
+        setter (Some n);
+        Message (Printf.sprintf "%s = %d" name n)
+    | Sql_ast.Set_default | Sql_ast.Set_ident "off" ->
+        setter None;
+        Message (Printf.sprintf "%s = default" name)
+    | Sql_ast.Set_ident _ -> bad_value "an integer, DEFAULT, or OFF"
+  in
+  let with_store f =
+    match db.store with
+    | None ->
+        Failed
+          (Errors.Exec_error
+             (Printf.sprintf
+                "SET %s requires a data directory (--data-dir)" name))
+    | Some s -> f s
+  in
   match name with
-  | "statement_timeout_ms" ->
-      set_timeout_ms db v;
-      Message
-        (match v with
-        | Some ms -> Printf.sprintf "statement_timeout_ms = %d" ms
-        | None -> "statement_timeout_ms = default")
-  | "statement_row_limit" ->
-      set_row_limit db v;
-      Message
-        (match v with
-        | Some n -> Printf.sprintf "statement_row_limit = %d" n
-        | None -> "statement_row_limit = default")
-  | "statement_mem_limit" ->
-      set_mem_limit db v;
-      Message
-        (match v with
-        | Some b -> Printf.sprintf "statement_mem_limit = %d" b
-        | None -> "statement_mem_limit = default")
+  | "statement_timeout_ms" -> int_knob (set_timeout_ms db)
+  | "statement_row_limit" -> int_knob (set_row_limit db)
+  | "statement_mem_limit" -> int_knob (set_mem_limit db)
+  | "durability" ->
+      with_store (fun s ->
+          let mode =
+            match v with
+            | Sql_ast.Set_default -> Some Store.Strict
+            | Sql_ast.Set_ident m -> Store.durability_of_string m
+            | Sql_ast.Set_int _ -> None
+          in
+          match mode with
+          | Some m ->
+              Mutex.protect db.ddl_lock (fun () -> Store.set_durability s m);
+              Message
+                (Printf.sprintf "durability = %s"
+                   (Store.durability_to_string m))
+          | None -> bad_value "off, lazy, strict, or DEFAULT")
+  | "wal_group_commit" ->
+      with_store (fun s ->
+          match v with
+          | Sql_ast.Set_int n when n >= 1 ->
+              Store.set_group_commit s n;
+              Message (Printf.sprintf "wal_group_commit = %d" n)
+          | Sql_ast.Set_default ->
+              Store.set_group_commit s Store.default_group_commit;
+              Message
+                (Printf.sprintf "wal_group_commit = %d"
+                   Store.default_group_commit)
+          | _ -> bad_value "a positive integer or DEFAULT")
+  | "checkpoint_wal_bytes" ->
+      with_store (fun s ->
+          match v with
+          | Sql_ast.Set_int n when n >= 0 ->
+              Store.set_checkpoint_bytes s n;
+              Message (Printf.sprintf "checkpoint_wal_bytes = %d" n)
+          | Sql_ast.Set_ident "off" ->
+              Store.set_checkpoint_bytes s 0;
+              Message "checkpoint_wal_bytes = off"
+          | Sql_ast.Set_default ->
+              Store.set_checkpoint_bytes s Store.default_checkpoint_bytes;
+              Message
+                (Printf.sprintf "checkpoint_wal_bytes = %d"
+                   Store.default_checkpoint_bytes)
+          | _ -> bad_value "a non-negative integer, OFF, or DEFAULT")
   | _ -> Failed (Errors.Name_error (Printf.sprintf "unknown SET knob %s" name))
 
 (* Execute one parsed statement; [sql] is the normalized source text
@@ -519,7 +662,13 @@ let exec_stmt db ~sql (stmt : Sql_ast.statement) : outcome =
       let msg =
         Mutex.protect db.ddl_lock (fun () ->
             match Sql_binder.bind_statement db.catalog stmt with
-            | Sql_binder.Bound_ddl msg -> msg
+            | Sql_binder.Bound_ddl msg ->
+                (* committed: the in-memory apply succeeded, so the
+                   canonical text goes to the WAL (still under the lock,
+                   keeping log order = apply order).  A failed bind
+                   raises past this line and logs nothing. *)
+                log_committed db (Sql_ast.statement_to_string stmt);
+                msg
             | _ -> assert false)
       in
       ignore (Plan_cache.invalidate_stale db.cache db.catalog);

@@ -47,6 +47,10 @@ val create :
   ?timeout_ms:int ->
   ?row_limit:int ->
   ?mem_limit:int ->
+  ?data_dir:string ->
+  ?durability:Store.durability ->
+  ?wal_group_commit:int ->
+  ?checkpoint_wal_bytes:int ->
   unit ->
   t
 (** A fresh engine with an empty catalog.  Defaults: hash-partitioned
@@ -61,7 +65,18 @@ val create :
 
     [timeout_ms] / [row_limit] / [mem_limit] seed the per-statement
     resource budget (see {!set_timeout_ms}); all default to
-    unlimited. *)
+    unlimited.
+
+    [data_dir] turns on durability: the directory is recovered (latest
+    snapshot + WAL replay, see {!Recovery}) and every committed DDL/DML
+    statement is logged from then on.  [durability] picks the sync
+    policy (default [Strict]; [Lazy] group-commits every
+    [wal_group_commit] records, [Off] keeps the hot path free of any
+    WAL work).  The WAL auto-checkpoints into a snapshot once it passes
+    [checkpoint_wal_bytes].  Without [data_dir] the engine is purely
+    in-memory and the durability arguments are ignored.
+    @raise Errors.Recovery_error when the directory holds real
+    corruption (a torn WAL tail is quarantined, not raised). *)
 
 val catalog : t -> Catalog.t
 
@@ -108,6 +123,44 @@ val gov_stats : t -> Gov_stats.t
 
 val governor_report : t -> string
 (** One-line human-readable governor summary (the CLI's [\governor]). *)
+
+(** {1 Durability}
+
+    Present only when the engine was created with [data_dir].  Commit
+    protocol: a DDL/DML statement is applied in memory first and logged
+    only on success — under [Strict] the acknowledgement additionally
+    waits for the fsync, under [Lazy] fsyncs are batched, under [Off]
+    the WAL is never touched.  An injected crash ({!Fault.Crash}) at a
+    WAL/snapshot hook point escapes {!exec} uncaught, exactly like
+    process death: the statement was applied but never acknowledged. *)
+
+val data_dir : t -> string option
+val durability : t -> Store.durability option
+
+val set_durability : t -> Store.durability -> unit
+(** Switching [Off -> Lazy/Strict] checkpoints first (statements run
+    under [Off] never reached the log).
+    @raise Errors.Exec_error without a data directory. *)
+
+val checkpoint : t -> int
+(** Cut a snapshot (atomic temp + rename) and reset the WAL under the
+    next epoch; returns the snapshot size in bytes.
+    @raise Errors.Exec_error without a data directory. *)
+
+val flush_wal : t -> unit
+(** Fsync any pending WAL records; a no-op without a data directory. *)
+
+val close : t -> unit
+(** Final fsync and WAL close; idempotent, no-op without a data
+    directory.  The engine stays usable for in-memory queries. *)
+
+val recovery_outcome : t -> Recovery.outcome option
+(** What opening the data directory found (snapshot loaded, records
+    replayed, torn tail quarantined). *)
+
+val wal_stats : t -> Wal_stats.snapshot option
+val wal_report : t -> string
+(** One-line durability summary (the CLI's [\wal]). *)
 
 (** {1 Plan cache} *)
 

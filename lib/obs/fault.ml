@@ -76,9 +76,6 @@ let consumed () =
   | None -> 0
   | Some s -> s.plan.nth - max 0 (Atomic.get s.countdown)
 
-(* [GAPPLY_FAULT] arms a plan at module-init time:
-     GAPPLY_FAULT=seed:<n>                  derive the plan from a seed
-     GAPPLY_FAULT=<site>:<n>[:delay=<ns>]   name it explicitly *)
 let parse_spec spec =
   match String.split_on_char ':' (String.trim spec) with
   | [ "seed"; n ] -> Option.map plan_of_seed (int_of_string_opt n)
@@ -100,10 +97,106 @@ let parse_spec spec =
       | _ -> None)
   | _ -> None
 
-let () =
-  match Sys.getenv_opt "GAPPLY_FAULT" with
+(* ---------- crash points (durability chaos) ---------- *)
+
+(* A second, independent plan class for the durability layer: instead of
+   raising a typed (and caught) engine error, a crash plan simulates the
+   process dying mid-write.  The store's hook points leave the file
+   system exactly as a real death would (a torn half-record after
+   [Append], un-fsynced bytes dropped at [Fsync], an orphaned temp file
+   at [Rename], a snapshot with an untruncated WAL at [Checkpoint]) and
+   then raise [Crash], which no engine layer catches — the harness
+   discards the engine and must recover from disk alone. *)
+
+type crash_site = Append | Fsync | Rename | Checkpoint
+type crash_plan = { cseed : int; csite : crash_site; cnth : int }
+
+exception Crash of crash_site
+(* deliberately NOT an engine error: it must escape Engine.exec like a
+   real process death, not surface as a Failed outcome *)
+
+type crash_state = { cplan : crash_plan; ccountdown : int Atomic.t }
+
+let crash_state : crash_state option Atomic.t = Atomic.make None
+
+let crash_site_to_string = function
+  | Append -> "append"
+  | Fsync -> "fsync"
+  | Rename -> "rename"
+  | Checkpoint -> "checkpoint"
+
+let crash_site_of_string = function
+  | "append" -> Some Append
+  | "fsync" -> Some Fsync
+  | "rename" -> Some Rename
+  | "checkpoint" -> Some Checkpoint
+  | _ -> None
+
+let crash_plan_to_string p =
+  Printf.sprintf "seed=%d %s#%d" p.cseed (crash_site_to_string p.csite) p.cnth
+
+(* Append/Fsync events fire once per committed statement, Rename /
+   Checkpoint only once per checkpoint — so the countdown ranges differ,
+   keeping most seeds inside the event stream of a small workload. *)
+let crash_plan_of_seed seed =
+  let r1 = lcg (seed + 17) in
+  let r2 = lcg r1 in
+  let csite =
+    match r1 mod 4 with
+    | 0 -> Append
+    | 1 -> Fsync
+    | 2 -> Rename
+    | _ -> Checkpoint
+  in
+  let cnth =
+    match csite with
+    | Append | Fsync -> 1 + (r2 mod 40)
+    | Rename | Checkpoint -> 1 + (r2 mod 8)
+  in
+  { cseed = seed; csite; cnth }
+
+let parse_crash_spec spec =
+  match String.split_on_char ':' (String.trim spec) with
+  | [ "seed"; n ] -> Option.map crash_plan_of_seed (int_of_string_opt n)
+  | [ site; n ] -> (
+      match (crash_site_of_string site, int_of_string_opt n) with
+      | Some csite, Some cnth when cnth > 0 -> Some { cseed = 0; csite; cnth }
+      | _ -> None)
+  | _ -> None
+
+let arm_crash p =
+  Atomic.set crash_state (Some { cplan = p; ccountdown = Atomic.make p.cnth })
+
+let disarm_crash () = Atomic.set crash_state None
+let crash_armed () = Atomic.get crash_state <> None
+let crash_current () = Option.map (fun s -> s.cplan) (Atomic.get crash_state)
+
+(** Report one event at a crash site; [true] exactly when the armed
+    plan's countdown hits zero — the caller then mangles its file state
+    and raises {!Crash}.  One atomic read when nothing is armed. *)
+let crash_now site =
+  match Atomic.get crash_state with
+  | None -> false
+  | Some s ->
+      s.cplan.csite = site
+      && Atomic.get s.ccountdown > 0
+      && Atomic.fetch_and_add s.ccountdown (-1) = 1
+
+(* [GAPPLY_FAULT] / [GAPPLY_CRASH] arm plans from the environment:
+     GAPPLY_FAULT=seed:<n>                  derive the plan from a seed
+     GAPPLY_FAULT=<site>:<n>[:delay=<ns>]   name it explicitly
+     GAPPLY_CRASH=seed:<n> | <site>:<n>     crash-point plans
+   Re-read on every [Engine.create] (not just module init), so a test
+   or CLI run can change the spec without a fresh process. *)
+let arm_from_env () =
+  (match Sys.getenv_opt "GAPPLY_FAULT" with
   | None -> ()
-  | Some spec -> Option.iter arm (parse_spec spec)
+  | Some spec -> Option.iter arm (parse_spec spec));
+  match Sys.getenv_opt "GAPPLY_CRASH" with
+  | None -> ()
+  | Some spec -> Option.iter arm_crash (parse_crash_spec spec)
+
+let () = arm_from_env ()
 
 (* ---------- the hot-path hook ---------- *)
 

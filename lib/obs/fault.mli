@@ -43,3 +43,47 @@ val hit : site -> op:string option -> unit
 
 val site_to_string : site -> string
 val plan_to_string : plan -> string
+
+(** {1 Crash points}
+
+    A second, independent plan class for the durability layer: at the
+    [cnth] event of the named store-side {!crash_site} the hook point
+    leaves the file system exactly as a real process death would (torn
+    half-record, dropped un-fsynced bytes, orphaned snapshot temp file,
+    snapshot with an untruncated WAL) and raises {!Crash} — which is
+    deliberately {e not} an engine error, so it escapes [Engine.exec]
+    like a real death instead of surfacing as a [Failed] outcome.  The
+    chaos harness then discards the engine and must recover from disk
+    alone. *)
+
+type crash_site = Append | Fsync | Rename | Checkpoint
+type crash_plan = { cseed : int; csite : crash_site; cnth : int }
+
+exception Crash of crash_site
+
+val crash_plan_of_seed : int -> crash_plan
+(** Derive a (site, nth) crash plan from a seed — the crash chaos
+    suite's sweep axis.  Deterministic. *)
+
+val parse_crash_spec : string -> crash_plan option
+(** Parse a [GAPPLY_CRASH]-style spec ([seed:7], [append:3],
+    [checkpoint:1]). *)
+
+val arm_crash : crash_plan -> unit
+val disarm_crash : unit -> unit
+val crash_armed : unit -> bool
+val crash_current : unit -> crash_plan option
+
+val crash_now : crash_site -> bool
+(** Report one event at a crash site; [true] exactly once, when the
+    armed plan's countdown reaches zero — the caller then mangles its
+    file state and raises {!Crash}.  One atomic read when disarmed. *)
+
+val crash_site_to_string : crash_site -> string
+val crash_plan_to_string : crash_plan -> string
+
+val arm_from_env : unit -> unit
+(** (Re-)arm from [GAPPLY_FAULT] / [GAPPLY_CRASH].  Ran at module init
+    and again on every [Engine.create], so long-lived processes (tests,
+    the CLI) pick up spec changes without a restart; unset variables
+    leave the corresponding armed state untouched. *)

@@ -1,0 +1,104 @@
+(* Durability counters, Gov_stats-style: atomics, so appends recorded
+   under the engine's DDL lock and reads from report renderers never
+   tear, and the snapshot type gives benches/tests a stable view.
+
+   One instance rides inside each Store.t; engines without a data
+   directory still own a (permanently zero) instance so report code
+   has no option to thread. *)
+
+type t = {
+  appends : Metrics.counter;          (* records appended *)
+  bytes : Metrics.counter;            (* payload + header bytes appended *)
+  fsyncs : Metrics.counter;
+  batched_records : Metrics.counter;  (* records covered by all fsyncs *)
+  max_batch : int Atomic.t;           (* largest single group commit *)
+  checkpoints : Metrics.counter;
+  replayed : Metrics.counter;         (* records re-applied by recovery *)
+  snapshot_loads : Metrics.counter;
+  quarantined_bytes : Metrics.counter; (* torn-tail bytes truncated away *)
+}
+
+let create () =
+  {
+    appends = Metrics.counter ();
+    bytes = Metrics.counter ();
+    fsyncs = Metrics.counter ();
+    batched_records = Metrics.counter ();
+    max_batch = Atomic.make 0;
+    checkpoints = Metrics.counter ();
+    replayed = Metrics.counter ();
+    snapshot_loads = Metrics.counter ();
+    quarantined_bytes = Metrics.counter ();
+  }
+
+let record_append t ~bytes =
+  Metrics.incr t.appends;
+  Metrics.add t.bytes bytes
+
+let rec note_max_batch t n =
+  let cur = Atomic.get t.max_batch in
+  if n > cur && not (Atomic.compare_and_set t.max_batch cur n) then
+    note_max_batch t n
+
+let record_fsync t ~batch =
+  Metrics.incr t.fsyncs;
+  Metrics.add t.batched_records batch;
+  note_max_batch t batch
+
+let record_checkpoint t = Metrics.incr t.checkpoints
+let record_replayed t n = Metrics.add t.replayed n
+let record_snapshot_load t = Metrics.incr t.snapshot_loads
+let record_quarantine t ~bytes = Metrics.add t.quarantined_bytes bytes
+
+type snapshot = {
+  appends : int;
+  bytes : int;
+  fsyncs : int;
+  batched_records : int;
+  max_batch : int;
+  checkpoints : int;
+  replayed : int;
+  snapshot_loads : int;
+  quarantined_bytes : int;
+}
+
+let snapshot (t : t) =
+  {
+    appends = Metrics.get t.appends;
+    bytes = Metrics.get t.bytes;
+    fsyncs = Metrics.get t.fsyncs;
+    batched_records = Metrics.get t.batched_records;
+    max_batch = Atomic.get t.max_batch;
+    checkpoints = Metrics.get t.checkpoints;
+    replayed = Metrics.get t.replayed;
+    snapshot_loads = Metrics.get t.snapshot_loads;
+    quarantined_bytes = Metrics.get t.quarantined_bytes;
+  }
+
+let reset (t : t) =
+  Metrics.reset t.appends;
+  Metrics.reset t.bytes;
+  Metrics.reset t.fsyncs;
+  Metrics.reset t.batched_records;
+  Atomic.set t.max_batch 0;
+  Metrics.reset t.checkpoints;
+  Metrics.reset t.replayed;
+  Metrics.reset t.snapshot_loads;
+  Metrics.reset t.quarantined_bytes
+
+(** Has this store seen any durability traffic at all?  Gates the
+    EXPLAIN ANALYZE footer so WAL-less engines keep stable output. *)
+let active (s : snapshot) =
+  s.appends + s.fsyncs + s.checkpoints + s.replayed + s.snapshot_loads > 0
+
+(** Mean records per fsync — the observed group-commit batch size. *)
+let mean_batch (s : snapshot) =
+  if s.fsyncs = 0 then 0. else float_of_int s.batched_records /. float_of_int s.fsyncs
+
+let pp ppf (s : snapshot) =
+  Format.fprintf ppf
+    "appends=%d bytes=%s fsyncs=%d batch(mean=%.1f max=%d) checkpoints=%d \
+     replayed=%d snapshots=%d quarantined=%s"
+    s.appends (Pretty.bytes s.bytes) s.fsyncs (mean_batch s) s.max_batch
+    s.checkpoints s.replayed s.snapshot_loads
+    (Pretty.bytes s.quarantined_bytes)

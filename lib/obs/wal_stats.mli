@@ -1,0 +1,46 @@
+(** Durability (WAL / snapshot / recovery) counters.
+
+    One instance per {e store}: records and bytes appended to the WAL,
+    fsyncs with their group-commit batch sizes, checkpoints taken,
+    records replayed and snapshots loaded by recovery, and torn-tail
+    bytes quarantined.  All counters are atomic; {!snapshot} gives a
+    coherent-enough view for reports and CI gates. *)
+
+type t
+
+val create : unit -> t
+
+val record_append : t -> bytes:int -> unit
+(** One WAL record appended ([bytes] = header + payload size). *)
+
+val record_fsync : t -> batch:int -> unit
+(** One fsync that made [batch] pending records durable (the observed
+    group-commit batch size). *)
+
+val record_checkpoint : t -> unit
+val record_replayed : t -> int -> unit
+val record_snapshot_load : t -> unit
+val record_quarantine : t -> bytes:int -> unit
+
+type snapshot = {
+  appends : int;
+  bytes : int;
+  fsyncs : int;
+  batched_records : int;  (** sum of fsync batch sizes *)
+  max_batch : int;
+  checkpoints : int;
+  replayed : int;
+  snapshot_loads : int;
+  quarantined_bytes : int;
+}
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val active : snapshot -> bool
+(** Any durability traffic at all (gates the EXPLAIN ANALYZE footer). *)
+
+val mean_batch : snapshot -> float
+(** Mean records per fsync. *)
+
+val pp : Format.formatter -> snapshot -> unit

@@ -62,6 +62,45 @@ let resource_violation_to_string (v : resource_violation) =
     | None -> ""
     | Some op -> Printf.sprintf " (in %s)" op)
 
+(* Durability-layer failures are structured the same way: recovery
+   distinguishes the expected crash artifact (a torn tail, quarantined
+   and truncated so recovery still succeeds) from real corruption (a bad
+   record with valid records after it, a snapshot failing its checksum,
+   an unreadable WAL header), which aborts recovery with this typed
+   exception instead of silently losing committed statements. *)
+
+type recovery_kind =
+  | Torn_tail
+  | Mid_log_corruption
+  | Snapshot_corrupt
+  | Wal_header_corrupt
+
+type recovery_violation = {
+  rkind : recovery_kind;
+  at_offset : int;  (* byte offset in the WAL / snapshot file; -1 = n/a *)
+  rdetail : string;
+}
+
+exception Recovery_error of recovery_violation
+
+let recovery_kind_to_string = function
+  | Torn_tail -> "torn tail"
+  | Mid_log_corruption -> "mid-log corruption"
+  | Snapshot_corrupt -> "snapshot corrupt"
+  | Wal_header_corrupt -> "WAL header corrupt"
+
+let recovery_errorf ?(at_offset = -1) rkind fmt =
+  Format.kasprintf
+    (fun rdetail -> raise (Recovery_error { rkind; at_offset; rdetail }))
+    fmt
+
+let recovery_violation_to_string (v : recovery_violation) =
+  Printf.sprintf "%s%s%s"
+    (recovery_kind_to_string v.rkind)
+    (if v.at_offset < 0 then ""
+     else Printf.sprintf " at offset %d" v.at_offset)
+    (if v.rdetail = "" then "" else ": " ^ v.rdetail)
+
 let type_errorf fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 let name_errorf fmt = Format.kasprintf (fun s -> raise (Name_error s)) fmt
 let parse_errorf fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
@@ -77,10 +116,11 @@ let to_string = function
   | Plan_error m -> "plan error: " ^ m
   | Exec_error m -> "execution error: " ^ m
   | Resource_error v -> "resource error: " ^ resource_violation_to_string v
+  | Recovery_error v -> "recovery error: " ^ recovery_violation_to_string v
   | e -> raise e
 
 let is_engine_error = function
   | Type_error _ | Name_error _ | Parse_error _ | Plan_error _ | Exec_error _
-  | Resource_error _ ->
+  | Resource_error _ | Recovery_error _ ->
       true
   | _ -> false

@@ -41,6 +41,37 @@ val resource_errorf :
 val resource_kind_to_string : resource_kind -> string
 val resource_violation_to_string : resource_violation -> string
 
+(** {1 Recovery failures}
+
+    The durability layer distinguishes the expected crash artifact — a
+    torn WAL tail, which recovery quarantines and truncates before
+    continuing — from real corruption (a bad record with valid records
+    after it, a snapshot failing its checksum, an unreadable WAL
+    header), which aborts recovery with {!Recovery_error} rather than
+    silently dropping committed statements.  A quarantined tail is
+    reported through the same typed payload (see [Recovery.outcome]). *)
+
+type recovery_kind =
+  | Torn_tail            (** incomplete record at the end of the WAL *)
+  | Mid_log_corruption   (** bad checksum with valid records after it *)
+  | Snapshot_corrupt     (** snapshot magic / checksum / decode failure *)
+  | Wal_header_corrupt   (** unreadable WAL header or epoch mismatch *)
+
+type recovery_violation = {
+  rkind : recovery_kind;
+  at_offset : int;  (** byte offset in the offending file; [-1] = n/a *)
+  rdetail : string;
+}
+
+exception Recovery_error of recovery_violation
+
+val recovery_errorf :
+  ?at_offset:int -> recovery_kind ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val recovery_kind_to_string : recovery_kind -> string
+val recovery_violation_to_string : recovery_violation -> string
+
 val type_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val name_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val parse_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a

@@ -82,10 +82,13 @@ type statement =
   | Stmt_prepare of string * query  (* PREPARE name AS query *)
   | Stmt_execute of string
   | Stmt_deallocate of string
-  | Stmt_set of string * int option
-      (* SET <knob> = <int> | DEFAULT — session resource knobs
-         (statement_timeout_ms, statement_mem_limit, statement_row_limit);
-         [None] resets the knob to unlimited *)
+  | Stmt_set of string * set_value
+      (* SET <knob> = <int> | <ident> | DEFAULT — session resource knobs
+         (statement_timeout_ms, ...) take ints, durability takes an
+         identifier (off | lazy | strict); DEFAULT resets to the
+         knob's default *)
+
+and set_value = Set_default | Set_int of int | Set_ident of string
 
 (* ---------- printing (used by error messages, the CLI, and the
    parse/print round-trip property tests) ---------- *)
@@ -255,5 +258,6 @@ let statement_to_string = function
   | Stmt_prepare (name, q) -> "PREPARE " ^ name ^ " AS " ^ query_to_string q
   | Stmt_execute name -> "EXECUTE " ^ name
   | Stmt_deallocate name -> "DEALLOCATE " ^ name
-  | Stmt_set (name, Some v) -> Printf.sprintf "SET %s = %d" name v
-  | Stmt_set (name, None) -> Printf.sprintf "SET %s = DEFAULT" name
+  | Stmt_set (name, Set_int v) -> Printf.sprintf "SET %s = %d" name v
+  | Stmt_set (name, Set_ident v) -> Printf.sprintf "SET %s = %s" name v
+  | Stmt_set (name, Set_default) -> Printf.sprintf "SET %s = DEFAULT" name

@@ -947,9 +947,9 @@ type bound_statement =
   | Bound_deallocate of string
       (* prepared-statement statements are resolved by the engine, which
          owns the prepared-handle namespace and the plan cache *)
-  | Bound_set of string * int option
-      (* session resource knobs are interpreted by the engine, which owns
-         the per-statement budget *)
+  | Bound_set of string * Sql_ast.set_value
+      (* session knobs are interpreted by the engine, which owns the
+         per-statement budget and the durability policy *)
 
 let bind_statement (catalog : Catalog.t) (stmt : Sql_ast.statement) :
     bound_statement =
@@ -992,7 +992,10 @@ let bind_statement (catalog : Catalog.t) (stmt : Sql_ast.statement) :
       (* bind every row before inserting any: a bad literal in row k must
          not leave rows 1..k-1 inserted (and the table version bumped) *)
       let bound = List.map (bind_literal_row scope) rows in
-      List.iter (Table.insert table) bound;
+      (* insert_all validates arity for the whole batch before storing
+         anything, so a bad row can't leave a partial insert (or a
+         phantom Table.version bump) behind *)
+      Table.insert_all table bound;
       Catalog.invalidate_stats catalog name;
       Bound_ddl
         (Printf.sprintf "inserted %d row(s) into %s" (List.length rows) name)

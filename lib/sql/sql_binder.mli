@@ -35,9 +35,10 @@ type bound_statement =
   | Bound_deallocate of string
       (** prepared-statement statements pass through unbound: the engine
           owns the handle namespace and the plan cache *)
-  | Bound_set of string * int option
-      (** session resource knobs ([SET statement_timeout_ms = 50]); the
-          engine owns the per-statement budget.  [None] means DEFAULT. *)
+  | Bound_set of string * Sql_ast.set_value
+      (** session knobs ([SET statement_timeout_ms = 50],
+          [SET durability = strict]); the engine owns the per-statement
+          budget and the durability policy. *)
 
 val bind_statement : Catalog.t -> Sql_ast.statement -> bound_statement
 (** DDL/DML statements are executed against the catalog as a side

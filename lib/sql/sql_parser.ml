@@ -619,19 +619,25 @@ let parse_statement_inner st =
     Sql_ast.Stmt_deallocate (ident st)
   end
   else if is_keyword st "set" then begin
-    (* SET <knob> = <int> | DEFAULT — another soft statement-head keyword;
-       the knob value DEFAULT (or OFF) resets to unlimited *)
+    (* SET <knob> = <int> | <ident> | DEFAULT — another soft
+       statement-head keyword.  DEFAULT resets to the knob's default;
+       other identifiers (off, lazy, strict, ...) are passed through
+       for the knob's own interpretation — the resource knobs treat OFF
+       as unlimited, durability takes a mode name *)
     advance st;
     let name = ident st in
     expect st Sql_token.Eq "=";
     match peek st with
     | Sql_token.Int_lit v ->
         advance st;
-        Sql_ast.Stmt_set (name, Some v)
-    | Sql_token.Ident ("default" | "off") ->
+        Sql_ast.Stmt_set (name, Sql_ast.Set_int v)
+    | Sql_token.Ident "default" ->
         advance st;
-        Sql_ast.Stmt_set (name, None)
-    | _ -> errorf st "expected an integer, DEFAULT, or OFF"
+        Sql_ast.Stmt_set (name, Sql_ast.Set_default)
+    | Sql_token.Ident v ->
+        advance st;
+        Sql_ast.Stmt_set (name, Sql_ast.Set_ident v)
+    | _ -> errorf st "expected an integer, an identifier, or DEFAULT"
   end
   else Sql_ast.Stmt_select (parse_query st)
 

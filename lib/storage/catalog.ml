@@ -119,6 +119,15 @@ let index_names cat =
       Hashtbl.fold (fun k _ acc -> k :: acc) cat.indexes [])
   |> List.sort String.compare
 
+(** Every index as (name, table, columns), sorted by name — the
+    snapshot writer serializes these so recovery can re-create them. *)
+let index_specs cat =
+  locked cat (fun () ->
+      Hashtbl.fold
+        (fun _ ix acc -> (Index.name ix, Index.table ix, Index.columns ix) :: acc)
+        cat.indexes [])
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
 (** An index on [table] whose column set equals [cols] (any order). *)
 let find_index_on cat ~table ~cols =
   let set_eq a b =

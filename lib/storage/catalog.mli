@@ -50,6 +50,10 @@ val create_index :
 val drop_index : t -> string -> unit
 val index_names : t -> string list
 
+val index_specs : t -> (string * string * string list) list
+(** Every index as [(name, table, columns)], sorted by name; the
+    snapshot writer serializes these so recovery can re-create them. *)
+
 val find_index_on : t -> table:string -> cols:string list -> Index.t option
 (** An index on [table] whose column set equals [cols] (any order). *)
 

@@ -69,7 +69,23 @@ let insert t row =
   t.row_count <- t.row_count + 1;
   Atomic.incr t.version
 
-let insert_all t rows = List.iter (insert t) rows
+(* All-or-nothing: validate every row before touching the store, so a
+   bad row mid-batch can't leave a half-applied insert behind — and
+   can't bump [version] for a statement that then fails (a phantom bump
+   would invalidate cached plans for a no-op).  One version bump per
+   batch, not per row. *)
+let insert_all t rows =
+  List.iter (check_row t) rows;
+  let n = List.length rows in
+  if n > 0 then begin
+    ensure_capacity t n;
+    List.iter
+      (fun row ->
+        t.rows.(t.row_count) <- row;
+        t.row_count <- t.row_count + 1)
+      rows;
+    Atomic.incr t.version
+  end
 
 let clear t =
   t.rows <- [||];

@@ -36,6 +36,10 @@ val foreign_keys : t -> foreign_key list
 val insert : t -> Tuple.t -> unit
 (** @raise Errors.Exec_error on arity mismatch. *)
 
+(** All-or-nothing batch insert: every row is validated before any is
+    stored, and {!version} is bumped once per batch.  A row failing its
+    arity check leaves the table (and its version) untouched.
+    @raise Errors.Exec_error on arity mismatch. *)
 val insert_all : t -> Tuple.t list -> unit
 val clear : t -> unit
 val rows : t -> Tuple.t list

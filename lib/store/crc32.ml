@@ -1,0 +1,31 @@
+(* CRC-32 (the IEEE 802.3 / zlib polynomial), table-driven.
+
+   Hand-rolled so the store has no external dependency: every WAL record
+   and every snapshot body carries one of these, which is what torn-tail
+   detection and corruption quarantine key on.  Kept as an [int] (the
+   low 32 bits) — OCaml's native int comfortably holds it and the codec
+   writes it as a fixed 4-byte field. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s pos len =
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let string ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  update 0 s pos len
+
+let bytes ?pos ?len b = string ?pos ?len (Bytes.unsafe_to_string b)

@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE / zlib polynomial) over strings and byte buffers.
+
+    The checksum every WAL record and snapshot body carries; values are
+    the low 32 bits in a native [int]. *)
+
+val string : ?pos:int -> ?len:int -> string -> int
+val bytes : ?pos:int -> ?len:int -> Bytes.t -> int
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends a running checksum. *)

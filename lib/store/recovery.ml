@@ -1,0 +1,207 @@
+(* Recovery: rebuild the database a crash (or clean shutdown) left in a
+   data directory.
+
+   The directory holds at most three files we care about:
+
+     wal.log           the current write-ahead log
+     snapshot.db       the latest complete snapshot (atomically renamed)
+     snapshot.db.tmp   an orphan from a crash before the rename — junk
+
+   The state machine, keyed on the snapshot stamp (E, O) and the WAL
+   header epoch W:
+
+     no snapshot, no/empty WAL      fresh database, epoch 0
+     no snapshot, W = 0             replay the whole log
+     no snapshot, W > 0             Recovery_error: a checkpoint bumped
+                                    the epoch, so a snapshot must exist
+     snapshot, no WAL               trust the snapshot, restart at E+1
+     snapshot, W = E                crash before the checkpoint's WAL
+                                    reset: replay records at offset >= O
+                                    (the snapshot already covers the rest)
+     snapshot, W = E + 1            normal case: replay the whole log
+     snapshot, other W              Recovery_error: the files disagree
+
+   A torn tail — the one WAL state a crash legitimately produces — is
+   quarantined (tail bytes copied to wal.quarantine-<epoch>, log
+   truncated at the last valid record) and recovery continues; the
+   typed violation is carried in the outcome, not raised.  Anything
+   else (mid-log corruption, a bad snapshot checksum) aborts with
+   [Errors.Recovery_error]: losing committed statements silently is the
+   failure mode this module exists to prevent.
+
+   Replay is logical: each [Stmt] record's canonical SQL is re-parsed
+   and re-bound against the rebuilt catalog (the binder executes
+   DDL/DML as a side effect); [Load_tpch] re-runs the deterministic
+   generator with the logged seed, producing identical rows. *)
+
+let wal_path dir = Filename.concat dir "wal.log"
+let snapshot_path dir = Filename.concat dir "snapshot.db"
+
+let quarantine_path dir ~epoch =
+  Filename.concat dir (Printf.sprintf "wal.quarantine-%d" epoch)
+
+type outcome = {
+  snapshot_loaded : bool;
+  replayed : int;                 (* WAL records re-applied *)
+  quarantined : Errors.recovery_violation option;
+  recovered_epoch : int;          (* epoch the reopened WAL runs under *)
+  recovered_wal_length : int;
+}
+
+let file_size path =
+  match Unix.stat path with
+  | { Unix.st_size; _ } -> Some st_size
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None
+
+(* copy the torn bytes aside, then cut the log back to its last valid
+   record so the reopened WAL appends over clean ground *)
+let quarantine_tail ~stats ~dir ~epoch path (scan : Wal.scan_result) =
+  let tail_len = scan.file_length - scan.valid_length in
+  let ic = open_in_bin path in
+  let tail =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        seek_in ic scan.valid_length;
+        really_input_string ic tail_len)
+  in
+  let qpath = quarantine_path dir ~epoch in
+  let oc = open_out_bin qpath in
+  output_string oc tail;
+  close_out oc;
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd scan.valid_length;
+  Unix.fsync fd;
+  Unix.close fd;
+  Wal_stats.record_quarantine stats ~bytes:tail_len
+
+let replay_record catalog = function
+  | Wal.Stmt sql ->
+      ignore
+        (Sql_binder.bind_statement catalog (Sql_parser.parse_statement sql))
+  | Wal.Load_tpch { seed; msf } ->
+      ignore (Tpch_gen.load ?seed catalog ~msf)
+
+let replay ~stats catalog records ~from_offset =
+  let n =
+    List.fold_left
+      (fun n (offset, record) ->
+        if offset >= from_offset then begin
+          replay_record catalog record;
+          n + 1
+        end
+        else n)
+      0 records
+  in
+  Wal_stats.record_replayed stats n;
+  n
+
+let recover ?(stats = Wal_stats.create ()) dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let wal_file = wal_path dir in
+  let snap_file = snapshot_path dir in
+  (* an orphan temp snapshot is the expected residue of a crash before
+     the rename; the snapshot path itself is still the previous, intact
+     snapshot — just discard the orphan *)
+  let tmp = snap_file ^ ".tmp" in
+  if Sys.file_exists tmp then Sys.remove tmp;
+  let snapshot =
+    if Sys.file_exists snap_file then begin
+      let loaded = Snapshot.load snap_file in
+      Wal_stats.record_snapshot_load stats;
+      Some loaded
+    end
+    else None
+  in
+  let wal_scan =
+    match file_size wal_file with
+    | None | Some 0 -> None  (* absent or created-then-crashed: fresh log *)
+    | Some _ -> Some (Wal.scan wal_file)
+  in
+  match (snapshot, wal_scan) with
+  | None, None ->
+      let wal = Wal.create ~stats wal_file ~epoch:0 in
+      ( Catalog.create (),
+        wal,
+        {
+          snapshot_loaded = false;
+          replayed = 0;
+          quarantined = None;
+          recovered_epoch = 0;
+          recovered_wal_length = Wal.length wal;
+        } )
+  | snapshot, Some scan ->
+      let snap_epoch, from_offset, catalog =
+        match snapshot with
+        | None ->
+            if scan.scanned_epoch <> 0 then
+              Errors.recovery_errorf Errors.Wal_header_corrupt
+                "WAL is at epoch %d but no snapshot exists — a checkpoint \
+                 wrote one, where is it?"
+                scan.scanned_epoch;
+            (-1, 0, Catalog.create ())
+        | Some { Snapshot.catalog; snap_epoch; wal_offset } ->
+            if scan.scanned_epoch = snap_epoch then
+              (* crash between the snapshot rename and the WAL reset:
+                 the log still holds records the snapshot already
+                 covers — skip them by offset *)
+              (snap_epoch, wal_offset, catalog)
+            else if scan.scanned_epoch = snap_epoch + 1 then
+              (snap_epoch, 0, catalog)
+            else
+              Errors.recovery_errorf Errors.Wal_header_corrupt
+                "snapshot covers epoch %d but the WAL is at epoch %d"
+                snap_epoch scan.scanned_epoch
+      in
+      ignore snap_epoch;
+      let quarantined =
+        match scan.torn with
+        | None -> None
+        | Some v ->
+            quarantine_tail ~stats ~dir ~epoch:scan.scanned_epoch wal_file
+              scan;
+            Some v
+      in
+      let replayed = replay ~stats catalog scan.records ~from_offset in
+      let wal =
+        Wal.open_existing ~stats wal_file ~epoch:scan.scanned_epoch
+          ~length:scan.valid_length
+      in
+      ( catalog,
+        wal,
+        {
+          snapshot_loaded = snapshot <> None;
+          replayed;
+          quarantined;
+          recovered_epoch = scan.scanned_epoch;
+          recovered_wal_length = scan.valid_length;
+        } )
+  | Some { Snapshot.catalog; snap_epoch; _ }, None ->
+      (* snapshot without a log: trust it and start a fresh log one
+         epoch later (the epoch a checkpoint would have moved to) *)
+      let wal = Wal.create ~stats wal_file ~epoch:(snap_epoch + 1) in
+      ( catalog,
+        wal,
+        {
+          snapshot_loaded = true;
+          replayed = 0;
+          quarantined = None;
+          recovered_epoch = snap_epoch + 1;
+          recovered_wal_length = Wal.length wal;
+        } )
+
+(** Hex digest of the canonical whole-database serialization; two
+    catalogs with the same tables, rows (in insertion order) and
+    indexes digest identically.  The chaos suite compares a recovered
+    database against an in-memory reference with this. *)
+let db_digest catalog = Digest.to_hex (Digest.string (Snapshot.encode_body catalog))
+
+let outcome_to_string o =
+  Printf.sprintf
+    "recovered epoch %d: snapshot %s, %d record(s) replayed%s"
+    o.recovered_epoch
+    (if o.snapshot_loaded then "loaded" else "absent")
+    o.replayed
+    (match o.quarantined with
+    | None -> ""
+    | Some v -> ", quarantined " ^ Errors.recovery_violation_to_string v)

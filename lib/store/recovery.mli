@@ -1,0 +1,42 @@
+(** Recovery: rebuild the database a crash (or clean shutdown) left in
+    a data directory — load the latest snapshot, replay the WAL suffix
+    it does not cover, quarantine a torn tail.
+
+    The epoch protocol makes replay idempotent: a snapshot is stamped
+    with the [(epoch, offset)] of the WAL prefix it covers, and a
+    checkpoint then restarts the log under [epoch + 1].  Whichever of
+    the two steps a crash lands between, recovery can tell which
+    records are already folded into the snapshot.
+
+    A torn WAL tail — the one state a crash legitimately produces — is
+    copied to [wal.quarantine-<epoch>], truncated away, and reported in
+    the {!outcome} (typed, not raised).  Mid-log corruption, a bad
+    snapshot checksum, or disagreeing epochs abort with
+    {!Errors.Recovery_error}: silently dropping committed statements is
+    the failure mode this module exists to prevent. *)
+
+val wal_path : string -> string
+val snapshot_path : string -> string
+val quarantine_path : string -> epoch:int -> string
+
+type outcome = {
+  snapshot_loaded : bool;
+  replayed : int;  (** WAL records re-applied against the catalog *)
+  quarantined : Errors.recovery_violation option;
+      (** the torn tail, if one was cut off *)
+  recovered_epoch : int;
+  recovered_wal_length : int;
+}
+
+val recover : ?stats:Wal_stats.t -> string -> Catalog.t * Wal.t * outcome
+(** [recover dir] rebuilds the database state in [dir] (created if
+    missing) and reopens the WAL for appending.
+    @raise Errors.Recovery_error on real corruption (never on a torn
+    tail or an orphan snapshot temp file). *)
+
+val db_digest : Catalog.t -> string
+(** Hex digest of the canonical whole-database serialization (tables,
+    rows in insertion order, indexes).  The crash-chaos suite compares
+    a recovered database against an in-memory reference with this. *)
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,29 @@
+(** Binary snapshots of the whole database (catalog shape + rows).
+
+    {v
+    "GSNAP001" (8) | epoch u64 LE | wal_offset u64 LE
+    | body len u32 LE | crc32(body) u32 LE | body
+    v}
+
+    The [(epoch, wal_offset)] stamp records which WAL prefix the
+    snapshot covers; recovery replays only records past it.
+    Publication is atomic: temp file + fsync + rename, with the
+    {!Fault.Rename} crash site between the two syscalls. *)
+
+val write : Catalog.t -> epoch:int -> wal_offset:int -> path:string -> int
+(** Atomically write a snapshot; returns its size in bytes. *)
+
+val encode_body : Catalog.t -> string
+(** Canonical serialization of the whole database (tables sorted by
+    name, rows in insertion order) — also the basis of
+    [Recovery.db_digest]. *)
+
+type loaded = {
+  catalog : Catalog.t;   (** a freshly rebuilt catalog *)
+  snap_epoch : int;      (** WAL epoch the snapshot was cut under *)
+  wal_offset : int;      (** WAL offset already folded into the rows *)
+}
+
+val load : string -> loaded
+(** @raise Errors.Recovery_error ([Snapshot_corrupt]) on a bad magic,
+    checksum, or body. *)

@@ -1,0 +1,141 @@
+(* The durability policy layer the engine talks to: one value per
+   database directory bundling the recovered catalog, the open WAL, the
+   durability mode, and the checkpoint trigger.
+
+   Commit protocol (driven by Engine): a DDL/DML statement is applied
+   in memory first; only if it succeeds is it logged here.  A crash
+   after the in-memory apply but before the log write loses nothing —
+   the statement was never acknowledged.  What [log_statement] then
+   does depends on the mode:
+
+     Off     nothing touches the WAL at all (the hot path is exactly
+             the in-memory engine; see the durability bench)
+     Lazy    append, group-commit fsync every [group_commit] records
+     Strict  append + fsync before the statement is acknowledged
+
+   Every log write also arms the auto-checkpoint: once the WAL passes
+   [checkpoint_bytes], a snapshot is cut and the log reset, bounding
+   both recovery time and disk growth.
+
+   Checkpoint sequence (each step a crash may interrupt, each state
+   recoverable):
+
+     1. fsync the WAL                    crash: plain replay
+     2. snapshot -> temp file, fsync     crash: orphan .tmp, ignored
+     3. rename over snapshot.db          crash before: old snapshot wins
+        [Fault.Checkpoint fires here]    crash after: snapshot + full
+                                         WAL coexist; the offset stamp
+                                         keeps replay idempotent
+     4. WAL reset under epoch + 1        done
+
+   Switching Off -> Lazy/Strict must re-base first: statements executed
+   under Off never reached the log, so the WAL no longer describes the
+   in-memory state.  A checkpoint folds that state into a snapshot and
+   the gap disappears. *)
+
+type durability = Off | Lazy | Strict
+
+let durability_to_string = function
+  | Off -> "off"
+  | Lazy -> "lazy"
+  | Strict -> "strict"
+
+let durability_of_string s =
+  match String.lowercase_ascii s with
+  | "off" -> Some Off
+  | "lazy" -> Some Lazy
+  | "strict" -> Some Strict
+  | _ -> None
+
+let default_group_commit = 64
+let default_checkpoint_bytes = 1 lsl 20  (* 1 MiB *)
+
+type t = {
+  dir : string;
+  catalog : Catalog.t;
+  wal : Wal.t;
+  stats : Wal_stats.t;
+  mutable durability : durability;
+  mutable group_commit : int;
+  mutable checkpoint_bytes : int;
+  mutable closed : bool;
+}
+
+let open_dir ?(durability = Strict) ?(group_commit = default_group_commit)
+    ?(checkpoint_bytes = default_checkpoint_bytes) dir =
+  let stats = Wal_stats.create () in
+  let catalog, wal, outcome = Recovery.recover ~stats dir in
+  ( {
+      dir;
+      catalog;
+      wal;
+      stats;
+      durability;
+      group_commit;
+      checkpoint_bytes;
+      closed = false;
+    },
+    outcome )
+
+let dir t = t.dir
+let catalog t = t.catalog
+let stats t = t.stats
+let durability t = t.durability
+let group_commit t = t.group_commit
+let checkpoint_bytes t = t.checkpoint_bytes
+let wal_length t = Wal.length t.wal
+let wal_epoch t = Wal.epoch t.wal
+let set_group_commit t n = t.group_commit <- max 1 n
+let set_checkpoint_bytes t n = t.checkpoint_bytes <- n
+
+let flush t = Wal.fsync t.wal
+
+let checkpoint t =
+  Wal.fsync t.wal;
+  let epoch = Wal.epoch t.wal in
+  let wal_offset = Wal.length t.wal in
+  let bytes =
+    Snapshot.write t.catalog ~epoch ~wal_offset
+      ~path:(Recovery.snapshot_path t.dir)
+  in
+  if Fault.crash_now Fault.Checkpoint then raise (Fault.Crash Fault.Checkpoint);
+  Wal.reset t.wal ~epoch:(epoch + 1);
+  Wal_stats.record_checkpoint t.stats;
+  bytes
+
+let set_durability t d =
+  (if t.durability = Off && d <> Off then
+     (* statements executed under Off never reached the log; fold the
+        current state into a snapshot so the WAL starts clean *)
+     ignore (checkpoint t));
+  (if d = Off && t.durability <> Off then
+     (* make what was already logged durable before going dark *)
+     Wal.fsync t.wal);
+  t.durability <- d
+
+let sync_policy t =
+  match t.durability with
+  | Off -> ()
+  | Strict -> Wal.fsync t.wal
+  | Lazy -> if Wal.pending t.wal >= t.group_commit then Wal.fsync t.wal
+
+let maybe_checkpoint t =
+  if t.checkpoint_bytes > 0 && Wal.length t.wal >= t.checkpoint_bytes then
+    ignore (checkpoint t)
+
+let log_record t record =
+  if t.durability <> Off then begin
+    ignore (Wal.append t.wal record);
+    sync_policy t;
+    maybe_checkpoint t
+  end
+
+let log_statement t sql = log_record t (Wal.Stmt sql)
+let log_load_tpch t ~seed ~msf = log_record t (Wal.Load_tpch { seed; msf })
+
+let close t =
+  if not t.closed then begin
+    if t.durability <> Off then Wal.fsync t.wal;
+    Wal.close t.wal;
+    t.closed <- true
+  end

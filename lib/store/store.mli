@@ -1,0 +1,68 @@
+(** Durability policy layer: one value per database directory bundling
+    the recovered catalog, the open WAL, the durability mode, and the
+    checkpoint trigger.
+
+    The engine applies a DDL/DML statement in memory first and calls
+    {!log_statement} only on success; what happens then depends on the
+    mode — [Off] never touches the WAL (the hot path stays the pure
+    in-memory engine), [Lazy] group-commits an fsync every
+    [group_commit] records, [Strict] fsyncs before the statement is
+    acknowledged. *)
+
+type durability = Off | Lazy | Strict
+
+val durability_to_string : durability -> string
+val durability_of_string : string -> durability option
+
+val default_group_commit : int
+val default_checkpoint_bytes : int
+
+type t
+
+val open_dir :
+  ?durability:durability ->
+  ?group_commit:int ->
+  ?checkpoint_bytes:int ->
+  string ->
+  t * Recovery.outcome
+(** Recover (or initialise) the database in the directory and open its
+    WAL.  Defaults: [Strict], {!default_group_commit},
+    {!default_checkpoint_bytes}.
+    @raise Errors.Recovery_error on real corruption. *)
+
+val dir : t -> string
+val catalog : t -> Catalog.t
+val stats : t -> Wal_stats.t
+val durability : t -> durability
+val group_commit : t -> int
+val checkpoint_bytes : t -> int
+val wal_length : t -> int
+val wal_epoch : t -> int
+
+val set_group_commit : t -> int -> unit
+val set_checkpoint_bytes : t -> int -> unit
+(** [0] disables the auto-checkpoint trigger. *)
+
+val set_durability : t -> durability -> unit
+(** Switching [Off -> Lazy/Strict] checkpoints first: statements
+    executed under [Off] never reached the log, so the current state is
+    folded into a snapshot before logging resumes. *)
+
+val log_statement : t -> string -> unit
+(** Log a committed DDL/DML statement (canonical SQL text), apply the
+    mode's sync policy, and auto-checkpoint once the WAL passes
+    [checkpoint_bytes].  A no-op under [Off]. *)
+
+val log_load_tpch : t -> seed:int option -> msf:float -> unit
+(** Log a deterministic TPC-H bulk load by its parameters. *)
+
+val flush : t -> unit
+(** Fsync any pending records regardless of mode. *)
+
+val checkpoint : t -> int
+(** Cut a snapshot (atomic temp + rename), then reset the WAL under the
+    next epoch; returns the snapshot size in bytes.  Works in any mode,
+    including [Off]. *)
+
+val close : t -> unit
+(** Final fsync (unless [Off]) and close the WAL; idempotent. *)

@@ -1,0 +1,87 @@
+(** Checksummed, length-prefixed write-ahead log.
+
+    One append-only file per database directory:
+
+    {v
+    header   "GWAL0001" (8 bytes) | epoch u64 LE (8 bytes)
+    record*  "GR" (2) | payload len u32 LE | crc32(payload) u32 LE | payload
+    v}
+
+    Records are logical redo: the canonical text of a committed DDL/DML
+    statement, or the parameters of a deterministic TPC-H bulk load.
+    The epoch links the log to the snapshot covering its prefix — a
+    checkpoint stamps the snapshot with [(epoch, offset)] and restarts
+    the log under [epoch + 1], which is how recovery stays idempotent
+    when a crash lands between the two steps.
+
+    [append] never syncs; [fsync] makes all pending records durable in
+    one group commit.  Both are crash-simulation hook points
+    ({!Fault.Append} tears the record in half on disk, {!Fault.Fsync}
+    drops everything past the durable prefix). *)
+
+type record =
+  | Stmt of string
+      (** canonical SQL text of a committed DDL/DML statement *)
+  | Load_tpch of { seed : int option; msf : float }
+      (** parameters of a deterministic [load_tpch] bulk load *)
+
+val record_to_string : record -> string
+
+type t
+
+val create : ?stats:Wal_stats.t -> string -> epoch:int -> t
+(** Create (truncating) a fresh log at the given epoch; the header is
+    written and synced before returning. *)
+
+val open_existing : ?stats:Wal_stats.t -> string -> epoch:int -> length:int -> t
+(** Reopen a scanned log for appending at [length], the end of its
+    valid prefix.  Recovery truncates any quarantined tail before
+    calling this. *)
+
+val epoch : t -> int
+val length : t -> int
+(** Current end offset (header included); the value a checkpoint stamps
+    into its snapshot. *)
+
+val durable_length : t -> int
+(** The prefix covered by the last [fsync]. *)
+
+val pending : t -> int
+(** Records appended since the last [fsync]. *)
+
+val append : t -> record -> int
+(** Append one record (no sync); returns its byte offset. *)
+
+val fsync : t -> unit
+(** Group-commit every pending record; records the batch size in
+    {!Wal_stats}. *)
+
+val reset : t -> epoch:int -> unit
+(** Truncate to an empty log under a new epoch (checkpoint epilogue). *)
+
+val close : t -> unit
+(** Final [fsync] and close; idempotent. *)
+
+(** {1 Scanning} *)
+
+type scan_result = {
+  scanned_epoch : int;
+  records : (int * record) list;  (** (offset, record) in log order *)
+  torn : Errors.recovery_violation option;
+      (** a torn tail, if the file ends in an incomplete record *)
+  valid_length : int;  (** end of the readable prefix *)
+  file_length : int;
+}
+
+val scan : string -> scan_result
+(** Read the whole log.  The first bad record ends the readable prefix:
+    if no valid record follows it is reported as a torn tail in [torn];
+    if one does, the log was corrupted in place and scanning raises
+    {!Errors.Recovery_error} ([Mid_log_corruption]) rather than drop
+    committed records.  Also raises on a bad header
+    ([Wal_header_corrupt]). *)
+
+val dump : Format.formatter -> string -> unit
+(** [--wal-dump]: pretty-print every record with offset and checksum
+    status.  Never raises on corruption — this is the debugging view of
+    a damaged log. *)

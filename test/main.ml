@@ -25,4 +25,6 @@ let () =
       ("plan-cache", Test_plan_cache.suite);
       ("governor", Test_governor.suite);
       ("chaos", Test_chaos.suite);
+      ("store", Test_store.suite);
+      ("crash", Test_crash.suite);
     ]
