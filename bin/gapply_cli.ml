@@ -3,7 +3,7 @@
    Usage:
      dune exec bin/gapply_cli.exe -- [--tpch MSF] [--partition sort|hash]
                                      [--no-optimize] [--parallelism N]
-                                     [-f script.sql]
+                                     [--batch-size N] [-f script.sql]
 
    Meta-commands inside the shell:
      \q            quit
@@ -13,6 +13,7 @@
      \analyze      toggle EXPLAIN ANALYZE instrumentation on queries
      \cache        show plan-cache counters and occupancy
      \governor     show resource-governor counters
+     \dict         show string-dictionary statistics
      \timeout MS   per-statement wall-clock budget (off = unlimited)
      \rowlimit N   per-statement output-row budget (off = unlimited)
      \memlimit B   per-statement materialization budget, bytes
@@ -79,6 +80,7 @@ let run_meta db ~timing ~analyze cmd =
       Format.printf "analyze %s@." (if !analyze then "on" else "off")
   | [ "\\cache" ] -> Format.printf "%s@." (Engine.cache_report db)
   | [ "\\governor" ] -> Format.printf "%s@." (Engine.governor_report db)
+  | [ "\\dict" ] -> Format.printf "%s@." (Engine.dict_report db)
   | [ "\\wal" ] -> Format.printf "%s@." (Engine.wal_report db)
   | [ "\\checkpoint" ] -> (
       try
@@ -150,9 +152,9 @@ let run_sessions db ~sessions ~iterations =
   let report = Session.run db ~sessions ~script in
   Format.printf "%a@." Session.pp_report report
 
-let main tpch_msf partition no_optimize parallelism analyze sessions
-    iterations timeout_ms row_limit mem_limit fault data_dir durability
-    wal_dump script =
+let main tpch_msf partition no_optimize parallelism batch_size analyze
+    sessions iterations timeout_ms row_limit mem_limit fault data_dir
+    durability wal_dump script =
   (* --wal-dump is a standalone debugging mode: render the records and
      leave without touching the database *)
   (match wal_dump with
@@ -191,6 +193,11 @@ let main tpch_msf partition no_optimize parallelism analyze sessions
     Format.eprintf "--parallelism must be >= 0 (0 = auto)@.";
     exit 2
   end;
+  (match batch_size with
+  | Some n when n < 0 ->
+      Format.eprintf "--batch-size must be >= 0 (0 = tuple-at-a-time)@.";
+      exit 2
+  | _ -> ());
   (match fault with
   | None -> ()
   | Some spec -> (
@@ -203,7 +210,8 @@ let main tpch_msf partition no_optimize parallelism analyze sessions
   let db =
     try
       Engine.create ~partition ~optimize:(not no_optimize) ~parallelism
-        ?timeout_ms ?row_limit ?mem_limit ?data_dir ?durability ()
+        ?batch_size ?timeout_ms ?row_limit ?mem_limit ?data_dir
+        ?durability ()
     with Errors.Recovery_error _ as e ->
       Format.eprintf "recovery failed: %s@." (Errors.to_string e);
       exit 1
@@ -260,6 +268,14 @@ let parallelism_arg =
        & info [ "parallelism" ] ~docv:"N"
            ~doc:"Domains used by the GApply/Group-by partition and \
                  execution phases (1 = sequential, 0 = one per core).")
+
+let batch_size_arg =
+  Arg.(value & opt (some int) None
+       & info [ "batch-size" ] ~docv:"N"
+           ~doc:"Rows per batch on the vectorized execution path \
+                 (0 = tuple-at-a-time).  Defaults to 128, or to \
+                 \\$(b,GAPPLY_BATCH) when set.  Also settable per \
+                 session with SET batch_size.")
 
 let analyze_arg =
   Arg.(value & flag
@@ -337,8 +353,9 @@ let cmd =
   Cmd.v
     (Cmd.info "gapply_cli" ~doc)
     Term.(const main $ tpch_arg $ partition_arg $ no_optimize_arg
-          $ parallelism_arg $ analyze_arg $ sessions_arg $ iterations_arg
-          $ timeout_arg $ row_limit_arg $ mem_limit_arg $ fault_arg
-          $ data_dir_arg $ durability_arg $ wal_dump_arg $ script_arg)
+          $ parallelism_arg $ batch_size_arg $ analyze_arg $ sessions_arg
+          $ iterations_arg $ timeout_arg $ row_limit_arg $ mem_limit_arg
+          $ fault_arg $ data_dir_arg $ durability_arg $ wal_dump_arg
+          $ script_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -21,6 +21,7 @@ type t = {
   mutable partition : Compile.partition_strategy;
   mutable optimize : bool;
   mutable parallelism : int;
+  mutable batch_size : int;  (* rows per batch; 0 = scalar execution *)
   cache : Plan_cache.t;
   mutable cache_enabled : bool;
   prepared : (string, prepared) Hashtbl.t;  (* SQL-level PREPARE names *)
@@ -51,7 +52,8 @@ let cache_enabled_from_env () =
   | _ -> true
 
 let create ?(partition = Compile.Hash_partition) ?(optimize = true)
-    ?(parallelism = 1) ?plan_cache ?(cache_capacity = 128) ?timeout_ms
+    ?(parallelism = 1) ?(batch_size = Compile.default_batch_size)
+    ?plan_cache ?(cache_capacity = 128) ?timeout_ms
     ?row_limit ?mem_limit ?data_dir ?durability ?wal_group_commit
     ?checkpoint_wal_bytes () =
   (* re-read the fault/crash environment on every engine, not only at
@@ -80,6 +82,7 @@ let create ?(partition = Compile.Hash_partition) ?(optimize = true)
     partition;
     optimize;
     parallelism;
+    batch_size;
     cache = Plan_cache.create ~capacity:cache_capacity ();
     cache_enabled;
     prepared = Hashtbl.create 8;
@@ -151,6 +154,8 @@ let log_committed db sql =
 let set_partition_strategy db p = db.partition <- p
 let set_optimize db b = db.optimize <- b
 let set_parallelism db n = db.parallelism <- n
+let set_batch_size db n = db.batch_size <- max 0 n
+let batch_size db = db.batch_size
 
 let plan_cache db = db.cache
 let plan_cache_enabled db = db.cache_enabled
@@ -174,6 +179,11 @@ let set_mem_limit db bytes =
   db.budget <- { db.budget with Governor.mem_limit_bytes = bytes }
 
 let gov_stats db = db.gov_stats
+
+let dict_report db =
+  Format.asprintf "dict: %a%s" Dict_stats.pp
+    (Catalog.dict_stats db.catalog)
+    (if Dict.enabled () then "" else " (encoding disabled)")
 
 let governor_report db =
   Format.asprintf "governor: %a%s" Gov_stats.pp
@@ -222,7 +232,7 @@ let load_tpch ?seed db ~msf =
 
 let config ?observe db =
   Compile.config_with ~partition:db.partition ~parallelism:db.parallelism
-    ?observe ()
+    ~batch_size:db.batch_size ?observe ()
 
 (** Parse a SQL query string into an (unoptimized) logical plan. *)
 let plan_of_sql db src =
@@ -259,6 +269,7 @@ let cache_key db sql =
     partition = db.partition;
     optimize = db.optimize;
     parallelism = db.parallelism;
+    batch_size = db.batch_size;
   }
 
 (* The compile configuration is derived from the cache key (not from
@@ -266,7 +277,8 @@ let cache_key db sql =
    entries under a key whose knobs differ from the engine's. *)
 let config_of_key (key : Plan_cache.key) =
   Compile.config_with ~partition:key.Plan_cache.partition
-    ~parallelism:key.Plan_cache.parallelism ()
+    ~parallelism:key.Plan_cache.parallelism
+    ~batch_size:key.Plan_cache.batch_size ()
 
 (* Cold path: parse + bind + optimize + compile, timed, fingerprinted
    against the catalog as of just before the parse (a concurrent DDL
@@ -401,11 +413,14 @@ let analyze_report cat plan sink rel =
     | (depth, (s : Obs.stat)) :: stats', (_, (e : Cost.estimate)) :: ests' ->
         Buffer.add_string buf
           (Printf.sprintf
-             "%s%s  (est rows=%s) (rows=%d loops=%d%s time=%s first=%s)\n"
+             "%s%s  (est rows=%s) (rows=%d loops=%d%s%s time=%s first=%s)\n"
              (String.make (2 * depth) ' ')
              s.op (Pretty.card e.card) s.rows s.invocations
              (if s.partitions > 0 then
                 Printf.sprintf " groups=%d" s.partitions
+              else "")
+             (if s.batches > 0 then
+                Printf.sprintf " batches=%d" s.batches
               else "")
              (Pretty.duration_ns s.time_ns)
              (Pretty.duration_ns s.ttft_ns));
@@ -434,7 +449,8 @@ let analyze_plan db plan =
   let attempt ~partition ~parallelism =
     let sink = Obs.make () in
     let cfg =
-      Compile.config_with ~partition ~parallelism ~observe:sink ()
+      Compile.config_with ~partition ~parallelism
+        ~batch_size:db.batch_size ~observe:sink ()
     in
     governed_attempt db (fun gov ->
         let rel = Executor.run ~config:cfg ?governor:gov db.catalog plan in
@@ -488,6 +504,15 @@ let analyze_plan db plan =
             (Wal_stats.snapshot (Store.stats st))
             (Store.durability_to_string (Store.durability st))
     | _ -> report
+  in
+  (* dictionary footer, only when some table is dictionary-encoded
+     (engines without string columns — or with GAPPLY_DICT=off — keep
+     the historical output byte-for-byte) *)
+  let report =
+    let ds = Catalog.dict_stats db.catalog in
+    if Dict_stats.active ds then
+      report ^ Format.asprintf "== dict: %a ==\n" Dict_stats.pp ds
+    else report
   in
   (rel, report)
 
@@ -561,6 +586,19 @@ let apply_set db name (v : Sql_ast.set_value) : outcome =
     | Some s -> f s
   in
   match name with
+  | "batch_size" -> (
+      match v with
+      | Sql_ast.Set_int n when n >= 0 ->
+          set_batch_size db n;
+          Message (Printf.sprintf "batch_size = %d" n)
+      | Sql_ast.Set_ident "off" ->
+          set_batch_size db 0;
+          Message "batch_size = 0"
+      | Sql_ast.Set_default ->
+          set_batch_size db Compile.default_batch_size;
+          Message
+            (Printf.sprintf "batch_size = %d" Compile.default_batch_size)
+      | _ -> bad_value "a non-negative integer, OFF, or DEFAULT")
   | "statement_timeout_ms" -> int_knob (set_timeout_ms db)
   | "statement_row_limit" -> int_knob (set_row_limit db)
   | "statement_mem_limit" -> int_knob (set_mem_limit db)

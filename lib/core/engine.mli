@@ -42,6 +42,7 @@ val create :
   ?partition:Compile.partition_strategy ->
   ?optimize:bool ->
   ?parallelism:int ->
+  ?batch_size:int ->
   ?plan_cache:bool ->
   ?cache_capacity:int ->
   ?timeout_ms:int ->
@@ -56,6 +57,8 @@ val create :
 (** A fresh engine with an empty catalog.  Defaults: hash-partitioned
     GApply, optimizer enabled, sequential execution.  [parallelism]
     follows {!Compile.config}: total domains, [0] = automatic.
+    [batch_size] sets the vectorized execution batch size (default
+    {!Compile.default_batch_size}; [0] = tuple-at-a-time).
 
     The plan cache is on by default with a 128-entry LRU capacity; pass
     [~plan_cache:false] to force every execution down the cold path.
@@ -83,9 +86,20 @@ val catalog : t -> Catalog.t
 val set_partition_strategy : t -> Compile.partition_strategy -> unit
 val set_optimize : t -> bool -> unit
 val set_parallelism : t -> int -> unit
+
+val set_batch_size : t -> int -> unit
+(** Rows per batch on the vectorized path ([0] = tuple-at-a-time;
+    negative values clamp to [0]).  Also settable per session with
+    [SET batch_size = <n> | OFF | DEFAULT]. *)
+
+val batch_size : t -> int
 (** Compile knobs are part of the plan-cache key, so flipping one can
     never serve a plan compiled under the old setting — the cache
     key-splits, and flipping back re-hits the older entries. *)
+
+val dict_report : t -> string
+(** One-line dictionary-encoding statistics over the catalog (the CLI's
+    [\dict] meta-command). *)
 
 (** {1 Resource governor}
 

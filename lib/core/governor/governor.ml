@@ -116,6 +116,11 @@ let value_bytes = function
   | Value.Null | Value.Int _ | Value.Bool _ -> 0
   | Value.Float _ -> 16
   | Value.Str s -> 24 + String.length s
+  (* a dictionary handle physically shares its bytes, but the budget
+     models *logical* buffering — charging the decoded length keeps
+     every memory ceiling meaning the same thing whether or not a
+     table happens to be dictionary-encoded *)
+  | Value.Sym (pool, id) -> 24 + String.length (Strpool.unsafe_get pool id)
 
 let tuple_bytes (row : Tuple.t) =
   Array.fold_left (fun acc v -> acc + 8 + value_bytes v) 16 row
@@ -151,6 +156,23 @@ let accountant opt ~op =
         (fun row ->
           Fault.hit Fault.Alloc ~op:(Some op);
           charge opt ~op (tuple_bytes row))
+
+(* Batch-materialization accounting: one Alloc fault site and one
+   [charge] per batch, for the same total bytes the per-row accountant
+   would have accumulated — memory ceilings trip at the same budgets
+   under either execution mode, just at batch granularity. *)
+let batch_accountant opt ~op =
+  match opt with
+  | None -> None
+  | Some _ ->
+      Some
+        (fun (rows : Tuple.t array) pos len ->
+          Fault.hit Fault.Alloc ~op:(Some op);
+          let bytes = ref 0 in
+          for i = pos to pos + len - 1 do
+            bytes := !bytes + tuple_bytes (Array.unsafe_get rows i)
+          done;
+          charge opt ~op !bytes)
 
 (* ---------- cursor wrappers ---------- *)
 
@@ -189,6 +211,29 @@ let wrap_root opt (pull : unit -> 'a option) : unit -> 'a option =
             (match r with
             | Some _ ->
                 if Atomic.fetch_and_add t.out_rows 1 + 1 > limit then
+                  trip t
+                    (violation Errors.Row_limit
+                       (Printf.sprintf "statement produced more than %d rows"
+                          limit))
+            | None -> ());
+            r)
+
+(* Batch-cursor variant of [wrap_root]: each pull counts [len batch]
+   output rows, so the limit trips on the batch that crosses it. *)
+let wrap_root_batch opt ~(len : 'a -> int) (pull : unit -> 'a option) :
+    unit -> 'a option =
+  match opt with
+  | None -> pull
+  | Some t -> (
+      match t.budget.row_limit with
+      | None -> pull
+      | Some limit ->
+          fun () ->
+            let r = pull () in
+            (match r with
+            | Some b ->
+                let n = len b in
+                if Atomic.fetch_and_add t.out_rows n + n > limit then
                   trip t
                     (violation Errors.Row_limit
                        (Printf.sprintf "statement produced more than %d rows"

@@ -62,6 +62,12 @@ val accountant : t option -> op:string -> (Tuple.t -> unit) option
     charges each row's estimated bytes and reports the [Alloc] fault
     site.  [None] when ungoverned — the buffer loop stays hook-free. *)
 
+val batch_accountant :
+  t option -> op:string -> (Tuple.t array -> int -> int -> unit) option
+(** Batch variant for [Batch.to_array]: one [Alloc] fault site and one
+    charge per batch, totalling the same bytes the per-row accountant
+    would accumulate. *)
+
 val tuple_bytes : Tuple.t -> int
 (** Estimated heap bytes of one materialized tuple. *)
 
@@ -82,3 +88,8 @@ val guard : t option -> op:string -> (unit -> 'a option) -> unit -> 'a option
 val wrap_root : t option -> (unit -> 'a option) -> unit -> 'a option
 (** Wrap the statement's root cursor: counts output rows against the
     row limit.  Identity when ungoverned or unlimited. *)
+
+val wrap_root_batch :
+  t option -> len:('a -> int) -> (unit -> 'a option) -> unit -> 'a option
+(** {!wrap_root} for a batch-cursor root: each pull counts [len batch]
+    rows, tripping on the batch that crosses the limit. *)

@@ -3,8 +3,8 @@
 
    Keying.  Entries are keyed on the SQL text *and* every knob that
    changes what would be compiled: partition strategy, optimize flag,
-   parallelism.  Flipping a knob between two executions of the same SQL
-   therefore key-splits instead of serving a stale shape.
+   parallelism, batch size.  Flipping a knob between two executions of
+   the same SQL therefore key-splits instead of serving a stale shape.
 
    Invalidation.  An entry records a fingerprint of everything its plan
    was derived from: the catalog generation (bumped by any DDL — new
@@ -25,6 +25,7 @@ type key = {
   partition : Compile.partition_strategy;
   optimize : bool;
   parallelism : int;
+  batch_size : int;
 }
 
 type entry = {

@@ -2,8 +2,8 @@
 
     Entries hold a bound + optimized + compiled plan keyed on the SQL
     text and every compile knob (partition strategy, optimize flag,
-    parallelism) — flipping a knob key-splits rather than reusing a
-    stale shape.  Each entry is fingerprinted with the catalog
+    parallelism, batch size) — flipping a knob key-splits rather than
+    reusing a stale shape.  Each entry is fingerprinted with the catalog
     {!Catalog.generation} and the {!Table.version} of every base table
     its plan scans; lookups revalidate the fingerprint lazily, and
     {!invalidate_stale} sweeps eagerly after DDL/DML so only dependent
@@ -18,6 +18,7 @@ type key = {
   partition : Compile.partition_strategy;
   optimize : bool;
   parallelism : int;
+  batch_size : int;
 }
 
 type entry = {

@@ -1,0 +1,213 @@
+(* Batch-at-a-time execution: arrays of tuples between operators.
+
+   The Volcano cursor ([Cursor.t = unit -> Tuple.t option]) pays one
+   closure call and one [Some] allocation per tuple per operator.  A
+   batch cursor amortizes both over ~[default_size] rows: operators pull
+   a whole [t] at once and process it in a tight array loop, so the
+   per-tuple cost on the hot path drops to an array read.
+
+   A batch is a *view* [{ rows; pos; len }] over a row array —
+   producers can hand out windows of a large materialized array without
+   copying ([of_array] chunks this way).  Consumers must not mutate
+   [rows] and must not read outside [pos .. pos+len-1].
+
+   Interop is one adapter in each direction ([to_cursor] / [of_cursor]),
+   so operators migrate incrementally: a compiled node exposes a batch
+   path when its inputs do, and anything else falls back to the scalar
+   path unchanged. *)
+
+type t = {
+  rows : Tuple.t array;
+  pos : int;   (* first valid index *)
+  len : int;   (* number of valid rows; always > 0 for emitted batches *)
+}
+
+type cursor = unit -> t option
+
+(* 128, not the literature's customary 1024: OCaml allocates arrays
+   longer than [Max_young_wosize] (256 words) directly on the major
+   heap, so batches over ~255 rows turn every intermediate buffer into
+   a major-heap allocation and the bench sweep shows them losing to the
+   scalar path; 128-row batches stay minor-heap and measure fastest. *)
+let default_size = 128
+
+let get b i = Array.unsafe_get b.rows (b.pos + i)
+
+let iter f b =
+  for i = b.pos to b.pos + b.len - 1 do
+    f (Array.unsafe_get b.rows i)
+  done
+
+(* ---------- producers ---------- *)
+
+(** Chunk [arr] into windows of [size] rows — no copying, each batch is
+    a view over [arr]. *)
+let of_array ?(size = default_size) (arr : Tuple.t array) : cursor =
+  let size = max 1 size in
+  let n = Array.length arr in
+  let pos = ref 0 in
+  fun () ->
+    if !pos >= n then None
+    else begin
+      let p = !pos in
+      let len = min size (n - p) in
+      pos := p + len;
+      Some { rows = arr; pos = p; len }
+    end
+
+(** Pack a scalar cursor into batches of up to [size] rows.  The
+    fallback adapter for operators without a native batch path. *)
+let of_cursor ?(size = default_size) (c : Cursor.t) : cursor =
+  let size = max 1 size in
+  let exhausted = ref false in
+  fun () ->
+    if !exhausted then None
+    else begin
+      let buf = Array.make size Tuple.empty in
+      let k = ref 0 in
+      (try
+         while !k < size do
+           match c () with
+           | Some row ->
+               buf.(!k) <- row;
+               incr k
+           | None ->
+               exhausted := true;
+               raise Exit
+         done
+       with Exit -> ());
+      if !k = 0 then None else Some { rows = buf; pos = 0; len = !k }
+    end
+
+(* ---------- consumers / adapters ---------- *)
+
+(** Unbatch: replay a batch cursor row by row.  One live batch at a
+    time, so adapting back to scalar keeps the pipeline streaming. *)
+let to_cursor (bc : cursor) : Cursor.t =
+  let current = ref None in
+  let rec next () =
+    match !current with
+    | Some (b, i) when i < b.len ->
+        current := Some (b, i + 1);
+        Some (get b i)
+    | _ -> (
+        match bc () with
+        | None ->
+            current := None;
+            None
+        | Some b ->
+            current := Some (b, 0);
+            next ())
+  in
+  next
+
+(** Drain into a fresh array, blitting batch by batch.  [account] (if
+    given) is called once per batch with [(rows, pos, len)] — the
+    governor charges materialization this way without a per-row
+    callback. *)
+let to_array ?account (bc : cursor) : Tuple.t array =
+  let buf = ref (Array.make 64 Tuple.empty) in
+  let n = ref 0 in
+  let ensure extra =
+    let cap = Array.length !buf in
+    if !n + extra > cap then begin
+      let cap' = max (!n + extra) (2 * cap) in
+      let buf' = Array.make cap' Tuple.empty in
+      Array.blit !buf 0 buf' 0 !n;
+      buf := buf'
+    end
+  in
+  let rec drain () =
+    match bc () with
+    | None -> ()
+    | Some b ->
+        (match account with None -> () | Some f -> f b.rows b.pos b.len);
+        ensure b.len;
+        Array.blit b.rows b.pos !buf !n b.len;
+        n := !n + b.len;
+        drain ()
+  in
+  drain ();
+  if !n = Array.length !buf then !buf else Array.sub !buf 0 !n
+
+let drain_iter f (bc : cursor) =
+  let rec go () =
+    match bc () with
+    | None -> ()
+    | Some b ->
+        iter f b;
+        go ()
+  in
+  go ()
+
+(* ---------- transformers ---------- *)
+
+(** Keep rows satisfying [pred].  Loops over input batches until at
+    least one row survives, so emitted batches are never empty; the
+    surviving rows are compacted into a fresh exactly-sized array. *)
+let filter (pred : Tuple.t -> bool) (bc : cursor) : cursor =
+  let rec next () =
+    match bc () with
+    | None -> None
+    | Some b ->
+        let scratch = Array.make b.len Tuple.empty in
+        let k = ref 0 in
+        for i = b.pos to b.pos + b.len - 1 do
+          let row = Array.unsafe_get b.rows i in
+          if pred row then begin
+            Array.unsafe_set scratch !k row;
+            incr k
+          end
+        done;
+        if !k = 0 then next ()
+        else Some { rows = scratch; pos = 0; len = !k }
+  in
+  next
+
+(** Apply [f] to every row, producing same-length batches. *)
+let map (f : Tuple.t -> Tuple.t) (bc : cursor) : cursor =
+ fun () ->
+  match bc () with
+  | None -> None
+  | Some b ->
+      let out = Array.make b.len Tuple.empty in
+      for i = 0 to b.len - 1 do
+        Array.unsafe_set out i (f (Array.unsafe_get b.rows (b.pos + i)))
+      done;
+      Some { rows = out; pos = 0; len = b.len }
+
+(** Concatenate lazily: each thunk is forced only when the previous
+    source is exhausted (mirrors [Cursor.concat], so invocation-count
+    observability is preserved for unions). *)
+let concat (sources : (unit -> cursor) list) : cursor =
+  let remaining = ref sources in
+  let current = ref None in
+  let rec next () =
+    match !current with
+    | Some bc -> (
+        match bc () with
+        | Some _ as b -> b
+        | None ->
+            current := None;
+            next ())
+    | None -> (
+        match !remaining with
+        | [] -> None
+        | mk :: rest ->
+            remaining := rest;
+            current := Some (mk ());
+            next ())
+  in
+  next
+
+(** Defer building the underlying cursor until the first pull (mirrors
+    [Cursor.deferred] — used for materializing operators). *)
+let deferred (mk : unit -> cursor) : cursor =
+  let state = ref None in
+  fun () ->
+    match !state with
+    | Some bc -> bc ()
+    | None ->
+        let bc = mk () in
+        state := Some bc;
+        bc ()

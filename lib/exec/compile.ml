@@ -9,7 +9,16 @@
    partition phase (by sorting or hashing, per [config]) over the outer
    stream, then a nested-loops execution phase that binds each group to
    the relation-valued variable and re-runs the compiled per-group
-   query. *)
+   query.
+
+   Execution is vectorized when [config.batch_size > 0]: operators that
+   have a batch implementation also expose [brun], a cursor over
+   [Batch.t] row arrays, and consume their children batch-wise
+   ([brun_of] falls back to packing a scalar child, so the batch path
+   covers whole pipelines even when one operator in the middle only has
+   a scalar implementation).  The scalar [run] of a batched operator is
+   derived from [brun] through [Batch.to_cursor], so both entry points
+   execute — and meter — the same code. *)
 
 type partition_strategy = Sort_partition | Hash_partition
 
@@ -25,11 +34,26 @@ type config = {
       (* total domains (submitter included) for the partition and
          execution phases of GApply/Group_by: 1 = sequential,
          0 = automatic (Domain.recommended_domain_count) *)
+  batch_size : int;
+      (* rows per batch on the vectorized path; 0 compiles the classic
+         tuple-at-a-time operators only *)
   observe : Obs.t option;
       (* per-operator metrics sink (EXPLAIN ANALYZE / --analyze).  None
          compiles exactly the uninstrumented operators — zero overhead
          on the per-tuple path when tracing is off. *)
 }
+
+(* The GAPPLY_BATCH switch is read once at startup: "off"/"0" forces
+   scalar execution everywhere batch_size is defaulted (the CI replay
+   that proves batch ≡ scalar), an integer overrides the batch size. *)
+let default_batch_size =
+  match Sys.getenv_opt "GAPPLY_BATCH" with
+  | Some ("off" | "0" | "false" | "no") -> 0
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | _ -> Batch.default_size)
+  | None -> Batch.default_size
 
 let default_config =
   {
@@ -37,19 +61,37 @@ let default_config =
     apply_cache = true;
     use_indexes = true;
     parallelism = 1;
+    batch_size = default_batch_size;
     observe = None;
   }
 
 let config_with ?(partition = Hash_partition) ?(apply_cache = true)
-    ?(use_indexes = true) ?(parallelism = 1) ?observe () =
-  { partition; apply_cache; use_indexes; parallelism; observe }
+    ?(use_indexes = true) ?(parallelism = 1)
+    ?(batch_size = default_batch_size) ?observe () =
+  { partition; apply_cache; use_indexes; parallelism; batch_size; observe }
 
 (* the Obs node of the operator currently being compiled (used by the
    GApply / Group_by cases to report their partition phase) *)
 let obs_current config =
   match config.observe with None -> None | Some sink -> Obs.current sink
 
-type compiled = { schema : Schema.t; run : Env.t -> Cursor.t }
+type compiled = {
+  schema : Schema.t;
+  run : Env.t -> Cursor.t;
+  brun : (Env.t -> Batch.cursor) option;
+      (* vectorized entry point; present when the operator compiled a
+         batch implementation (batch_size > 0) *)
+}
+
+let batched config = config.batch_size > 0
+let bsize config = config.batch_size
+
+(* Batch view of any child: native when it has one, otherwise the
+   scalar cursor packed into batches. *)
+let brun_of ~size (c : compiled) env : Batch.cursor =
+  match c.brun with
+  | Some b -> b env
+  | None -> Batch.of_cursor ~size (c.run env)
 
 (* ---------- helpers ---------- *)
 
@@ -83,24 +125,46 @@ let parallel_partition_threshold = 1024
    overhead against the memory ceiling — this is the accounting that
    makes a hash-partition blow-up trip *during* partitioning, which the
    engine then retries sort-based (see Governor). *)
-let group_rows ?pool ?gov ~op (key_of : Tuple.t -> Tuple.t)
-    (rows : Tuple.t array) : (Tuple.t * Tuple.t list) list =
+let group_rows ?pool ?gov ~op ~(idxs : int array) (rows : Tuple.t array) :
+    (Tuple.t * Tuple.t list) list =
   let chunk pos len : (Tuple.t * Tuple.t list) list =
     Governor.check gov ~op;
     Governor.charge gov ~op (len * Governor.hash_partition_overhead_per_row);
-    let tbl : Tuple.t list ref Tuple.Tbl.t = Tuple.Tbl.create 64 in
-    let order = ref [] in
-    for k = pos to pos + len - 1 do
-      let row = rows.(k) in
-      let key = key_of row in
-      match Tuple.Tbl.find_opt tbl key with
-      | Some bucket -> bucket := row :: !bucket
-      | None ->
-          Tuple.Tbl.add tbl key (ref [ row ]);
-          order := key :: !order
-    done;
-    List.rev_map (fun key -> (key, List.rev !(Tuple.Tbl.find tbl key))) !order
-    |> List.rev
+    match idxs with
+    | [| i0 |] ->
+        (* single grouping column: hash the value itself — no per-row
+           key-tuple allocation; the key tuple is built once per group *)
+        let tbl : Tuple.t list ref Value.Tbl.t = Value.Tbl.create 64 in
+        let order = ref [] in
+        for k = pos to pos + len - 1 do
+          let row = rows.(k) in
+          let v = Array.unsafe_get row i0 in
+          match Value.Tbl.find_opt tbl v with
+          | Some bucket -> bucket := row :: !bucket
+          | None ->
+              Value.Tbl.add tbl v (ref [ row ]);
+              order := v :: !order
+        done;
+        List.rev_map
+          (fun v -> ([| v |], List.rev !(Value.Tbl.find tbl v)))
+          !order
+        |> List.rev
+    | _ ->
+        let tbl : Tuple.t list ref Tuple.Tbl.t = Tuple.Tbl.create 64 in
+        let order = ref [] in
+        for k = pos to pos + len - 1 do
+          let row = rows.(k) in
+          let key = project_key idxs row in
+          match Tuple.Tbl.find_opt tbl key with
+          | Some bucket -> bucket := row :: !bucket
+          | None ->
+              Tuple.Tbl.add tbl key (ref [ row ]);
+              order := key :: !order
+        done;
+        List.rev_map
+          (fun key -> (key, List.rev !(Tuple.Tbl.find tbl key)))
+          !order
+        |> List.rev
   in
   let n = Array.length rows in
   match pool with
@@ -143,21 +207,26 @@ let group_rows ?pool ?gov ~op (key_of : Tuple.t -> Tuple.t)
       |> List.rev
   | _ -> chunk 0 n
 
-(* Aggregate a row sequence into one output row of finished values. *)
+(* Aggregate a row sequence into one output row of finished values.
+   Accumulators live in arrays so the per-row step is an indexed loop,
+   not a List.iter2 closure pair. *)
 let run_aggregates (specs : (Expr.agg * Eval.compiled option) list)
     (frames : Eval.frames) (rows : Tuple.t list) : Tuple.t =
-  let states = List.map (fun (spec, _) -> Agg_state.create spec) specs in
+  let specs = Array.of_list specs in
+  let n = Array.length specs in
+  let states = Array.map (fun (spec, _) -> Agg_state.create spec) specs in
   List.iter
     (fun row ->
-      List.iter2
-        (fun state (_, carg) ->
-          let v =
-            match carg with None -> Value.Null | Some c -> c frames row
-          in
-          Agg_state.add state v)
-        states specs)
+      for j = 0 to n - 1 do
+        let v =
+          match snd (Array.unsafe_get specs j) with
+          | None -> Value.Null
+          | Some c -> c frames row
+        in
+        Agg_state.add (Array.unsafe_get states j) v
+      done)
     rows;
-  Tuple.of_list (List.map Agg_state.finish states)
+  Array.map Agg_state.finish states
 
 let compile_agg_args schema (aggs : (Expr.agg * string) list) =
   List.map
@@ -177,23 +246,52 @@ let compile_agg_args schema (aggs : (Expr.agg * string) list) =
    wrapper: when the environment carries a governor, each pull checks
    the cancellation token and the wall-clock deadline (and reports the
    fault harness's Open/Next/Close sites).  Ungoverned runs pay one
-   [match] per operator invocation and nothing per tuple. *)
+   [match] per operator invocation and nothing per tuple.
+
+   A batched operator is wrapped once, on its batch cursor — checks,
+   metering and fault sites fire per batch — and its scalar [run] is
+   re-derived from the wrapped [brun] through [Batch.to_cursor], so the
+   two entry points can never drift apart. *)
 let rec plan ?(config = default_config) ?(outer : Schema.t list = [])
     (p : Plan.t) : compiled =
-  let govern op (c : compiled) =
-    {
-      c with
-      run =
-        (fun env -> Governor.guard env.Env.governor ~op (c.run env));
-    }
+  let op = Plan.op_name p in
+  let finish node (c : compiled) =
+    match c.brun with
+    | None ->
+        let run env =
+          let pull = c.run env in
+          let pull =
+            match node with
+            | None -> pull
+            | Some (sink, n) -> Obs.instrument sink n pull
+          in
+          Governor.guard env.Env.governor ~op pull
+        in
+        { c with run }
+    | Some b ->
+        let brun env =
+          let pull = b env in
+          let pull =
+            match node with
+            | None -> pull
+            | Some (sink, n) ->
+                Obs.instrument_batch sink n
+                  ~len:(fun (bt : Batch.t) -> bt.Batch.len)
+                  pull
+          in
+          Governor.guard env.Env.governor ~op pull
+        in
+        {
+          c with
+          run = (fun env -> Batch.to_cursor (brun env));
+          brun = Some brun;
+        }
   in
   match config.observe with
-  | None -> govern (Plan.op_name p) (compile ~config ~outer p)
+  | None -> finish None (compile ~config ~outer p)
   | Some sink ->
-      Obs.enter sink ~op:(Plan.op_name p) (fun node ->
-          let c = compile ~config ~outer p in
-          govern (Plan.op_name p)
-            { c with run = (fun env -> Obs.instrument sink node (c.run env)) })
+      Obs.enter sink ~op (fun node ->
+          finish (Some (sink, node)) (compile ~config ~outer p))
 
 and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
   let schema = Props.schema_of ~outer p in
@@ -205,11 +303,26 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
           (fun env ->
             let t = Catalog.find_table env.Env.catalog table in
             Cursor.of_relation (Table.to_relation t));
+        brun =
+          (if not (batched config) then None
+           else
+             Some
+               (fun env ->
+                 let t = Catalog.find_table env.Env.catalog table in
+                 Batch.of_array ~size:(bsize config)
+                   (Relation.rows_array (Table.to_relation t))));
       }
   | Plan.Group_scan { var; _ } ->
       {
         schema;
         run = (fun env -> Cursor.of_relation (Env.find_group env var));
+        brun =
+          (if not (batched config) then None
+           else
+             Some
+               (fun env ->
+                 Batch.of_array ~size:(bsize config)
+                   (Relation.rows_array (Env.find_group env var))));
       }
   | Plan.Select { pred; input } ->
       let c = plan ~config ~outer input in
@@ -219,31 +332,68 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
         run =
           (fun env ->
             Cursor.filter (test env.Env.frames) (c.run env));
+        brun =
+          (if not (batched config) then None
+           else
+             Some
+               (fun env ->
+                 Batch.filter (test env.Env.frames)
+                   (brun_of ~size:(bsize config) c env)));
       }
   | Plan.Project { items; input } ->
       let c = plan ~config ~outer input in
       let compiled_items =
-        List.map (fun (e, _) -> Eval.compile c.schema e) items
+        Array.of_list (List.map (fun (e, _) -> Eval.compile c.schema e) items)
+      in
+      let nitems = Array.length compiled_items in
+      (* evaluate items into a preallocated output row — no intermediate
+         list on the per-row path *)
+      let project frames row =
+        let out = Array.make nitems Value.Null in
+        for j = 0 to nitems - 1 do
+          Array.unsafe_set out j ((Array.unsafe_get compiled_items j) frames row)
+        done;
+        (out : Tuple.t)
       in
       {
         schema;
-        run =
-          (fun env ->
-            Cursor.map
-              (fun row ->
-                Tuple.of_list
-                  (List.map (fun ce -> ce env.Env.frames row) compiled_items))
-              (c.run env));
+        run = (fun env -> Cursor.map (project env.Env.frames) (c.run env));
+        brun =
+          (if not (batched config) then None
+           else
+             Some
+               (fun env ->
+                 Batch.map (project env.Env.frames)
+                   (brun_of ~size:(bsize config) c env)));
       }
   | Plan.Join { pred; left; right; _ } -> compile_join ~config ~outer pred left right
   | Plan.Alias { input; _ } ->
       let c = plan ~config ~outer input in
-      { schema; run = c.run }
+      { schema; run = c.run; brun = c.brun }
   | Plan.Group_by { keys; aggs; input } ->
       let c = plan ~config ~outer input in
       let idxs = key_indexes c.schema keys in
       let specs = compile_agg_args c.schema aggs in
       let obs_node = obs_current config in
+      (* partition + aggregate a materialized input; shared by the
+         scalar and batch entry points *)
+      let compute env pool gov (rows : Tuple.t array) : Tuple.t array =
+        let groups =
+          group_rows ?pool ?gov ~op:"groupby.partition" ~idxs rows
+        in
+        Option.iter
+          (fun n -> Obs.add_partitions n (List.length groups))
+          obs_node;
+        let finish (key, members) =
+          Tuple.concat key (run_aggregates specs env.Env.frames members)
+        in
+        match (pool, groups) with
+        | Some pool, _ :: _ :: _ ->
+            (* groups are independent: aggregate each on the pool,
+               emitting results in group order *)
+            Domain_pool.parallel_map_array pool finish (Array.of_list groups)
+        | _ -> Array.of_list (List.map finish groups)
+      in
       {
         schema;
         run =
@@ -256,25 +406,25 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
                     ?account:(Governor.accountant gov ~op:"groupby.input")
                     (c.run env)
                 in
-                let groups =
-                  group_rows ?pool ?gov ~op:"groupby.partition"
-                    (project_key idxs) rows
-                in
-                Option.iter
-                  (fun n -> Obs.add_partitions n (List.length groups))
-                  obs_node;
-                let finish (key, members) =
-                  Tuple.concat key
-                    (run_aggregates specs env.Env.frames members)
-                in
-                match (pool, groups) with
-                | Some pool, _ :: _ :: _ ->
-                    (* groups are independent: aggregate each on the
-                       pool, emitting results in group order *)
-                    Cursor.of_array
-                      (Domain_pool.parallel_map_array pool finish
-                         (Array.of_list groups))
-                | _ -> Cursor.of_list (List.map finish groups)));
+                Cursor.of_array (compute env pool gov rows)));
+        brun =
+          (if not (batched config) then None
+           else
+             Some
+               (fun env ->
+                 Batch.deferred (fun () ->
+                     let pool =
+                       Domain_pool.for_parallelism config.parallelism
+                     in
+                     let gov = env.Env.governor in
+                     let rows =
+                       Batch.to_array
+                         ?account:
+                           (Governor.batch_accountant gov ~op:"groupby.input")
+                         (brun_of ~size:(bsize config) c env)
+                     in
+                     Batch.of_array ~size:(bsize config)
+                       (compute env pool gov rows))));
       }
   | Plan.Aggregate { aggs; input } ->
       let c = plan ~config ~outer input in
@@ -293,79 +443,150 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
                        (c.run env))
                 in
                 Cursor.singleton (run_aggregates specs env.Env.frames rows)));
+        brun =
+          (if not (batched config) then None
+           else
+             Some
+               (fun env ->
+                 Batch.deferred (fun () ->
+                     (* stream batches straight into the accumulators —
+                        no materialized input.  The scalar path buffers,
+                        so the same bytes are still charged batch-wise:
+                        a memory ceiling means the same thing under
+                        either execution mode. *)
+                     let account =
+                       Governor.batch_accountant env.Env.governor
+                         ~op:"aggregate.input"
+                     in
+                     let specs_a = Array.of_list specs in
+                     let n = Array.length specs_a in
+                     let states =
+                       Array.map (fun (spec, _) -> Agg_state.create spec)
+                         specs_a
+                     in
+                     let frames = env.Env.frames in
+                     let bc = brun_of ~size:(bsize config) c env in
+                     let rec drain () =
+                       match bc () with
+                       | None -> ()
+                       | Some b ->
+                           (match account with
+                           | None -> ()
+                           | Some f -> f b.Batch.rows b.Batch.pos b.Batch.len);
+                           Batch.iter
+                             (fun row ->
+                               for j = 0 to n - 1 do
+                                 let v =
+                                   match snd (Array.unsafe_get specs_a j) with
+                                   | None -> Value.Null
+                                   | Some ce -> ce frames row
+                                 in
+                                 Agg_state.add (Array.unsafe_get states j) v
+                               done)
+                             b;
+                           drain ()
+                     in
+                     drain ();
+                     Batch.of_array ~size:(bsize config)
+                       [| Array.map Agg_state.finish states |])));
       }
   | Plan.Distinct input ->
       let c = plan ~config ~outer input in
+      (* one seen-set per invocation, shared by whichever entry point
+         runs (only one does) *)
+      let make_pred env =
+        let seen = Tuple.Tbl.create 64 in
+        let account =
+          Governor.accountant env.Env.governor ~op:"distinct.hash"
+        in
+        fun row ->
+          if Tuple.Tbl.mem seen row then false
+          else begin
+            Option.iter (fun f -> f row) account;
+            Tuple.Tbl.add seen row ();
+            true
+          end
+      in
       {
         schema;
-        run =
-          (fun env ->
-            let seen = Tuple.Tbl.create 64 in
-            let account =
-              Governor.accountant env.Env.governor ~op:"distinct.hash"
-            in
-            Cursor.filter
-              (fun row ->
-                if Tuple.Tbl.mem seen row then false
-                else begin
-                  Option.iter (fun f -> f row) account;
-                  Tuple.Tbl.add seen row ();
-                  true
-                end)
-              (c.run env));
+        run = (fun env -> Cursor.filter (make_pred env) (c.run env));
+        brun =
+          (if not (batched config) then None
+           else
+             Some
+               (fun env ->
+                 Batch.filter (make_pred env)
+                   (brun_of ~size:(bsize config) c env)));
       }
   | Plan.Order_by { keys; input } ->
       let c = plan ~config ~outer input in
       let compiled_keys =
         List.map (fun (e, dir) -> (Eval.compile c.schema e, dir)) keys
       in
+      let sort_rows env (rows : Tuple.t array) : Tuple.t array =
+        Governor.charge env.Env.governor ~op:"orderby.sort"
+          (Array.length rows * Governor.sort_partition_overhead_per_row);
+        let decorated =
+          Array.map
+            (fun row ->
+              ( List.map
+                  (fun (ce, dir) -> (ce env.Env.frames row, dir))
+                  compiled_keys,
+                row ))
+            rows
+        in
+        let cmp (ka, _) (kb, _) =
+          let rec go a b =
+            match (a, b) with
+            | [], [] -> 0
+            | (va, dir) :: ra, (vb, _) :: rb ->
+                let c = Value.compare_total va vb in
+                let c =
+                  match dir with
+                  | Plan.Asc -> c
+                  | Plan.Desc -> -c
+                in
+                if c <> 0 then c else go ra rb
+            | _ -> 0
+          in
+          go ka kb
+        in
+        (* stable sort keeps multiset evaluation deterministic *)
+        let arr = Array.mapi (fun i x -> (i, x)) decorated in
+        Array.sort
+          (fun (i, a) (j, b) ->
+            let c = cmp a b in
+            if c <> 0 then c else compare i j)
+          arr;
+        Array.map (fun (_, (_, row)) -> row) arr
+      in
       {
         schema;
         run =
           (fun env ->
             Cursor.deferred (fun () ->
-                let gov = env.Env.governor in
                 let rows =
                   Cursor.to_array
-                    ?account:(Governor.accountant gov ~op:"orderby.input")
+                    ?account:
+                      (Governor.accountant env.Env.governor
+                         ~op:"orderby.input")
                     (c.run env)
                 in
-                Governor.charge gov ~op:"orderby.sort"
-                  (Array.length rows
-                  * Governor.sort_partition_overhead_per_row);
-                let decorated =
-                  Array.map
-                    (fun row ->
-                      ( List.map
-                          (fun (ce, dir) -> (ce env.Env.frames row, dir))
-                          compiled_keys,
-                        row ))
-                    rows
-                in
-                let cmp (ka, _) (kb, _) =
-                  let rec go a b =
-                    match (a, b) with
-                    | [], [] -> 0
-                    | (va, dir) :: ra, (vb, _) :: rb ->
-                        let c = Value.compare_total va vb in
-                        let c =
-                          match dir with
-                          | Plan.Asc -> c
-                          | Plan.Desc -> -c
-                        in
-                        if c <> 0 then c else go ra rb
-                    | _ -> 0
-                  in
-                  go ka kb
-                in
-                (* stable sort keeps multiset evaluation deterministic *)
-                let arr = Array.mapi (fun i x -> (i, x)) decorated in
-                Array.sort
-                  (fun (i, a) (j, b) ->
-                    let c = cmp a b in
-                    if c <> 0 then c else compare i j)
-                  arr;
-                Cursor.of_array (Array.map (fun (_, (_, row)) -> row) arr)));
+                Cursor.of_array (sort_rows env rows)));
+        brun =
+          (if not (batched config) then None
+           else
+             Some
+               (fun env ->
+                 Batch.deferred (fun () ->
+                     let rows =
+                       Batch.to_array
+                         ?account:
+                           (Governor.batch_accountant env.Env.governor
+                              ~op:"orderby.input")
+                         (brun_of ~size:(bsize config) c env)
+                     in
+                     Batch.of_array ~size:(bsize config) (sort_rows env rows))));
       }
   | Plan.Union_all branches ->
       let cs = List.map (plan ~config ~outer) branches in
@@ -374,6 +595,15 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
         run =
           (fun env ->
             Cursor.concat (List.map (fun c () -> c.run env) cs));
+        brun =
+          (if not (batched config) then None
+           else
+             Some
+               (fun env ->
+                 Batch.concat
+                   (List.map
+                      (fun c () -> brun_of ~size:(bsize config) c env)
+                      cs)));
       }
   | Plan.Apply { outer = outer_plan; inner } ->
       let co = plan ~config ~outer outer_plan in
@@ -401,6 +631,7 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
                   let env' = Env.push_frame co.schema outer_row env in
                   Cursor.map (Tuple.concat outer_row) (ci.run env'))
                 (co.run env));
+          brun = None;
         }
       else
         {
@@ -421,6 +652,7 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
                       Cursor.map (Tuple.concat outer_row)
                         (Cursor.of_array (Lazy.force inner_rows)))
                     (co.run env)));
+          brun = None;
         }
   | Plan.Exists { input; negated } ->
       let c = plan ~config ~outer input in
@@ -432,12 +664,47 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
                 let nonempty = c.run env () <> None in
                 if nonempty <> negated then Cursor.singleton Tuple.empty
                 else Cursor.empty));
+        brun = None;
       }
   | Plan.G_apply { gcols; var; outer = outer_plan; pgq; cluster } ->
       let co = plan ~config ~outer outer_plan in
       let cp = plan ~config ~outer pgq in
       let idxs = key_indexes co.schema gcols in
       let obs_node = obs_current config in
+      (* partition a materialized outer, report and order the groups;
+         shared by the scalar and batch entry points *)
+      let prepare ?pool ?gov rows =
+        let groups = partition ~config ?pool ?gov ~idxs rows in
+        Option.iter
+          (fun n -> Obs.add_partitions n (List.length groups))
+          obs_node;
+        (* the Section 3.1 clustering guarantee: emit groups in key
+           order; sort partitioning already provides it, hash
+           partitioning orders the (small) group list *)
+        if cluster && config.partition = Hash_partition then
+          List.sort (fun (a, _) (b, _) -> Tuple.compare a b) groups
+        else groups
+      in
+      (* each group is materialised as a temporary relation (rows are
+         copied into it, as the paper's execution phase describes) — so
+         the width of the outer input is a real cost and the
+         projection-before-GApply rule matters *)
+      let make_bind env gov =
+        let group_account = Governor.accountant gov ~op:"gapply.group" in
+        fun (key, members) ->
+          let arr = Array.of_list members in
+          (match group_account with
+          | None ->
+              for i = 0 to Array.length arr - 1 do
+                arr.(i) <- Tuple.copy arr.(i)
+              done
+          | Some account ->
+              for i = 0 to Array.length arr - 1 do
+                account arr.(i);
+                arr.(i) <- Tuple.copy arr.(i)
+              done);
+          (key, Env.bind_group var (Relation.of_array co.schema arr) env)
+      in
       {
         schema;
         run =
@@ -451,40 +718,10 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
                       (Governor.accountant gov ~op:"gapply.materialize")
                     (co.run env)
                 in
-                let groups = partition ~config ?pool ?gov ~idxs rows in
-                Option.iter
-                  (fun n -> Obs.add_partitions n (List.length groups))
-                  obs_node;
-                let groups =
-                  (* the Section 3.1 clustering guarantee: emit groups in
-                     key order; sort partitioning already provides it,
-                     hash partitioning orders the (small) group list *)
-                  if cluster && config.partition = Hash_partition then
-                    List.sort (fun (a, _) (b, _) -> Tuple.compare a b) groups
-                  else groups
-                in
-                let group_account =
-                  Governor.accountant gov ~op:"gapply.group"
-                in
-                let run_group (key, members) =
-                  (* each group is materialised as a temporary
-                     relation (rows are copied into it, as the
-                     paper's execution phase describes) — so the
-                     width of the outer input is a real cost and
-                     the projection-before-GApply rule matters *)
-                  let copy_row =
-                    match group_account with
-                    | None -> Tuple.copy
-                    | Some account ->
-                        fun row ->
-                          account row;
-                          Tuple.copy row
-                  in
-                  let group_rel =
-                    Relation.of_array co.schema
-                      (Array.of_list (List.map copy_row members))
-                  in
-                  let env' = Env.bind_group var group_rel env in
+                let groups = prepare ?pool ?gov rows in
+                let bind = make_bind env gov in
+                let run_group g =
+                  let key, env' = bind g in
                   Cursor.map (Tuple.concat key) (cp.run env')
                 in
                 match (pool, groups) with
@@ -513,6 +750,50 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
                 | _ ->
                     Cursor.concat
                       (List.map (fun g () -> run_group g) groups)));
+        brun =
+          (if not (batched config) then None
+           else
+             Some
+               (fun env ->
+                 Batch.deferred (fun () ->
+                     let pool =
+                       Domain_pool.for_parallelism config.parallelism
+                     in
+                     let gov = env.Env.governor in
+                     let rows =
+                       Batch.to_array
+                         ?account:
+                           (Governor.batch_accountant gov
+                              ~op:"gapply.materialize")
+                         (brun_of ~size:(bsize config) co env)
+                     in
+                     let groups = prepare ?pool ?gov rows in
+                     let bind = make_bind env gov in
+                     let run_group g =
+                       let key, env' = bind g in
+                       Batch.map (Tuple.concat key)
+                         (brun_of ~size:(bsize config) cp env')
+                     in
+                     match (pool, groups) with
+                     | Some pool, _ :: _ :: _ ->
+                         let exec_account =
+                           Governor.batch_accountant gov ~op:"gapply.exec"
+                         in
+                         let per_group =
+                           Domain_pool.parallel_map_array pool
+                             (fun g ->
+                               Batch.to_array ?account:exec_account
+                                 (run_group g))
+                             (Array.of_list groups)
+                         in
+                         Batch.concat
+                           (List.map
+                              (fun rows () ->
+                                Batch.of_array ~size:(bsize config) rows)
+                              (Array.to_list per_group))
+                     | _ ->
+                         Batch.concat
+                           (List.map (fun g () -> run_group g) groups))));
       }
 
 (* Partition phase of GApply.  Hash partitioning groups rows in
@@ -530,8 +811,7 @@ and partition ~config ?pool ?gov ~idxs (rows : Tuple.t array) :
     (Tuple.t * Tuple.t list) list =
   match config.partition with
   | Hash_partition ->
-      group_rows ?pool ?gov ~op:"gapply.partition(hash)" (project_key idxs)
-        rows
+      group_rows ?pool ?gov ~op:"gapply.partition(hash)" ~idxs rows
   | Sort_partition ->
       Governor.check gov ~op:"gapply.partition(sort)";
       Governor.charge gov ~op:"gapply.partition(sort)"
@@ -562,7 +842,15 @@ and partition ~config ?pool ?gov ~idxs (rows : Tuple.t array) :
 (* Joins: hash join on extracted equi-pairs when possible, nested loops
    otherwise.  NULL join keys never match (SQL semantics), so rows with a
    NULL key are dropped from both build and probe sides of the hash
-   join. *)
+   join.
+
+   The vectorized probe consumes the left side batch-wise and expands
+   matches into compacted output batches; a single-component key probes
+   a [Value.Tbl] (hash build) or the index's [Value]-keyed bucket
+   directly, with no per-row key tuple.  Matches are yielded
+   push-style into the consumer — the scalar path buffers them per
+   left row, the batch path streams them straight into its output
+   buffer. *)
 and compile_join ~config ~outer pred left right : compiled =
   let cl = plan ~config ~outer left in
   let cr = plan ~config ~outer right in
@@ -597,6 +885,7 @@ and compile_join ~config ~outer pred left right : compiled =
                     (Cursor.map (Tuple.concat lrow)
                        (Cursor.of_array right_rows)))
                 (cl.run env)));
+      brun = None;
     }
   else
     let left_keys =
@@ -662,65 +951,174 @@ and compile_join ~config ~outer pred left right : compiled =
                 in
                 let frames = env.Env.frames in
                 Some
-                  (fun lrow ->
-                    let parts =
-                      List.map
-                        (fun (ce, strict) -> (ce frames lrow, strict))
-                        probe
-                    in
-                    if
-                      List.exists
-                        (fun (v, strict) -> strict && Value.is_null v)
-                        parts
-                    then Cursor.empty
-                    else
-                      let key = Tuple.of_list (List.map fst parts) in
-                      Cursor.filter (keep frames)
-                        (Cursor.map (Tuple.concat lrow)
-                           (Cursor.of_list
-                              (List.map (Table.get_row base)
-                                 (Index.lookup index key))))))
+                  (match probe with
+                  | [ (ce, strict) ] ->
+                      (* single-component key: no per-probe part list *)
+                      fun lrow yield ->
+                        let v = ce frames lrow in
+                        if not (strict && Value.is_null v) then
+                          Index.iter_single index v (fun off ->
+                              yield (Table.get_row base off))
+                  | probe ->
+                      fun lrow yield ->
+                        let parts =
+                          List.map
+                            (fun (ce, strict) -> (ce frames lrow, strict))
+                            probe
+                        in
+                        if
+                          not
+                            (List.exists
+                               (fun (v, strict) -> strict && Value.is_null v)
+                               parts)
+                        then
+                          let key = Tuple.of_list (List.map fst parts) in
+                          Index.iter_bucket index key (fun off ->
+                              yield (Table.get_row base off))))
     in
-    {
-      schema;
-      run =
-        (fun env ->
-          match index_probe env with
-          | Some probe ->
-              Cursor.deferred (fun () -> Cursor.concat_map probe (cl.run env))
-          | None ->
+    (* build the hash table from the right side; buckets are finalized
+       into insertion-order arrays once the build drain finishes, so the
+       per-row probe yields matches without allocating (no [List.rev]
+       per probe) *)
+    let build_lookup env (drain : (Tuple.t -> unit) -> unit) :
+        Tuple.t -> (Tuple.t -> unit) -> unit =
+      let frames = env.Env.frames in
+      let build_account =
+        Governor.accountant env.Env.governor ~op:"join.build"
+      in
+      let finalize bucket = Array.of_list (List.rev !bucket) in
+      match (left_keys, right_keys) with
+      | [ lk ], [ rk ] ->
+          (* single-component key: hash the value itself *)
+          let strict0 = strict.(0) in
+          let acc : Tuple.t list ref Value.Tbl.t = Value.Tbl.create 256 in
+          drain (fun rrow ->
+              let v = rk frames rrow in
+              if not (strict0 && Value.is_null v) then begin
+                Option.iter (fun f -> f rrow) build_account;
+                match Value.Tbl.find_opt acc v with
+                | Some bucket -> bucket := rrow :: !bucket
+                | None -> Value.Tbl.add acc v (ref [ rrow ])
+              end);
+          let tbl : Tuple.t array Value.Tbl.t =
+            Value.Tbl.create (2 * Value.Tbl.length acc)
+          in
+          Value.Tbl.iter
+            (fun v bucket -> Value.Tbl.replace tbl v (finalize bucket))
+            acc;
+          fun lrow yield ->
+            let v = lk frames lrow in
+            if not (strict0 && Value.is_null v) then
+              match Value.Tbl.find_opt tbl v with
+              | None -> ()
+              | Some bucket -> Array.iter yield bucket
+            else ()
+      | _ ->
+          let lks = Array.of_list left_keys in
+          let rks = Array.of_list right_keys in
+          let key_of ks row =
+            (Array.map (fun ce -> ce frames row) ks : Tuple.t)
+          in
+          let acc : Tuple.t list ref Tuple.Tbl.t = Tuple.Tbl.create 256 in
+          drain (fun rrow ->
+              let key = key_of rks rrow in
+              if not (key_rejected key) then begin
+                Option.iter (fun f -> f rrow) build_account;
+                match Tuple.Tbl.find_opt acc key with
+                | Some bucket -> bucket := rrow :: !bucket
+                | None -> Tuple.Tbl.add acc key (ref [ rrow ])
+              end);
+          let tbl : Tuple.t array Tuple.Tbl.t =
+            Tuple.Tbl.create (2 * Tuple.Tbl.length acc)
+          in
+          Tuple.Tbl.iter
+            (fun key bucket -> Tuple.Tbl.replace tbl key (finalize bucket))
+            acc;
+          fun lrow yield ->
+            let key = key_of lks lrow in
+            if not (key_rejected key) then
+              match Tuple.Tbl.find_opt tbl key with
+              | None -> ()
+              | Some bucket -> Array.iter yield bucket
+            else ()
+    in
+    (* expand left rows against a per-row match yielder (right-side
+       rows in bucket order); shared by the hash and index-probe paths *)
+    let probe_cursor frames (matches : Tuple.t -> (Tuple.t -> unit) -> unit)
+        lc =
+      Cursor.concat_map
+        (fun lrow ->
+          let acc = ref [] in
+          matches lrow (fun rrow ->
+              let joined = Tuple.concat lrow rrow in
+              if keep frames joined then acc := joined :: !acc);
+          match !acc with
+          | [] -> Cursor.empty
+          | joined -> Cursor.of_list (List.rev joined))
+        lc
+    in
+    (* same expansion batch-wise: each left batch compacts its joined
+       rows into one output batch (empty expansions pull the next left
+       batch, so emitted batches are never empty); matches stream
+       straight into the output buffer, no per-row bucket list *)
+    let probe_batches frames (matches : Tuple.t -> (Tuple.t -> unit) -> unit)
+        lbc =
+      let rec next () =
+        match lbc () with
+        | None -> None
+        | Some b ->
+            let out = ref (Array.make (max 16 b.Batch.len) Tuple.empty) in
+            let n = ref 0 in
+            let push row =
+              if !n = Array.length !out then begin
+                let bigger = Array.make (2 * !n) Tuple.empty in
+                Array.blit !out 0 bigger 0 !n;
+                out := bigger
+              end;
+              !out.(!n) <- row;
+              incr n
+            in
+            Batch.iter
+              (fun lrow ->
+                matches lrow (fun rrow ->
+                    let joined = Tuple.concat lrow rrow in
+                    if keep frames joined then push joined))
+              b;
+            if !n = 0 then next ()
+            else Some { Batch.rows = !out; pos = 0; len = !n }
+      in
+      next
+    in
+    let run env =
+      match index_probe env with
+      | Some probe ->
           Cursor.deferred (fun () ->
-              let frames = env.Env.frames in
-              let build_account =
-                Governor.accountant env.Env.governor ~op:"join.build"
+              probe_cursor env.Env.frames probe (cl.run env))
+      | None ->
+          Cursor.deferred (fun () ->
+              let lookup =
+                build_lookup env (fun f -> Cursor.iter f (cr.run env))
               in
-              let table : Tuple.t list ref Tuple.Tbl.t =
-                Tuple.Tbl.create 256
-              in
-              Cursor.iter
-                (fun rrow ->
-                  let key =
-                    Tuple.of_list (List.map (fun ce -> ce frames rrow) right_keys)
-                  in
-                  if not (key_rejected key) then begin
-                    Option.iter (fun f -> f rrow) build_account;
-                    match Tuple.Tbl.find_opt table key with
-                    | Some bucket -> bucket := rrow :: !bucket
-                    | None -> Tuple.Tbl.add table key (ref [ rrow ])
-                  end)
-                (cr.run env);
-              Cursor.concat_map
-                (fun lrow ->
-                  let key =
-                    Tuple.of_list (List.map (fun ce -> ce frames lrow) left_keys)
-                  in
-                  if key_rejected key then Cursor.empty
-                  else
-                    match Tuple.Tbl.find_opt table key with
-                    | None -> Cursor.empty
-                    | Some bucket ->
-                        Cursor.filter (keep frames)
-                          (Cursor.map (Tuple.concat lrow)
-                             (Cursor.of_list (List.rev !bucket))))
-                (cl.run env)));
-    }
+              probe_cursor env.Env.frames lookup (cl.run env))
+    in
+    let brun =
+      if not (batched config) then None
+      else
+        Some
+          (fun env ->
+            match index_probe env with
+            | Some probe ->
+                Batch.deferred (fun () ->
+                    probe_batches env.Env.frames probe
+                      (brun_of ~size:(bsize config) cl env))
+            | None ->
+                Batch.deferred (fun () ->
+                    let lookup =
+                      build_lookup env (fun f ->
+                          Batch.drain_iter f
+                            (brun_of ~size:(bsize config) cr env))
+                    in
+                    probe_batches env.Env.frames lookup
+                      (brun_of ~size:(bsize config) cl env)))
+    in
+    { schema; run; brun }

@@ -28,6 +28,10 @@ type config = {
           {!Domain_pool}: [1] = sequential, [0] = automatic
           ([Domain.recommended_domain_count ()]).  Output is
           tuple-identical to sequential execution at any setting. *)
+  batch_size : int;
+      (** rows per batch on the vectorized path; [0] compiles the
+          classic tuple-at-a-time operators only.  Output is
+          tuple-identical at any setting. *)
   observe : Obs.t option;
       (** per-operator metrics sink (EXPLAIN ANALYZE / --analyze): one
           {!Obs.node} is registered per plan operator and every cursor is
@@ -37,20 +41,34 @@ type config = {
           sink per compiled plan. *)
 }
 
+val default_batch_size : int
+(** {!Batch.default_size}, overridden once at startup by the
+    [GAPPLY_BATCH] environment switch: [off]/[0] forces scalar
+    execution, an integer sets the batch size. *)
+
 val default_config : config
 (** Hash partitioning, Apply caching on, indexes on, sequential,
-    unobserved. *)
+    vectorized at {!default_batch_size}, unobserved. *)
 
 val config_with :
   ?partition:partition_strategy ->
   ?apply_cache:bool ->
   ?use_indexes:bool ->
   ?parallelism:int ->
+  ?batch_size:int ->
   ?observe:Obs.t ->
   unit ->
   config
 
-type compiled = { schema : Schema.t; run : Env.t -> Cursor.t }
+type compiled = {
+  schema : Schema.t;
+  run : Env.t -> Cursor.t;
+  brun : (Env.t -> Batch.cursor) option;
+      (** vectorized entry point, present when the operator compiled a
+          batch implementation ([batch_size > 0]); [run] is then derived
+          from it through [Batch.to_cursor], so both entry points
+          execute the same instrumented code *)
+}
 
 val plan : ?config:config -> ?outer:Schema.t list -> Plan.t -> compiled
 (** [outer] carries enclosing Apply outer schemas (for schema

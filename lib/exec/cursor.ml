@@ -38,7 +38,17 @@ let of_subarray (rows : Tuple.t array) ~pos ~len : t =
     end
     else None
 
-let of_list rows = of_array (Array.of_list rows)
+(* Walk the list directly instead of [of_array (Array.of_list rows)]:
+   building the intermediate array copied every row just to read them
+   back out once. *)
+let of_list rows : t =
+  let rest = ref rows in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | row :: tl ->
+        rest := tl;
+        Some row
 let of_relation rel = of_array (Relation.rows_array rel)
 
 let map f (c : t) : t =

@@ -3,21 +3,49 @@
    [?governor] threads a per-statement resource governor into the
    environment (budget checks and cancellation inside every operator)
    and wraps the root cursor with the output-row limit — the one budget
-   that only makes sense at the statement boundary. *)
+   that only makes sense at the statement boundary.
+
+   When the compilation carries a batch entry point, materialisation
+   goes through it directly: whole batches blit into the result buffer
+   instead of the tuple-at-a-time adapter consing one row per pull. *)
+
+let batch_len (b : Batch.t) = b.Batch.len
+
+let materialize ?governor (c : Compile.compiled) env : Relation.t =
+  match c.Compile.brun with
+  | Some b ->
+      Relation.of_array c.Compile.schema
+        (Batch.to_array
+           (Governor.wrap_root_batch governor ~len:batch_len (b env)))
+  | None ->
+      Cursor.to_relation c.Compile.schema
+        (Governor.wrap_root governor (c.Compile.run env))
+
+let count ?governor (c : Compile.compiled) env : int =
+  match c.Compile.brun with
+  | Some b ->
+      let pull = Governor.wrap_root_batch governor ~len:batch_len (b env) in
+      let n = ref 0 in
+      let rec go () =
+        match pull () with
+        | Some batch ->
+            n := !n + batch_len batch;
+            go ()
+        | None -> !n
+      in
+      go ()
+  | None -> Cursor.length (Governor.wrap_root governor (c.Compile.run env))
 
 (** Compile and run [plan] against [catalog], materialising the result. *)
 let run ?config ?governor (catalog : Catalog.t) (p : Plan.t) : Relation.t =
   let compiled = Compile.plan ?config p in
-  let env = Env.make ?governor catalog in
-  Cursor.to_relation compiled.Compile.schema
-    (Governor.wrap_root governor (compiled.Compile.run env))
+  materialize ?governor compiled (Env.make ?governor catalog)
 
 (** Run and count output rows without keeping them (used by benches to
     exclude materialisation of huge results from what we keep around). *)
 let run_count ?config ?governor (catalog : Catalog.t) (p : Plan.t) : int =
   let compiled = Compile.plan ?config p in
-  let env = Env.make ?governor catalog in
-  Cursor.length (Governor.wrap_root governor (compiled.Compile.run env))
+  count ?governor compiled (Env.make ?governor catalog)
 
 (** Run an already-compiled plan (the plan-cache / prepared-statement
     warm path: no parse, bind, optimize, or compile).  The compiled
@@ -26,12 +54,11 @@ let run_count ?config ?governor (catalog : Catalog.t) (p : Plan.t) : int =
     belongs to this single run. *)
 let run_compiled ?governor (catalog : Catalog.t) (c : Compile.compiled) :
     Relation.t =
-  Cursor.to_relation c.Compile.schema
-    (Governor.wrap_root governor (c.Compile.run (Env.make ?governor catalog)))
+  materialize ?governor c (Env.make ?governor catalog)
 
 (** Run a plan under an explicit environment (used by the client-side
     GApply simulation, which pre-binds group variables). *)
 let run_in ?config (env : Env.t) (p : Plan.t) : Relation.t =
   let outer = List.map fst env.Env.frames in
   let compiled = Compile.plan ?config ~outer p in
-  Cursor.to_relation compiled.Compile.schema (compiled.Compile.run env)
+  materialize compiled env

@@ -1,0 +1,49 @@
+(* Dictionary-encoding statistics.
+
+   The storage layer's per-table dictionaries report one [t] each
+   (entries interned, payload bytes, shard count, encode hit/miss and
+   decode counters); the engine sums them over the catalog for the
+   CLI's \dict report and the EXPLAIN ANALYZE footer.  Plain data — the
+   live counters stay inside the pools (Strpool atomics); this module
+   is only the snapshot shape and its rendering. *)
+
+type t = {
+  tables : int;        (* tables carrying a dictionary *)
+  shards : int;        (* pools across those tables *)
+  entries : int;       (* distinct strings interned *)
+  bytes : int;         (* payload bytes interned (deduplicated) *)
+  encode_hits : int;   (* inserts answered from the pool index *)
+  encode_misses : int; (* inserts that added an entry *)
+  decodes : int;       (* id -> string reads at the output boundary *)
+}
+
+let zero =
+  {
+    tables = 0;
+    shards = 0;
+    entries = 0;
+    bytes = 0;
+    encode_hits = 0;
+    encode_misses = 0;
+    decodes = 0;
+  }
+
+let add a b =
+  {
+    tables = a.tables + b.tables;
+    shards = a.shards + b.shards;
+    entries = a.entries + b.entries;
+    bytes = a.bytes + b.bytes;
+    encode_hits = a.encode_hits + b.encode_hits;
+    encode_misses = a.encode_misses + b.encode_misses;
+    decodes = a.decodes + b.decodes;
+  }
+
+let active t = t.tables > 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "tables=%d shards=%d entries=%d bytes=%s encode_hits=%d \
+     encode_misses=%d decodes=%d"
+    t.tables t.shards t.entries (Pretty.bytes t.bytes) t.encode_hits
+    t.encode_misses t.decodes

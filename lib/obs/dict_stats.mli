@@ -1,0 +1,21 @@
+(** Dictionary-encoding statistics: the snapshot shape each per-table
+    dictionary reports and the engine aggregates over the catalog for
+    the CLI [\dict] report and the EXPLAIN ANALYZE footer. *)
+
+type t = {
+  tables : int;        (** tables carrying a dictionary *)
+  shards : int;        (** pools across those tables *)
+  entries : int;       (** distinct strings interned *)
+  bytes : int;         (** payload bytes interned (deduplicated) *)
+  encode_hits : int;   (** inserts answered from the pool index *)
+  encode_misses : int; (** inserts that added an entry *)
+  decodes : int;       (** id -> string reads at the output boundary *)
+}
+
+val zero : t
+val add : t -> t -> t
+
+val active : t -> bool
+(** At least one table is dictionary-encoded. *)
+
+val pp : Format.formatter -> t -> unit

@@ -12,6 +12,7 @@ type node = {
   op : string;
   invocations : Metrics.counter;
   rows : Metrics.counter;
+  batches : Metrics.counter;
   partitions : Metrics.counter;
   time : Metrics.timer;
   ttft : Metrics.timer;
@@ -36,6 +37,7 @@ let enter t ~op f =
       op;
       invocations = Metrics.counter ();
       rows = Metrics.counter ();
+      batches = Metrics.counter ();
       partitions = Metrics.counter ();
       time = Metrics.timer ();
       ttft = Metrics.timer ();
@@ -82,12 +84,47 @@ let instrument t node (pull : unit -> 'a option) : unit -> 'a option =
     | None -> emit t node Close);
     r
 
+(* Batch-cursor variant of [instrument]: one pull yields a whole batch,
+   so the row counter advances by [len r] per pull and [batches] counts
+   the pulls.  Trace hooks still see one [Next] per row (not per batch)
+   so row-granular traces are identical under either execution mode;
+   the per-row emit loop only runs when a hook is installed. *)
+let instrument_batch t node ~len (pull : unit -> 'a option) : unit -> 'a option
+    =
+  Metrics.incr node.invocations;
+  emit t node Open;
+  let opened = Metrics.now_ns () in
+  let awaiting_first = ref true in
+  fun () ->
+    let t0 = Metrics.now_ns () in
+    let r = pull () in
+    let t1 = Metrics.now_ns () in
+    Metrics.add_span node.time (t1 - t0);
+    (match r with
+    | Some b ->
+        let n = len b in
+        Metrics.incr node.batches;
+        Metrics.add node.rows n;
+        if !awaiting_first then begin
+          awaiting_first := false;
+          Metrics.add_span node.ttft (t1 - opened)
+        end;
+        (match t.hook with
+        | None -> ()
+        | Some _ ->
+            for _ = 1 to n do
+              emit t node Next
+            done)
+    | None -> emit t node Close);
+    r
+
 let add_partitions node n = Metrics.add node.partitions n
 
 type stat = {
   op : string;
   invocations : int;
   rows : int;
+  batches : int;
   partitions : int;
   time_ns : int;
   ttft_ns : int;
@@ -99,6 +136,7 @@ let rec snapshot_node (n : node) : stat =
     op = n.op;
     invocations = Metrics.get n.invocations;
     rows = Metrics.get n.rows;
+    batches = Metrics.get n.batches;
     partitions = Metrics.get n.partitions;
     time_ns = Metrics.elapsed_ns n.time;
     ttft_ns = Metrics.elapsed_ns n.ttft;
@@ -113,6 +151,7 @@ let reset t =
   let rec go (n : node) =
     Metrics.reset n.invocations;
     Metrics.reset n.rows;
+    Metrics.reset n.batches;
     Metrics.reset n.partitions;
     Metrics.reset_timer n.time;
     Metrics.reset_timer n.ttft;
@@ -127,9 +166,10 @@ let flatten stat =
   go 0 stat []
 
 let rec pp_stat_tree ppf ~indent s =
-  Format.fprintf ppf "%s%s  (rows=%d loops=%d%s time=%s first=%s)@\n"
+  Format.fprintf ppf "%s%s  (rows=%d loops=%d%s%s time=%s first=%s)@\n"
     (String.make indent ' ') s.op s.rows s.invocations
     (if s.partitions > 0 then Printf.sprintf " groups=%d" s.partitions else "")
+    (if s.batches > 0 then Printf.sprintf " batches=%d" s.batches else "")
     (Pretty.duration_ns s.time_ns)
     (Pretty.duration_ns s.ttft_ns);
   List.iter (pp_stat_tree ppf ~indent:(indent + 2)) s.children

@@ -59,6 +59,13 @@ val instrument : t -> node -> (unit -> 'a option) -> unit -> 'a option
 (** Wrap one cursor (one invocation): counts the invocation, emits
     [Open], then meters every pull as described above. *)
 
+val instrument_batch :
+  t -> node -> len:('a -> int) -> (unit -> 'a option) -> unit -> 'a option
+(** Like {!instrument} for batch cursors: each pull yields [len batch]
+    rows, counted into [rows], with [batches] counting the pulls.
+    Trace hooks still receive one [Next] per row, so row-granular
+    traces match the scalar path. *)
+
 val add_partitions : node -> int -> unit
 (** Record groups formed by a partition phase (GApply / Group_by). *)
 
@@ -68,6 +75,7 @@ type stat = {
   op : string;  (** [Plan.op_name] of the operator *)
   invocations : int;
   rows : int;
+  batches : int;  (** batch pulls when the operator ran vectorized *)
   partitions : int;
   time_ns : int;  (** inclusive of children (time spent inside pulls) *)
   ttft_ns : int;  (** summed invocation-to-first-tuple spans *)

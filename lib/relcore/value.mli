@@ -8,7 +8,19 @@
       group-by and distinct, where NULL sorts first and compares equal to
       itself. *)
 
-type t = Null | Int of int | Float of float | Str of string | Bool of bool
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Sym of Strpool.t * int
+      (** A dictionary-encoded string: a handle into an interned pool
+          (the storage layer's per-table dictionary).  Behaves exactly
+          like the [Str] it decodes to — same type, total order, hash
+          and rendering — but same-pool equality is an id compare and
+          the hash is precomputed, so grouping and joins never touch
+          the bytes.  Ids are insertion-ordered, not lexicographic. *)
 
 val type_of : t -> Datatype.t option
 (** [None] for [Null]. *)
@@ -16,7 +28,13 @@ val type_of : t -> Datatype.t option
 val is_null : t -> bool
 
 val to_string : t -> string
-(** Plain rendering ([NULL], [42], [3.0], [abc], [TRUE]). *)
+(** Plain rendering ([NULL], [42], [3.0], [abc], [TRUE]).  Decodes
+    [Sym] handles — this is the output-boundary decode. *)
+
+val canonical : t -> t
+(** [Sym] decoded back to a plain [Str]; everything else unchanged.
+    Required before feeding values to {e polymorphic} hash or equality
+    (a [Sym]'s pool must never be structurally traversed). *)
 
 val to_literal : t -> string
 (** Like {!to_string} but strings are SQL-quoted (with [''] escaping). *)
@@ -67,3 +85,7 @@ val mul : t -> t -> t
 val div : t -> t -> t
 val neg : t -> t
 val concat : t -> t -> t
+
+(** Hash table keyed on values under {!equal_total} / {!hash} (the
+    batched hash join's single-key fast path). *)
+module Tbl : Hashtbl.S with type key = t

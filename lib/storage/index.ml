@@ -5,6 +5,11 @@
    join compiler uses an index on the inner side of an equi-join to skip
    the per-query hash-build (index nested-loop join).
 
+   Buckets are finalized into insertion-order arrays at build time, so
+   probes iterate matches without allocating; a single-column index
+   keys its table by the bare [Value.t], so the probe hot path builds
+   no key tuple at all.
+
    [refresh] must be safe to call from concurrent query domains (the
    parallel GApply execution phase runs per-group queries — and hence
    their index probes — on a domain pool).  Staleness is decided by a
@@ -16,12 +21,16 @@
    (mutation goes through DDL/insert paths only), so concurrent readers
    cannot observe a rebuild in flight. *)
 
+type store =
+  | By_value of int array Value.Tbl.t (* single column: key is the value *)
+  | By_tuple of int array Tuple.Tbl.t
+
 type t = {
   idx_name : string;
   idx_table : string;
   idx_columns : string list;
   idx_positions : int list;         (* column positions in the table *)
-  tbl : int list Tuple.Tbl.t;           (* key -> row offsets (reversed) *)
+  store : store;                    (* key -> row offsets, insertion order *)
   built_version : int Atomic.t;     (* Table.version covered; -1 = never *)
   lock : Mutex.t;                   (* serialises rebuilds *)
 }
@@ -41,10 +50,30 @@ let create ~name ~(table : Table.t) ~columns : t =
     idx_table = Table.name table;
     idx_columns = columns;
     idx_positions;
-    tbl = Tuple.Tbl.create 1024;
+    store =
+      (match idx_positions with
+      | [ _ ] -> By_value (Value.Tbl.create 1024)
+      | _ -> By_tuple (Tuple.Tbl.create 1024));
     built_version = Atomic.make (-1);
     lock = Mutex.create ();
   }
+
+(* accumulate reversed offset lists keyed by ['k], then finalize each
+   bucket into an insertion-order array in [replace] *)
+let build (type k) ~(find : k -> int list option) ~(add : k -> int list -> unit)
+    ~(replace : k -> int array -> unit) ~(keys : (k -> unit) -> unit)
+    ~(key_of : Tuple.t -> k) (table : Table.t) : unit =
+  let i = ref 0 in
+  Table.iter
+    (fun row ->
+      let key = key_of row in
+      let existing = Option.value ~default:[] (find key) in
+      add key (!i :: existing);
+      incr i)
+    table;
+  keys (fun key ->
+      let offsets = Option.get (find key) in
+      replace key (Array.of_list (List.rev offsets)))
 
 (** (Re)build the index over the table's current contents.  No-op (a
     single atomic read) when already fresh; thread-safe otherwise. *)
@@ -54,27 +83,60 @@ let refresh (t : t) (table : Table.t) =
     Mutex.lock t.lock;
     (* another domain may have rebuilt while we waited *)
     if Atomic.get t.built_version <> v then begin
-      Tuple.Tbl.reset t.tbl;
-      let i = ref 0 in
-      Table.iter
-        (fun row ->
-          let key = key_of_row t.idx_positions row in
-          let existing =
-            Option.value ~default:[] (Tuple.Tbl.find_opt t.tbl key)
-          in
-          Tuple.Tbl.replace t.tbl key (!i :: existing);
-          incr i)
-        table;
+      (match (t.store, t.idx_positions) with
+      | By_value tbl, [ pos ] ->
+          let acc : int list Value.Tbl.t = Value.Tbl.create 1024 in
+          Value.Tbl.reset tbl;
+          build table ~key_of:(fun row -> Tuple.get row pos)
+            ~find:(Value.Tbl.find_opt acc)
+            ~add:(Value.Tbl.replace acc)
+            ~replace:(Value.Tbl.replace tbl)
+            ~keys:(fun f -> Value.Tbl.iter (fun k _ -> f k) acc)
+      | By_tuple tbl, positions ->
+          let acc : int list Tuple.Tbl.t = Tuple.Tbl.create 1024 in
+          Tuple.Tbl.reset tbl;
+          build table ~key_of:(key_of_row positions)
+            ~find:(Tuple.Tbl.find_opt acc)
+            ~add:(Tuple.Tbl.replace acc)
+            ~replace:(Tuple.Tbl.replace tbl)
+            ~keys:(fun f -> Tuple.Tbl.iter (fun k _ -> f k) acc)
+      | By_value _, _ -> assert false);
       (* release-publish: readers that see [v] see the rebuilt table *)
       Atomic.set t.built_version v
     end;
     Mutex.unlock t.lock
   end
 
+let find_bucket (t : t) (key : Tuple.t) : int array option =
+  match t.store with
+  | By_value tbl -> Value.Tbl.find_opt tbl (Tuple.get key 0)
+  | By_tuple tbl -> Tuple.Tbl.find_opt tbl key
+
 (** Row offsets matching [key], in insertion order. *)
 let lookup (t : t) (key : Tuple.t) : int list =
-  match Tuple.Tbl.find_opt t.tbl key with
-  | Some offsets -> List.rev offsets
+  match find_bucket t key with
+  | Some offsets -> Array.to_list offsets
   | None -> []
 
-let cardinality (t : t) = Tuple.Tbl.length t.tbl
+(** Allocation-free probe: call [f] on each matching offset in
+    insertion order — the join's per-row hot path. *)
+let iter_bucket (t : t) (key : Tuple.t) (f : int -> unit) : unit =
+  match find_bucket t key with
+  | Some offsets -> Array.iter f offsets
+  | None -> ()
+
+(** [iter_single] is {!iter_bucket} for a single-column index, probing
+    with the bare value — no key tuple on the hot path.
+    @raise Invalid_argument on a multi-column index. *)
+let iter_single (t : t) (v : Value.t) (f : int -> unit) : unit =
+  match t.store with
+  | By_value tbl -> (
+      match Value.Tbl.find_opt tbl v with
+      | Some offsets -> Array.iter f offsets
+      | None -> ())
+  | By_tuple _ -> invalid_arg "Index.iter_single: multi-column index"
+
+let cardinality (t : t) =
+  match t.store with
+  | By_value tbl -> Value.Tbl.length tbl
+  | By_tuple tbl -> Tuple.Tbl.length tbl

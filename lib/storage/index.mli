@@ -20,5 +20,14 @@ val refresh : t -> Table.t -> unit
 val lookup : t -> Tuple.t -> int list
 (** Row offsets matching the key, in insertion order. *)
 
+val iter_bucket : t -> Tuple.t -> (int -> unit) -> unit
+(** Apply a function to each matching offset in insertion order,
+    without materializing the bucket — the join probe's hot path. *)
+
+val iter_single : t -> Value.t -> (int -> unit) -> unit
+(** {!iter_bucket} for a single-column index, probing with the bare
+    value — the hot path allocates no key tuple.
+    @raise Invalid_argument on a multi-column index. *)
+
 val cardinality : t -> int
 (** Number of distinct keys. *)

@@ -35,7 +35,9 @@ let compute (schema : Schema.t) (rel : Relation.t) : table_stats =
   Relation.iter
     (fun row ->
       for i = 0 to arity - 1 do
-        let v = Tuple.get row i in
+        (* canonicalize: [seen] is a polymorphic hash table, which must
+           never traverse a [Sym]'s pool *)
+        let v = Value.canonical (Tuple.get row i) in
         if Value.is_null v then nulls.(i) <- nulls.(i) + 1
         else begin
           Hashtbl.replace seen.(i) v ();

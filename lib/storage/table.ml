@@ -19,6 +19,10 @@ type t = {
                                     staleness checks compare against it *)
   primary_key : string list;
   foreign_keys : foreign_key list;
+  dict : Dict.t option;          (* string-column dictionary: inserts
+                                    intern [Str] values into [Sym]
+                                    handles (None when disabled or no
+                                    string columns) *)
 }
 
 let create ?(primary_key = []) ?(foreign_keys = []) name columns =
@@ -39,6 +43,7 @@ let create ?(primary_key = []) ?(foreign_keys = []) name columns =
     version = Atomic.make 0;
     primary_key;
     foreign_keys;
+    dict = Dict.create schema;
   }
 
 let name t = t.name
@@ -62,10 +67,15 @@ let ensure_capacity t n =
     t.rows <- rows'
   end
 
+let encode t row =
+  match t.dict with None -> row | Some d -> Dict.encode_row d row
+
+let dict_stats t = Option.map Dict.stats t.dict
+
 let insert t row =
   check_row t row;
   ensure_capacity t 1;
-  t.rows.(t.row_count) <- row;
+  t.rows.(t.row_count) <- encode t row;
   t.row_count <- t.row_count + 1;
   Atomic.incr t.version
 
@@ -81,7 +91,7 @@ let insert_all t rows =
     ensure_capacity t n;
     List.iter
       (fun row ->
-        t.rows.(t.row_count) <- row;
+        t.rows.(t.row_count) <- encode t row;
         t.row_count <- t.row_count + 1)
       rows;
     Atomic.incr t.version

@@ -50,3 +50,7 @@ val get_row : t -> int -> Tuple.t
 
 val to_relation : t -> Relation.t
 val iter : (Tuple.t -> unit) -> t -> unit
+
+val dict_stats : t -> Dict_stats.t option
+(** Dictionary snapshot, [None] when the table has no string columns or
+    encoding was disabled when it was created. *)

@@ -22,6 +22,7 @@ let () =
       ("properties-extensions", Test_properties2.suite);
       ("parallel", Test_parallel.suite);
       ("observe", Test_observe.suite);
+      ("vectorized", Test_vectorized.suite);
       ("plan-cache", Test_plan_cache.suite);
       ("governor", Test_governor.suite);
       ("chaos", Test_chaos.suite);

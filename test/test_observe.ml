@@ -64,7 +64,10 @@ let test_timer_monotonic () =
 (* Strip what is legitimately nondeterministic from a report: the
    time=/first= values, and the numeric suffix of the binder's __aggN
    / __sqN gensyms (process-global counters, so they depend on how many
-   queries were bound earlier in the test run). *)
+   queries were bound earlier in the test run).  " batches=N" tokens are
+   removed entirely — they exist only under vectorized execution, and
+   the goldens must also hold for the GAPPLY_BATCH=off CI replay
+   (test_batches_reported asserts their presence separately). *)
 let normalize report =
   let n = String.length report in
   let buf = Buffer.create n in
@@ -82,6 +85,12 @@ let normalize report =
         !i < n && report.[!i] <> ' ' && report.[!i] <> ')'
         && report.[!i] <> '\n'
       do
+        incr i
+      done
+    end
+    else if starts !i " batches=" then begin
+      i := !i + String.length " batches=";
+      while !i < n && report.[!i] >= '0' && report.[!i] <= '9' do
         incr i
       done
     end
@@ -134,7 +143,7 @@ let test_obs_reset () =
   | Some s ->
       let rec all_zero (s : Obs.stat) =
         s.Obs.rows = 0 && s.Obs.invocations = 0 && s.Obs.partitions = 0
-        && s.Obs.time_ns = 0 && s.Obs.ttft_ns = 0
+        && s.Obs.batches = 0 && s.Obs.time_ns = 0 && s.Obs.ttft_ns = 0
         && List.for_all all_zero s.Obs.children
       in
       Alcotest.(check bool) "reset zeroes every node" true (all_zero s)
@@ -230,11 +239,39 @@ let q1_analyze_golden =
    time=_ first=_)\n\
    == actual rows: 405  estimated: 405 ==\n"
 
+(* the dict footer appears only while encoding is enabled, so the
+   GAPPLY_DICT=off replay still matches the golden *)
+let q1_analyze_dict_footer =
+  "== dict: tables=4 shards=32 entries=431 bytes=10.5KiB \
+   encode_hits=266 encode_misses=431 decodes=0 ==\n"
+
 let test_q1_analyze_golden () =
+  let expected =
+    if Dict.enabled () then q1_analyze_golden ^ q1_analyze_dict_footer
+    else q1_analyze_golden
+  in
   Alcotest.(check string) "EXPLAIN ANALYZE Q1 text (timings normalized)"
-    q1_analyze_golden
+    expected
     (normalize
        (explanation (tpch_db ()) ("explain analyze " ^ Workloads.q1_gapply)))
+
+(* batch counters ride the EXPLAIN ANALYZE operator lines exactly when
+   execution is vectorized — so the GAPPLY_BATCH=off replay sees none *)
+let test_batches_reported () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let report =
+    explanation (tpch_db ()) ("explain analyze " ^ Workloads.q1_gapply)
+  in
+  Alcotest.(check bool) "batches= iff vectorized"
+    (Compile.default_batch_size > 0)
+    (contains report "batches=");
+  Alcotest.(check bool) "dict footer iff encoding enabled"
+    (Dict.enabled ())
+    (contains report "== dict: ")
 
 (* the footer's actual row count, e.g. "== actual rows: 405  ..." *)
 let actual_rows_of report =
@@ -431,6 +468,8 @@ let suite =
     Alcotest.test_case "golden: EXPLAIN Q1" `Quick test_q1_explain_golden;
     Alcotest.test_case "golden: EXPLAIN ANALYZE Q1 (normalized)" `Quick
       test_q1_analyze_golden;
+    Alcotest.test_case "batches reported iff vectorized" `Quick
+      test_batches_reported;
     Alcotest.test_case "EXPLAIN deterministic on Q2-Q4" `Quick
       test_q2_q4_explain_stable;
     Alcotest.test_case "EXPLAIN ANALYZE regression on Q2-Q4" `Quick

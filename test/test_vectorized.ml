@@ -1,0 +1,222 @@
+(* Vectorized execution and dictionary encoding.
+
+   The batch path must be invisible: for any plan, any batch size
+   (including degenerate ones that split every operator boundary) and
+   any parallelism, the result is the scalar result.  The property
+   tests reuse the random plan generators from [Test_properties]; the
+   TPC-H checks pin the paper's Q1-Q4 workload in both formulations.
+
+   The dictionary must likewise be invisible: interning at insert time
+   and decoding at the output boundary round-trips every string, equal
+   strings receive equal handles even when interned from concurrent
+   domains, and an engine with encoding disabled digests identically. *)
+
+open Support
+
+module Gen = QCheck2.Gen
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- batch = scalar on random plans ---------- *)
+
+let run_with ~batch_size ?(parallelism = 1) cat plan =
+  Executor.run
+    ~config:(Compile.config_with ~batch_size ~parallelism ())
+    cat plan
+
+(* Degenerate (1), prime (7), and default (1024) batch sizes: the first
+   two force every operator through its partial-batch and
+   carry-over-between-pulls paths. *)
+let gen_batch_size = Gen.oneofl [ 1; 7; 1024 ]
+
+let prop_batch_matches_scalar =
+  QCheck2.Test.make ~count:150
+    ~name:"batched executor = scalar executor on random plans"
+    (Gen.quad
+       (Test_properties.gen_relation Test_properties.g_schema)
+       Test_properties.gen_pgq gen_batch_size (Gen.oneofl [ 1; 2 ]))
+    (fun (rel, pgq, batch_size, parallelism) ->
+      let cat = Test_properties.catalog_with_r rel in
+      let plan =
+        Test_properties.substitute_group pgq
+          Test_properties.unqualified_scan_r
+      in
+      let scalar = run_with ~batch_size:0 cat plan in
+      Relation.equal_as_multiset scalar
+        (run_with ~batch_size ~parallelism cat plan))
+
+let prop_gapply_batch_matches_scalar =
+  QCheck2.Test.make ~count:150
+    ~name:"batched GApply = scalar GApply on random groupings"
+    (Gen.quad
+       (Test_properties.gen_relation Test_properties.g_schema)
+       (Gen.pair Test_properties.gen_gcols Test_properties.gen_pgq)
+       gen_batch_size (Gen.oneofl [ 1; 2 ]))
+    (fun (rel, (gcols, pgq), batch_size, parallelism) ->
+      let cat = Test_properties.catalog_with_r rel in
+      let plan =
+        Plan.g_apply ~gcols ~var:"g"
+          ~outer:Test_properties.unqualified_scan_r ~pgq
+      in
+      let scalar = run_with ~batch_size:0 cat plan in
+      Relation.equal_as_multiset scalar
+        (run_with ~batch_size ~parallelism cat plan))
+
+(* ---------- batch plumbing ---------- *)
+
+(* of_cursor / to_cursor round-trip at an adversarial size, preserving
+   order — the adapters are what lets scalar-only operators sit in the
+   middle of a batched pipeline. *)
+let test_batch_roundtrip () =
+  let rows = List.init 23 (fun i -> row [ vi i ]) in
+  let out =
+    Cursor.to_list
+      (Batch.to_cursor (Batch.of_cursor ~size:7 (Cursor.of_list rows)))
+  in
+  Alcotest.(check (list tuple_testable)) "order and rows preserved" rows out
+
+let test_batch_to_array_exact_fit () =
+  let rows = List.init 100 (fun i -> row [ vi i ]) in
+  let arr =
+    Batch.to_array (Batch.of_cursor ~size:32 (Cursor.of_list rows))
+  in
+  Alcotest.(check int) "length" 100 (Array.length arr);
+  List.iteri
+    (fun i r -> Alcotest.check tuple_testable "row" r arr.(i))
+    rows
+
+(* ---------- dictionary round-trip ---------- *)
+
+let dict_fixture_strings =
+  [ "bolt"; "nut"; "gear"; "bolt"; ""; "a very much longer part name" ]
+
+let test_dict_roundtrip () =
+  let t = Table.create "d" [ ("k", Datatype.Int); ("s", Datatype.Str) ] in
+  List.iteri (fun i s -> Table.insert t (row [ vi i; vs s ])) dict_fixture_strings;
+  let stored = Table.rows t in
+  (* handles in the store when the gate is on ... *)
+  if Dict.enabled () then
+    List.iter
+      (fun r ->
+        match Tuple.get r 1 with
+        | Value.Sym _ -> ()
+        | v ->
+            Alcotest.failf "expected interned handle, got %s"
+              (Value.to_string v))
+      stored;
+  (* ... and the original strings at the decode boundary *)
+  List.iteri
+    (fun i s ->
+      let r = List.nth stored i in
+      Alcotest.(check string) "decoded" s (Value.to_string (Tuple.get r 1));
+      Alcotest.check value_testable "canonical"
+        (vs s) (Value.canonical (Tuple.get r 1)))
+    dict_fixture_strings;
+  (* equal strings share one handle *)
+  Alcotest.check value_testable "equal strings, equal handles"
+    (Tuple.get (List.nth stored 0) 1)
+    (Tuple.get (List.nth stored 3) 1)
+
+(* Interning the same strings from several domains concurrently must
+   produce consistent handles: the shard choice is a pure function of
+   the string, and each pool's intern is mutex-guarded. *)
+let test_dict_concurrent_shards () =
+  let schema = Schema.of_list [ Schema.column "s" Datatype.Str ] in
+  match Dict.create schema with
+  | None -> () (* GAPPLY_DICT=off: nothing to stress *)
+  | Some dict ->
+      let n = 500 in
+      let strings = Array.init n (fun i -> Printf.sprintf "str-%d" (i mod 97)) in
+      let encode_all offset =
+        Array.init n (fun i ->
+            let s = strings.((i + offset) mod n) in
+            Tuple.get (Dict.encode_row dict (row [ vs s ])) 0)
+      in
+      let domains =
+        List.init 4 (fun d -> Domain.spawn (fun () -> encode_all (d * 131)))
+      in
+      let results = List.map Domain.join domains in
+      (* every domain decoded back to the right string, and equal
+         strings got identical handles across domains *)
+      List.iteri
+        (fun d encoded ->
+          let offset = d * 131 in
+          Array.iteri
+            (fun i v ->
+              Alcotest.(check string)
+                (Printf.sprintf "domain %d decode %d" d i)
+                strings.((i + offset) mod n)
+                (Value.to_string v))
+            encoded)
+        results;
+      let serial = encode_all 0 in
+      List.iteri
+        (fun d encoded ->
+          let offset = d * 131 in
+          Array.iteri
+            (fun i v ->
+              Alcotest.check value_testable
+                (Printf.sprintf "domain %d handle %d" d i)
+                serial.((i + offset) mod n) v)
+            encoded)
+        results;
+      let stats = Dict.stats dict in
+      Alcotest.(check int) "distinct entries" 97 stats.Dict_stats.entries
+
+(* ---------- TPC-H Q1-Q4: batched = scalar, encoded = plain ---------- *)
+
+let tpch_engine ?batch_size () =
+  let db = Engine.create ?batch_size () in
+  Engine.load_tpch db ~msf:0.1;
+  db
+
+let test_tpch_batch_equivalence () =
+  let batched = tpch_engine ~batch_size:1024 ()
+  and scalar = tpch_engine ~batch_size:0 () in
+  List.iter
+    (fun (name, gapply, baseline) ->
+      List.iter
+        (fun (form, sql) ->
+          Alcotest.check relation_ordered_testable
+            (Printf.sprintf "%s (%s)" name form)
+            (Engine.query scalar sql) (Engine.query batched sql))
+        [ ("gapply", gapply); ("baseline", baseline) ])
+    Workloads.figure8_queries
+
+(* With and without dictionary encoding the logical database state is
+   identical: the durability digest decodes handles before hashing. *)
+let test_tpch_dict_digest () =
+  let was = Dict.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Dict.set_enabled was)
+    (fun () ->
+      Dict.set_enabled true;
+      let encoded = tpch_engine () in
+      Dict.set_enabled false;
+      let plain = tpch_engine () in
+      Alcotest.(check string) "db digest, encoded vs plain"
+        (Recovery.db_digest (Engine.catalog plain))
+        (Recovery.db_digest (Engine.catalog encoded));
+      List.iter
+        (fun (name, gapply, _) ->
+          Alcotest.check relation_ordered_testable name
+            (Engine.query plain gapply) (Engine.query encoded gapply))
+        Workloads.figure8_queries)
+
+let suite =
+  [
+    qtest prop_batch_matches_scalar;
+    qtest prop_gapply_batch_matches_scalar;
+    Alcotest.test_case "batch adapters round-trip at size 7" `Quick
+      test_batch_roundtrip;
+    Alcotest.test_case "Batch.to_array is exact-fit" `Quick
+      test_batch_to_array_exact_fit;
+    Alcotest.test_case "dictionary round-trips strings" `Quick
+      test_dict_roundtrip;
+    Alcotest.test_case "concurrent interning agrees across domains" `Quick
+      test_dict_concurrent_shards;
+    Alcotest.test_case "TPC-H Q1-Q4: batched = scalar" `Quick
+      test_tpch_batch_equivalence;
+    Alcotest.test_case "TPC-H digest: encoded = plain" `Quick
+      test_tpch_dict_digest;
+  ]
