@@ -689,7 +689,72 @@ let bench_analyze ~msf ~repeat () =
   Format.printf
     "@.(overhead = metrics-on / metrics-off elapsed on the same compiled \
      plan; trace counts come from a hook-instrumented run: one open per \
-     operator invocation, one next per yielded tuple)@."
+     operator invocation, one next per yielded tuple)@.";
+  (* estimation quality + cost-based-vs-heuristic latency A/B, recorded
+     under a separate section for the CI estimation gates.  Per-group
+     operators report rows summed across invocations while the cost
+     model estimates per invocation, so the estimate scales by loops
+     before the q-error compares the two. *)
+  Format.printf
+    "@.Cost-model estimation quality and CBO warm-latency A/B:@.";
+  Format.printf "%-4s %14s %6s %14s %18s@." "" "median q-err" "ops"
+    "cbo warm (ms)" "heuristic warm (ms)";
+  let db = Engine.create () in
+  Engine.load_tpch db ~msf;
+  List.iter
+    (fun (name, gapply_src, _) ->
+      Engine.set_cbo db true;
+      let _, profile = Engine.analyze_profile db gapply_src in
+      let q_errors =
+        List.map
+          (fun (p : Engine.op_profile) ->
+            let obs = float_of_int p.Engine.obs_rows in
+            let est =
+              p.Engine.est_rows *. float_of_int (max 1 p.Engine.obs_loops)
+            in
+            (p, Float.abs (obs -. est) /. Float.max 1. obs))
+          profile
+      in
+      let median =
+        match List.sort Float.compare (List.map snd q_errors) with
+        | [] -> 0.
+        | sorted -> List.nth sorted (List.length sorted / 2)
+      in
+      let warm_time () =
+        ignore (Engine.query db gapply_src);
+        time_runs ~repeat (fun () -> ignore (Engine.query db gapply_src))
+      in
+      let t_cbo = warm_time () in
+      Engine.set_cbo db false;
+      let t_heuristic = warm_time () in
+      Engine.set_cbo db true;
+      Format.printf "%-4s %14.3f %6d %14.2f %18.2f@." name median
+        (List.length q_errors) (ms t_cbo) (ms t_heuristic);
+      record ~section:"cbo" ~query:name
+        [
+          ("median_q_error", Json.Float median);
+          ("n_operators", Json.Int (List.length q_errors));
+          ("cbo_warm_ms", Json.Float (ms t_cbo));
+          ("heuristic_warm_ms", Json.Float (ms t_heuristic));
+          ( "operators",
+            Json.List
+              (List.map
+                 (fun ((p : Engine.op_profile), q) ->
+                   Json.Obj
+                     [
+                       ("op", Json.Str p.Engine.op_name);
+                       ("est_rows", Json.Float p.Engine.est_rows);
+                       ("obs_rows", Json.Int p.Engine.obs_rows);
+                       ("loops", Json.Int p.Engine.obs_loops);
+                       ("q_error", Json.Float q);
+                     ])
+                 q_errors) );
+        ])
+    Workloads.figure8_queries;
+  Format.printf
+    "@.(q-error = |observed - estimated * loops| / observed per operator; \
+     the warm A/B times the plan-cached execution with cost-based \
+     optimization on vs off)@."
 
 (* ---------- plan-cache throughput (prepared statements) ---------- *)
 

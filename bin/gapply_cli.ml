@@ -69,7 +69,7 @@ let run_meta db ~timing ~analyze cmd =
             (Schema.to_string (Table.schema t)))
         (Catalog.table_names (Engine.catalog db))
   | [ "\\stats"; table ] -> (
-      try Format.printf "%a" Stats.pp (Catalog.stats_of (Engine.catalog db) table)
+      try Format.printf "%s" (Engine.stats_report db table)
       with e when Errors.is_engine_error e ->
         Format.printf "error: %s@." (Errors.to_string e))
   | [ "\\timing" ] ->

@@ -41,6 +41,7 @@ type outcome =
 val create :
   ?partition:Compile.partition_strategy ->
   ?optimize:bool ->
+  ?cbo:bool ->
   ?parallelism:int ->
   ?batch_size:int ->
   ?plan_cache:bool ->
@@ -85,6 +86,17 @@ val catalog : t -> Catalog.t
 
 val set_partition_strategy : t -> Compile.partition_strategy -> unit
 val set_optimize : t -> bool -> unit
+
+val set_cbo : t -> bool -> unit
+(** Cost-based optimization (default on): statistics-gated
+    GApply-to-group-by, join reordering, and the costed sort-vs-hash
+    partition choice.  Off reproduces the fixed heuristics.  Also
+    settable per session with [SET cbo = ON | OFF | DEFAULT]; the
+    environment variable [GAPPLY_CBO=off] (or [0] / [false] / [no])
+    disables it engine-wide at creation — CI replays the full test
+    suite that way.  Part of the plan-cache key. *)
+
+val cbo_enabled : t -> bool
 val set_parallelism : t -> int -> unit
 
 val set_batch_size : t -> int -> unit
@@ -231,6 +243,30 @@ val analyze : t -> string -> Relation.t * string
     served from the plan cache (the instrumented compilation is always
     fresh); once the engine's cache has seen any traffic the report
     gains a [== plan cache: ... ==] summary line. *)
+
+type op_profile = {
+  op_name : string;  (** operator label as in EXPLAIN ANALYZE *)
+  est_rows : float;
+      (** cost model's cardinality estimate, {e per invocation} —
+          multiply by [obs_loops] before comparing with [obs_rows] on
+          operators that run once per group or per outer row *)
+  obs_rows : int;    (** rows actually produced, total across invocations *)
+  obs_loops : int;   (** cursor invocations (1 for top-level operators) *)
+}
+
+val analyze_profile : t -> string -> Relation.t * op_profile list
+(** Run a query instrumented and return per-operator estimated vs
+    observed cardinalities in plan preorder — the structured form of
+    {!analyze}'s report, for q-error gates that should not parse
+    (possibly abbreviated) report text. *)
+
+val stats_report : t -> string -> string
+(** Per-column statistics of a table (NDV, nulls, min/max, histogram
+    buckets) plus the cache staleness state ([fresh] / [stale v=N] /
+    [none]) and the current {!Catalog.stats_epoch} — the CLI's
+    [\stats <table>] meta-command.  Forces a fresh computation for the
+    body after reporting staleness.
+    @raise Errors.Name_error on unknown tables. *)
 
 val exec : t -> string -> outcome
 (** Execute one SQL statement (query, EXPLAIN, EXPLAIN ANALYZE,

@@ -24,6 +24,13 @@ type key = {
   sql : string;
   partition : Compile.partition_strategy;
   optimize : bool;
+  cbo : bool;            (* cost-based choices enabled during prepare *)
+  stats_epoch : int;
+      (* Catalog.stats_epoch consulted at prepare: a plan chosen under
+         superseded statistics key-splits instead of being served warm.
+         The engine stores each entry under the epoch read *after* its
+         prepare (which may itself have refreshed statistics), so the
+         next lookup's live-epoch key matches. *)
   parallelism : int;
   batch_size : int;
 }

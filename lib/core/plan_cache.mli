@@ -17,6 +17,13 @@ type key = {
   sql : string;
   partition : Compile.partition_strategy;
   optimize : bool;
+  cbo : bool;  (** cost-based choices enabled during prepare *)
+  stats_epoch : int;
+      (** {!Catalog.stats_epoch} consulted at prepare — a plan chosen
+          under superseded statistics key-splits instead of being served
+          warm.  The engine stamps each entry with the epoch read after
+          its prepare (the prepare itself may refresh statistics), so
+          the following lookup's live-epoch key matches. *)
   parallelism : int;
   batch_size : int;
 }

@@ -4,19 +4,38 @@
    (number of groups), with the number of groups equal to the number of
    distinct values of the grouping columns and a uniformity assumption
    giving the average group size.  We implement exactly that on top of a
-   textbook cardinality model:
+   histogram-backed cardinality model:
 
-   - base-table cardinalities and per-column distinct counts come from
-     exact catalog statistics;
-   - selectivities: equality with a constant 1/distinct, column-column
-     equality 1/max(distinct), ranges interpolated from min/max (fallback
-     1/3), disjunction s1 + s2 - s1*s2, negation 1 - s;
+   - base-table cardinalities, per-column NDVs and equi-depth histograms
+     come from catalog statistics (lazily refreshed off Table.version);
+   - selectivities: equality with a constant from the histogram bucket's
+     average frequency (1/NDV fallback), column-column equality
+     1/max(NDV), ranges summed over histogram buckets with linear
+     interpolation in the boundary bucket, disjunction s1 + s2 - s1*s2,
+     negation 1 - s;
    - a group scan's cardinality is the enclosing GApply's average group
-     size (threaded through [ctx.group_cards]);
+     size (threaded through [ctx.group_cards]); its cost is zero — the
+     partition phase already paid for materializing the group;
+   - hash-based operators (hash partition, hash group-by, hash join
+     build) charge a per-entry construction cost [c_hash_entry] on top
+     of the per-row pass, so plans that build huge hash tables (group
+     keys near-unique, composite grouping keys under the independence
+     assumption) price themselves out — this is what lets the driver's
+     costed choices flip with the statistics;
+   - the GApply partition phase is costed under [ctx.partition]: hash =
+     one pass + an entry per group (+ a sort of the group list when the
+     plan demands the Section 3.1 clustering), sort = decorate +
+     comparison sort of the whole input.  The engine compares the two to
+     pick the strategy;
    - cost unit = tuples touched. *)
+
+(** Partitioning strategy hint mirroring [Compile.partition_strategy]
+    (the optimizer library does not depend on the executor). *)
+type partition = Sorted | Hashed
 
 type ctx = {
   cat : Catalog.t;
+  partition : partition;  (* strategy GApply would compile under *)
   group_cards : (string * float) list;  (* var -> average group size *)
   group_shrink : (string * float) list;
       (* var -> |group| / |base with same key|, scales distinct counts *)
@@ -24,7 +43,19 @@ type ctx = {
 
 type estimate = { card : float; cost : float }
 
-let make_ctx cat = { cat; group_cards = []; group_shrink = [] }
+let make_ctx ?(partition = Hashed) cat =
+  { cat; partition; group_cards = []; group_shrink = [] }
+
+(* Per-entry cost of building a hash-table entry (slot + key copy +
+   bucket + accumulator), on top of the per-row probe/insert pass. *)
+let c_hash_entry = 4.
+
+(* Per-group invocation overhead of the GApply execution phase (group
+   environment binding, relation header, cursor setup). *)
+let c_invoke = 1.
+
+(* Per-row build cost of a hash-join table on the right input. *)
+let c_build = 2.
 
 (* Base-table statistics for a column name: search the catalog (TPC-H
    style schemas have globally unique column names; when several tables
@@ -47,6 +78,11 @@ let distinct_of ctx name =
 
 (* ---------- predicate selectivity ---------- *)
 
+let eq_sel ctx name v =
+  match find_column_stats ctx name with
+  | Some (stats, _) -> Stats.eq_selectivity_at stats name v
+  | None -> 0.1
+
 let rec selectivity ctx (e : Expr.t) : float =
   match e with
   | Expr.Lit (Value.Bool true) -> 1.
@@ -56,9 +92,9 @@ let rec selectivity ctx (e : Expr.t) : float =
       let sa = selectivity ctx a and sb = selectivity ctx b in
       sa +. sb -. (sa *. sb)
   | Expr.Unary (Expr.Not, a) -> 1. -. selectivity ctx a
-  | Expr.Binary ((Expr.Eq | Expr.Nulleq), Expr.Col r, Expr.Lit _)
-  | Expr.Binary ((Expr.Eq | Expr.Nulleq), Expr.Lit _, Expr.Col r) ->
-      1. /. distinct_of ctx r.Expr.name
+  | Expr.Binary ((Expr.Eq | Expr.Nulleq), Expr.Col r, Expr.Lit v)
+  | Expr.Binary ((Expr.Eq | Expr.Nulleq), Expr.Lit v, Expr.Col r) ->
+      eq_sel ctx r.Expr.name v
   | Expr.Binary ((Expr.Eq | Expr.Nulleq), Expr.Col a, Expr.Col b) ->
       1.
       /. Float.max (distinct_of ctx a.Expr.name) (distinct_of ctx b.Expr.name)
@@ -97,7 +133,18 @@ let product_distinct ctx refs =
       acc *. d)
     1. refs
 
-let sort_cost n = if n <= 1. then n else n *. (1. +. Float.log2 (Float.max 2. n))
+let sort_cost n = if n <= 2. then n else n *. Float.log2 n
+
+(* Partition phase of GApply over [n] rows into [groups] groups.  Hash:
+   one pass plus an entry per group, plus a sort of the group list when
+   the plan demands the Section 3.1 clustering guarantee.  Sort:
+   decorate pass plus a comparison sort of the whole input (clustering
+   comes for free). *)
+let partition_cost ctx ~cluster ~n ~groups =
+  match ctx.partition with
+  | Hashed ->
+      n +. groups +. (if cluster then sort_cost groups else 0.)
+  | Sorted -> n +. sort_cost n
 
 (* The paper's Section 4.4 group model, shared by [estimate] and
    [estimate_tree]: groups = distinct grouping values (capped at the
@@ -131,7 +178,9 @@ let rec estimate (ctx : ctx) (p : Plan.t) : estimate =
         | Some n -> n
         | None -> 100.
       in
-      { card = n; cost = n }
+      (* the group was materialized (and paid for) by the partition
+         phase; scanning it again is free in tuples-touched units *)
+      { card = n; cost = 0. }
   | Plan.Select { pred; input } ->
       let e = estimate ctx input in
       {
@@ -158,14 +207,17 @@ let rec estimate (ctx : ctx) (p : Plan.t) : estimate =
           let d = product_distinct ctx eq_cols in
           Float.max 1. (l.card *. r.card /. Float.max 1. d)
       in
+      (* hash join: build on the right input, probe with the left — the
+         sides are not symmetric, which is what join reordering prices *)
       let probe_cost =
-        if eq_cols = [] then l.card *. r.card else l.card +. r.card
+        if eq_cols = [] then l.card *. r.card
+        else l.card +. (c_build *. r.card)
       in
       { card; cost = l.cost +. r.cost +. probe_cost +. card }
   | Plan.Group_by { keys; input; _ } ->
       let e = estimate ctx input in
-      let groups = Float.min e.card (product_distinct ctx keys) in
-      { card = Float.max 1. groups; cost = e.cost +. e.card +. groups }
+      let groups = Float.max 1. (Float.min e.card (product_distinct ctx keys)) in
+      { card = groups; cost = e.cost +. e.card +. (c_hash_entry *. groups) }
   | Plan.Aggregate { input; _ } ->
       let e = estimate ctx input in
       { card = 1.; cost = e.cost +. e.card }
@@ -174,7 +226,7 @@ let rec estimate (ctx : ctx) (p : Plan.t) : estimate =
       { card = Float.max 1. (e.card /. 2.); cost = e.cost +. e.card }
   | Plan.Order_by { input; _ } ->
       let e = estimate ctx input in
-      { card = e.card; cost = e.cost +. sort_cost e.card }
+      { card = e.card; cost = e.cost +. e.card +. sort_cost e.card }
   | Plan.Union_all branches ->
       List.fold_left
         (fun acc b ->
@@ -193,29 +245,39 @@ let rec estimate (ctx : ctx) (p : Plan.t) : estimate =
       let e = estimate ctx input in
       (* early termination on the first tuple, charged at half *)
       { card = 1.; cost = e.cost /. 2. }
-  | Plan.G_apply { gcols; var; outer; pgq; _ } ->
+  | Plan.G_apply { gcols; var; outer; pgq; cluster } ->
       let o = estimate ctx outer in
       let groups, ctx' =
         gapply_groups_ctx ctx ~gcols ~var ~outer_card:o.card
       in
       let pgq_est = estimate ctx' pgq in
-      let partition_cost = o.card in
       {
         card = groups *. Float.max 1. pgq_est.card;
-        cost = o.cost +. partition_cost +. (groups *. pgq_est.cost);
+        cost =
+          o.cost
+          +. partition_cost ctx ~cluster ~n:o.card ~groups
+          +. (groups *. (pgq_est.cost +. c_invoke));
       }
 
-(** Estimated cost of a plan against a catalog. *)
-let plan_cost cat p = (estimate (make_ctx cat) p).cost
+(** Estimated cost of a plan against a catalog, under the given
+    partition strategy hint (default hash — the engine default). *)
+let plan_cost ?partition cat p = (estimate (make_ctx ?partition cat) p).cost
 
-let plan_cardinality cat p = (estimate (make_ctx cat) p).card
+let plan_cardinality ?partition cat p =
+  (estimate (make_ctx ?partition cat) p).card
+
+(** Estimated cost under sort and hash partitioning respectively — the
+    engine compares the two to pick a strategy when cost-based
+    optimization is on, and EXPLAIN prints both. *)
+let partition_costs cat p =
+  (plan_cost ~partition:Sorted cat p, plan_cost ~partition:Hashed cat p)
 
 (* Per-node estimates in preorder (node before its children, children in
    [Plan.children] order) — the layout of the Obs metric tree, so EXPLAIN
    ANALYZE can zip estimated against observed cardinalities.  The only
    context split is GApply: the outer input is estimated under the
    enclosing context, the per-group query under the group context. *)
-let estimate_tree cat p =
+let estimate_tree ?partition cat p =
   let acc = ref [] in
   let rec walk ctx p =
     acc := (p, estimate ctx p) :: !acc;
@@ -227,5 +289,5 @@ let estimate_tree cat p =
         walk ctx' pgq
     | _ -> List.iter (walk ctx) (Plan.children p)
   in
-  walk (make_ctx cat) p;
+  walk (make_ctx ?partition cat) p;
   List.rev !acc

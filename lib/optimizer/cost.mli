@@ -3,11 +3,21 @@
     GApply is costed as (per-group query cost on one group) x (number of
     groups), with the group count equal to the distinct values of the
     grouping columns and the uniformity assumption giving the average
-    group size.  Underneath sits a textbook cardinality model over the
-    exact catalog statistics.  Cost unit: tuples touched. *)
+    group size.  Underneath sits a cardinality model over the catalog's
+    histogram statistics (see {!Stats}), plus explicit charges for hash
+    construction, sorting, and per-group invocation so that alternative
+    physical choices (sort vs hash partitioning, GApply vs flat
+    group-by, join order) price differently.  Cost unit: tuples
+    touched. *)
+
+type partition = Sorted | Hashed
+(** Partitioning strategy GApply would compile under; mirrors the
+    executor's [Compile.partition_strategy] (this library does not
+    depend on the executor). *)
 
 type ctx = {
   cat : Catalog.t;
+  partition : partition;
   group_cards : (string * float) list;
       (** relation-valued variable -> average group size *)
   group_shrink : (string * float) list;
@@ -17,22 +27,33 @@ type ctx = {
 
 type estimate = { card : float; cost : float }
 
-val make_ctx : Catalog.t -> ctx
+val make_ctx : ?partition:partition -> Catalog.t -> ctx
+(** Default [partition] is [Hashed], the engine default. *)
 
 val distinct_of : ctx -> string -> float
 (** Distinct count of a column, resolved against base-table statistics
     by name (approximation documented in the implementation). *)
 
 val selectivity : ctx -> Expr.t -> float
-(** Equality 1/distinct, column-column 1/max, ranges from min/max
-    statistics (1/3 fallback), AND multiplies, OR adds, NOT complements. *)
+(** Equality with a constant from the histogram bucket containing it,
+    column-column 1/max NDV, ranges summed over histogram buckets with
+    boundary interpolation, AND multiplies, OR adds, NOT complements. *)
+
+val sort_cost : float -> float
+(** n log2 n comparison-sort charge, linear at tiny n. *)
 
 val estimate : ctx -> Plan.t -> estimate
 
-val plan_cost : Catalog.t -> Plan.t -> float
-val plan_cardinality : Catalog.t -> Plan.t -> float
+val plan_cost : ?partition:partition -> Catalog.t -> Plan.t -> float
+val plan_cardinality : ?partition:partition -> Catalog.t -> Plan.t -> float
 
-val estimate_tree : Catalog.t -> Plan.t -> (Plan.t * estimate) list
+val partition_costs : Catalog.t -> Plan.t -> float * float
+(** [(sort, hash)] whole-plan costs under the two partitioning
+    strategies — the engine compares them to pick a strategy when
+    cost-based optimization is on, and EXPLAIN prints both. *)
+
+val estimate_tree :
+  ?partition:partition -> Catalog.t -> Plan.t -> (Plan.t * estimate) list
 (** One estimate per operator, preorder (node before children, children
     in {!Plan.children} order) with group contexts threaded through
     GApply — the estimated column of EXPLAIN ANALYZE's

@@ -39,7 +39,24 @@ let cost_based_rules : Rule_util.rule list =
     Rules_join.pull_above_join;
   ]
 
-let all_rules = heuristic_rules @ cost_based_rules
+let join_order_rules : Rule_util.rule list =
+  [ Rules_join_order.join_commute; Rules_join_order.join_rotate ]
+
+(* Under full cost-based optimization the GApply-to-group-by rewrite
+   stops being unconditional: it joins the costed alternatives (keeping
+   GApply when the statistics say the flat hash table would be the
+   bigger build — e.g. composite grouping keys whose NDV product
+   explodes), and join reordering enters the search. *)
+let cbo_heuristic_rules =
+  List.filter
+    (fun (r : Rule_util.rule) ->
+      not (String.equal r.Rule_util.name "gapply-to-groupby"))
+    heuristic_rules
+
+let cbo_cost_based_rules =
+  cost_based_rules @ (Rules_basic.gapply_to_groupby :: join_order_rules)
+
+let all_rules = heuristic_rules @ cost_based_rules @ join_order_rules
 
 let find_rule name =
   match
@@ -113,13 +130,24 @@ let apply_cost_based ?(rules = cost_based_rules) cat plan trace =
   (plan, !trace)
 
 (** Full optimization: heuristic fixpoint, then cost-based alternatives,
-    iterated (bounded) until stable. *)
-let optimize ?(max_rounds = 8) (cat : Catalog.t) (plan : Plan.t) : result =
+    iterated (bounded) until stable.
+
+    [cbo] (default true) selects full cost-based optimization: the
+    GApply-to-group-by rewrite is adopted only when the statistics say it
+    wins, and join reordering joins the costed search.  With [cbo:false]
+    the driver reproduces the fixed heuristics: GApply-to-group-by fires
+    unconditionally and join order is left as written. *)
+let optimize ?(max_rounds = 8) ?(cbo = true) (cat : Catalog.t)
+    (plan : Plan.t) : result =
+  let heuristics, costed =
+    if cbo then (cbo_heuristic_rules, cbo_cost_based_rules)
+    else (heuristic_rules, cost_based_rules)
+  in
   let rec loop round plan trace =
     if round >= max_rounds then { plan; trace = List.rev trace }
     else
-      let plan1, trace = apply_heuristics cat plan trace in
-      let plan2, trace = apply_cost_based cat plan1 trace in
+      let plan1, trace = apply_heuristics ~rules:heuristics cat plan trace in
+      let plan2, trace = apply_cost_based ~rules:costed cat plan1 trace in
       if Plan.equal plan2 plan then { plan = plan2; trace = List.rev trace }
       else loop (round + 1) plan2 trace
   in

@@ -19,6 +19,10 @@ type result = { plan : Plan.t; trace : trace_entry list }
 
 val heuristic_rules : Rule_util.rule list
 val cost_based_rules : Rule_util.rule list
+
+val join_order_rules : Rule_util.rule list
+(** Join commute / rotate — costed, enabled only under [cbo]. *)
+
 val all_rules : Rule_util.rule list
 
 val find_rule : string -> Rule_util.rule
@@ -30,8 +34,11 @@ val force_rule : string -> Catalog.t -> Plan.t -> Plan.t option
 val force_rule_exhaustively : string -> Catalog.t -> Plan.t -> Plan.t
 (** Fire one named rule to fixpoint (bounded), ignoring cost. *)
 
-val optimize : ?max_rounds:int -> Catalog.t -> Plan.t -> result
+val optimize : ?max_rounds:int -> ?cbo:bool -> Catalog.t -> Plan.t -> result
 (** Full optimization: heuristic fixpoint, then cost-based alternatives,
-    iterated until stable. *)
+    iterated until stable.  [cbo] (default true): cost-gate the
+    GApply-to-group-by rewrite and enable join reordering; [cbo:false]
+    reproduces the fixed heuristics (GApply-to-group-by unconditional,
+    join order as written). *)
 
 val trace_to_string : trace_entry list -> string

@@ -1,0 +1,98 @@
+(* Join reordering (paper Section 4.4: the GApply rules "integrate with
+   the other transformation rules of a cost-based optimizer" — join
+   commutativity and associativity are the classic ones).
+
+   The executor builds its hash table on the *right* input of a join and
+   probes with the left, so the two orders of a commutative join price
+   differently: building on the smaller side is cheaper.  Both rules are
+   cost-based — the driver keeps the rewrite only when the estimate
+   drops — and both restore the original column order with a projection
+   on top (the join's output schema is the concatenation of its inputs,
+   so swapping sides permutes it).
+
+   Joins carrying a foreign-key annotation are left alone: the
+   Section 4.3 rules (invariant grouping, pull-above-join) pattern-match
+   the [fk = Some Left_to_right] orientation, and reordering underneath
+   them would hide those opportunities. *)
+
+open Rule_util
+
+(* Original-order projection over [plan], or None when the plan's
+   schema does not resolve or has duplicate column names (the
+   projection would be ambiguous). *)
+let reorder_to schema plan =
+  if not (no_duplicates (Schema.names schema)) then None
+  else Some (Plan.project (identity_items schema) plan)
+
+let join_commute =
+  make ~name:"join-commute" ~cost_based:true
+    ~description:
+      "swap the inputs of a join so the hash table builds on the \
+       cheaper side (column order restored by a projection)"
+    (fun _cat plan ->
+      match plan with
+      (* Under a projection the parent already selects columns by name,
+         so the swap needs no order-restoring projection — without the
+         extra pass the build-side savings are not eaten. *)
+      | Plan.Project
+          { items; input = Plan.Join { pred; fk = None; left; right } } ->
+          let swapped =
+            Plan.Join { pred; fk = None; left = right; right = left }
+          in
+          if try_schema (Plan.project items swapped) = None then None
+          else Some (Plan.project items swapped)
+      | Plan.Join { pred; fk = None; left; right } -> (
+          match try_schema plan with
+          | None -> None
+          | Some schema ->
+              Option.bind (reorder_to schema plan) (fun _ ->
+                  reorder_to schema
+                    (Plan.Join { pred; fk = None; left = right; right = left })))
+      | _ -> None)
+
+(* (A join[p1] B) join[p2] C  ->  (A join[p2] C) join[p1] B
+   when p2 only references A and C columns and p1 only references A and
+   B columns — the predicates then guard the same row pairs in both
+   shapes.  Useful on left-deep chains where the middle table is the
+   big one: reassociating lets the small tables meet first. *)
+let join_rotate =
+  make ~name:"join-rotate" ~cost_based:true
+    ~description:
+      "reassociate a left-deep join chain so the outer predicate's \
+       tables join first (column order restored by a projection)"
+    (fun _cat plan ->
+      match plan with
+      | Plan.Join
+          {
+            pred = p2;
+            fk = None;
+            left = Plan.Join { pred = p1; fk = None; left = a; right = b };
+            right = c;
+          } -> (
+          match (try_schema a, try_schema b, try_schema c, try_schema plan)
+          with
+          | Some sa, Some sb, Some sc, Some schema ->
+              let na = Schema.names sa
+              and nb = Schema.names sb
+              and nc = Schema.names sc in
+              if
+                no_duplicates (na @ nb @ nc)
+                && expr_within_names (na @ nc) p2
+                && expr_within_names (na @ nb) p1
+              then
+                let rotated =
+                  Plan.Join
+                    {
+                      pred = p1;
+                      fk = None;
+                      left =
+                        Plan.Join { pred = p2; fk = None; left = a; right = c };
+                      right = b;
+                    }
+                in
+                match try_schema rotated with
+                | Some _ -> reorder_to schema rotated
+                | None -> None
+              else None
+          | _ -> None)
+      | _ -> None)

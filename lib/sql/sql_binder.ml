@@ -995,8 +995,11 @@ let bind_statement (catalog : Catalog.t) (stmt : Sql_ast.statement) :
       (* insert_all validates arity for the whole batch before storing
          anything, so a bad row can't leave a partial insert (or a
          phantom Table.version bump) behind *)
+      (* no eager stats invalidation: the insert bumps Table.version, and
+         the catalog's statistics cache is version-stamped — the next
+         consumer recomputes lazily (Catalog.stats_of), without bumping
+         the stats epoch (and stranding unrelated cached plans) now *)
       Table.insert_all table bound;
-      Catalog.invalidate_stats catalog name;
       Bound_ddl
         (Printf.sprintf "inserted %d row(s) into %s" (List.length rows) name)
   | Sql_ast.Stmt_create_index (name, table, cols) ->

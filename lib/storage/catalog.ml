@@ -16,6 +16,7 @@ type t = {
   stats : (string, Stats.table_stats) Hashtbl.t;
   indexes : (string, Index.t) Hashtbl.t;  (* by index name *)
   generation : int Atomic.t;              (* bumped on DDL *)
+  stats_epoch : int Atomic.t;             (* bumped on stats (re)compute *)
   lock : Mutex.t;
 }
 
@@ -25,11 +26,13 @@ let create () =
     stats = Hashtbl.create 16;
     indexes = Hashtbl.create 16;
     generation = Atomic.make 0;
+    stats_epoch = Atomic.make 0;
     lock = Mutex.create ();
   }
 
 let generation cat = Atomic.get cat.generation
 let bump_generation cat = Atomic.incr cat.generation
+let stats_epoch cat = Atomic.get cat.stats_epoch
 
 let locked cat f = Mutex.protect cat.lock f
 
@@ -74,25 +77,59 @@ let table_names cat =
       Hashtbl.fold (fun k _ acc -> k :: acc) cat.tables [])
   |> List.sort String.compare
 
-(** Statistics are cached per table and recomputed lazily after
-    [invalidate_stats] (e.g. following inserts). *)
+(** Statistics are cached per table and stamped with the
+    [Table.version] they were computed from; a stamp that no longer
+    matches the live table means DML ran since, and the entry is
+    recomputed lazily — the same version-checked staleness protocol
+    indexes use ({!Index.refresh}).  Every (re)computation bumps the
+    catalog-wide {!stats_epoch}, which the plan cache keys on so plans
+    chosen under superseded statistics are never served warm. *)
 let stats_of cat name =
   let key = normalize name in
-  let cached = locked cat (fun () -> Hashtbl.find_opt cat.stats key) in
+  let table = find_table cat name in
+  let version = Table.version table in
+  let cached =
+    locked cat (fun () ->
+        match Hashtbl.find_opt cat.stats key with
+        | Some s when s.Stats.built_version = version -> Some s
+        | Some _ | None -> None)
+  in
   match cached with
   | Some s -> s
   | None ->
       (* compute outside the lock (it walks the whole table); a racing
-         recomputation just replaces the entry with an equal value *)
-      let table = find_table cat name in
-      let s = Stats.compute (Table.schema table) (Table.to_relation table) in
+         recomputation just replaces the entry with an equal value.
+         Version read before the walk: a concurrent insert mid-walk
+         leaves the entry stamped stale, to be recomputed next time. *)
+      let s =
+        Stats.compute ~version (Table.schema table) (Table.to_relation table)
+      in
       locked cat (fun () -> Hashtbl.replace cat.stats key s);
+      Atomic.incr cat.stats_epoch;
       s
 
-let invalidate_stats cat name =
-  locked cat (fun () -> Hashtbl.remove cat.stats (normalize name))
+(** Cached statistics without recomputation, however stale. *)
+let peek_stats cat name =
+  locked cat (fun () -> Hashtbl.find_opt cat.stats (normalize name))
 
-let invalidate_all_stats cat = locked cat (fun () -> Hashtbl.reset cat.stats)
+let invalidate_stats cat name =
+  let dropped =
+    locked cat (fun () ->
+        let key = normalize name in
+        let had = Hashtbl.mem cat.stats key in
+        Hashtbl.remove cat.stats key;
+        had)
+  in
+  if dropped then Atomic.incr cat.stats_epoch
+
+let invalidate_all_stats cat =
+  let dropped =
+    locked cat (fun () ->
+        let n = Hashtbl.length cat.stats in
+        Hashtbl.reset cat.stats;
+        n > 0)
+  in
+  if dropped then Atomic.incr cat.stats_epoch
 
 (* ---------- indexes ---------- *)
 

@@ -21,6 +21,11 @@ val table_version : t -> string -> int
 (** [Table.version] of the named table, [0] if absent — the per-table
     half of a cached plan's invalidation fingerprint. *)
 
+val stats_epoch : t -> int
+(** Monotonic counter bumped whenever any table's statistics are
+    (re)computed or invalidated.  Part of the plan-cache key: a plan
+    chosen under superseded statistics can never be served warm. *)
+
 val add_table : t -> Table.t -> unit
 (** @raise Errors.Name_error if the name is taken. *)
 
@@ -37,6 +42,16 @@ val table_names : t -> string list
 (** Sorted. *)
 
 val stats_of : t -> string -> Stats.table_stats
+(** Version-fresh statistics for the named table: the cached entry is
+    reused while its [built_version] stamp matches the live
+    [Table.version] and recomputed lazily otherwise (bumping
+    {!stats_epoch} exactly once per refresh).
+    @raise Errors.Name_error on unknown tables. *)
+
+val peek_stats : t -> string -> Stats.table_stats option
+(** The cached entry as-is (possibly stale), never recomputing — for
+    staleness introspection ([\stats] in the CLI). *)
+
 val invalidate_stats : t -> string -> unit
 val invalidate_all_stats : t -> unit
 

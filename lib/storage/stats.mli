@@ -1,21 +1,46 @@
-(** Table statistics for the cost model of paper Section 4.4: exact
-    per-column distinct counts, null counts, and numeric min/max. *)
+(** Table statistics for the cost model of paper Section 4.4: per-column
+    NDV (exact below {!ndv_exact_threshold}, linear-counting estimate
+    above), null counts, numeric min/max, and equi-depth histograms,
+    stamped with the [Table.version] they were computed from. *)
+
+val ndv_exact_threshold : int
+(** Distinct values tracked exactly before switching to the sketch. *)
+
+val histogram_buckets : int
+(** Target equi-depth bucket count. *)
+
+type bucket = {
+  b_lo : Value.t;     (** smallest value in the bucket (inclusive) *)
+  b_hi : Value.t;     (** largest value in the bucket (inclusive) *)
+  b_rows : int;       (** rows falling in the bucket *)
+  b_distinct : int;   (** distinct values in the bucket *)
+}
 
 type column_stats = {
-  distinct_count : int;
+  distinct_count : int;  (** NDV: exact when [ndv_exact], else estimated *)
+  ndv_exact : bool;
   null_count : int;
   min_value : Value.t;  (** [Value.Null] when the column is all-null/empty *)
   max_value : Value.t;
+  histogram : bucket array;
+      (** equi-depth over non-null values; rows sum to the non-null
+          count, bounds are monotone, value runs are never split *)
 }
 
 type table_stats = {
   row_count : int;
+  built_version : int;
+      (** [Table.version] covered by this computation; [0] for ad-hoc
+          relations.  The catalog recomputes lazily when it no longer
+          matches the live table (see {!Catalog.stats_of}). *)
   columns : (string * column_stats) list;
 }
 
 val empty_column_stats : column_stats
 
-val compute : Schema.t -> Relation.t -> table_stats
+val compute : ?version:int -> Schema.t -> Relation.t -> table_stats
+(** One pass over the relation plus a per-column sort for the
+    histograms; [version] stamps the result (default [0]). *)
 
 val column_stats : table_stats -> string -> column_stats option
 
@@ -25,9 +50,16 @@ val distinct_count : table_stats -> string -> int
 val eq_selectivity : table_stats -> string -> float
 (** 1 / distinct-count under the uniformity assumption. *)
 
+val eq_selectivity_at : table_stats -> string -> Value.t -> float
+(** Histogram-aware equality selectivity for a known constant: the
+    containing bucket's rows / distinct over the row count; one row's
+    worth outside [min, max]; falls back to {!eq_selectivity}. *)
+
 val range_selectivity :
   table_stats -> string -> lower:bool -> Value.t -> float
-(** Fraction passing [col < bound] ([lower]) or [col > bound],
-    interpolated from min/max when numeric; 1/3 fallback. *)
+(** Fraction passing [col < bound] ([lower]) or [col > bound]: whole
+    buckets below the bound plus linear interpolation inside the
+    boundary bucket; min/max interpolation without a histogram; 1/3
+    with no statistics. *)
 
 val pp : Format.formatter -> table_stats -> unit

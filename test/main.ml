@@ -28,4 +28,6 @@ let () =
       ("chaos", Test_chaos.suite);
       ("store", Test_store.suite);
       ("crash", Test_crash.suite);
+      ("stats", Test_stats.suite);
+      ("plan-choice", Test_plan_choice.suite);
     ]

@@ -159,6 +159,33 @@ let test_rule_sweep_queries_run () =
         instances)
     (Workloads.table1_sweeps ())
 
+(* ---------- \stats report ---------- *)
+
+let test_stats_report_smoke () =
+  let db = Lazy.force db_small in
+  let contains ~needle hay =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1))
+    in
+    go 0
+  in
+  let report = Engine.stats_report db "supplier" in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("report mentions " ^ needle) true
+        (contains ~needle report))
+    [ "stats(supplier)"; "rows="; "s_suppkey"; "ndv="; "hist:"; "epoch=" ];
+  (* the report itself computed fresh statistics, so a second read
+     reports the cache as fresh *)
+  Alcotest.(check bool) "second read is fresh" true
+    (contains ~needle:"fresh" (Engine.stats_report db "supplier"));
+  Alcotest.(check bool) "unknown table raises" true
+    (try
+       ignore (Engine.stats_report db "nope");
+       false
+     with Errors.Name_error _ -> true)
+
 (* ---------- client-side simulation ---------- *)
 
 let test_client_sim_matches_native () =
@@ -201,6 +228,7 @@ let suite =
       test_workloads_agree_on_tpch;
     Alcotest.test_case "table-1 sweeps fire and preserve results" `Quick
       test_rule_sweep_queries_run;
+    Alcotest.test_case "stats report smoke" `Quick test_stats_report_smoke;
     Alcotest.test_case "client-side simulation matches native" `Quick
       test_client_sim_matches_native;
     Alcotest.test_case "client-side simulation rejects non-gapply" `Quick

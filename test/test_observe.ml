@@ -207,12 +207,18 @@ let q1_explain_golden =
   \      aggregate[avg(p_retailprice) as __agg_]\n\
   \        group_scan($tmpsupp)\n\
    == rules fired ==\n\
-   projection-before-gapply     cost 3405 -> 3805\n\
-   == estimated cost: 3805 ==\n"
+   projection-before-gapply     cost 2727 -> 3127\n\
+   == estimated cost: 3127 ==\n"
 
 let test_q1_explain_golden () =
+  (* cbo off: under cost-based optimization EXPLAIN appends the costed
+     partition-choice line, and CI replays the suite with GAPPLY_CBO=off
+     anyway — pinning it off keeps the golden stable both ways (the plan
+     and trace are identical for Q1 under either setting) *)
+  let db = tpch_db () in
+  Engine.set_cbo db false;
   Alcotest.(check string) "EXPLAIN Q1 text" q1_explain_golden
-    (normalize (explanation (tpch_db ()) ("explain " ^ Workloads.q1_gapply)))
+    (normalize (explanation db ("explain " ^ Workloads.q1_gapply)))
 
 let q1_analyze_golden =
   "== explain analyze ==\n\
