@@ -18,8 +18,12 @@
      \rowlimit N   per-statement output-row budget (off = unlimited)
      \memlimit B   per-statement materialization budget, bytes
      \wal          show durability counters (WAL/snapshot/recovery)
+     \txn          show transaction counters and the commit timestamp
      \checkpoint   cut a snapshot and reset the WAL (needs --data-dir)
      explain Q     show plans and the rules that fired
+
+   BEGIN / COMMIT / ROLLBACK are plain SQL statements; the prompt shows
+   a '*' while a transaction is open.
 
    --sessions N runs the concurrent workload driver (N sessions over
    the Q1-Q4 trace, --iterations repeats each) instead of the REPL.  *)
@@ -82,6 +86,7 @@ let run_meta db ~timing ~analyze cmd =
   | [ "\\governor" ] -> Format.printf "%s@." (Engine.governor_report db)
   | [ "\\dict" ] -> Format.printf "%s@." (Engine.dict_report db)
   | [ "\\wal" ] -> Format.printf "%s@." (Engine.wal_report db)
+  | [ "\\txn" ] -> Format.printf "%s@." (Engine.txn_report db)
   | [ "\\checkpoint" ] -> (
       try
         let bytes = Engine.checkpoint db in
@@ -117,7 +122,10 @@ let repl db ~analyze =
   let buf = Buffer.create 256 in
   try
     while true do
-      print_string (if Buffer.length buf = 0 then "gapply> " else "   ...> ");
+      print_string
+        (if Buffer.length buf > 0 then "   ...> "
+         else if Engine.in_transaction (Engine.session db) then "gapply*> "
+         else "gapply> ");
       flush stdout;
       match input_line stdin with
       | exception End_of_file -> raise Exit

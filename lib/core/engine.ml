@@ -27,14 +27,46 @@ type t = {
   cache : Plan_cache.t;
   mutable cache_enabled : bool;
   prepared : (string, prepared) Hashtbl.t;  (* SQL-level PREPARE names *)
-  ddl_lock : Mutex.t;  (* serializes DDL/DML statement bodies *)
+  ddl_lock : Mutex.t;  (* serializes DDL/DML statement bodies — under
+                          MVCC this is the commit lock: writers apply,
+                          log and publish the commit timestamp under it,
+                          while snapshot readers never take it *)
   mutable budget : Governor.budget;  (* per-statement resource budget *)
   gov_stats : Gov_stats.t;
   store : Store.t option;  (* durability layer, when a data_dir is given *)
   recovery : Recovery.outcome option;  (* what opening the store found *)
+  mvcc : bool;  (* snapshot-isolated reads (kill-switch: GAPPLY_MVCC=off
+                   reads latest-committed, as before this existed) *)
+  txn_stats : Txn_stats.t;
+  txn_seq : int Atomic.t;  (* transaction ids, engine-wide *)
+  mutable dsess : session option;  (* lazily-created default session
+                                      backing the sessionless exec API *)
 }
 
 and prepared = { p_sql : string; mutable p_entry : Plan_cache.entry }
+
+(* A session owns at most one open transaction.  Uncommitted writes
+   never touch shared tables: they stage here (pre-encoded through the
+   table's dictionary, so read-your-own-writes scans see the committed
+   representation) and are appended at COMMIT under the commit lock.
+   ROLLBACK just drops the buffer — there is nothing to undo. *)
+and session = { sdb : t; mutable txn : txn option }
+
+and txn = {
+  txn_id : int;
+  snap_at : int;  (* commit timestamp pinned at BEGIN: every read in the
+                     transaction resolves against it (repeatable reads) *)
+  mutable writes : (string * staged_table) list;
+      (* normalized table name -> staged rows, in first-write order *)
+  mutable wstmts : string list;  (* canonical SQL of staged DML, reversed
+                                    — the WAL group logged at COMMIT *)
+}
+
+and staged_table = {
+  st_table : Table.t;  (* the table as resolved at staging time; COMMIT
+                          re-checks it is still the live one *)
+  mutable st_rows : Tuple.t list;  (* reversed *)
+}
 
 type outcome =
   | Rows of Relation.t
@@ -60,11 +92,21 @@ let cbo_enabled_from_env () =
   | Some ("off" | "0" | "false" | "no") -> false
   | _ -> true
 
+(* Snapshot isolation can be force-disabled the same way: under
+   GAPPLY_MVCC=off every read resolves against latest-committed state
+   (the pre-MVCC behavior) while transactions keep their staging and
+   conflict semantics, so CI replays the whole suite over both
+   visibility paths. *)
+let mvcc_enabled_from_env () =
+  match Sys.getenv_opt "GAPPLY_MVCC" with
+  | Some ("off" | "0" | "false" | "no") -> false
+  | _ -> true
+
 let create ?(partition = Compile.Hash_partition) ?(optimize = true) ?cbo
     ?(parallelism = 1) ?(batch_size = Compile.default_batch_size)
     ?plan_cache ?(cache_capacity = 128) ?timeout_ms
     ?row_limit ?mem_limit ?data_dir ?durability ?wal_group_commit
-    ?checkpoint_wal_bytes () =
+    ?checkpoint_wal_bytes ?mvcc () =
   (* re-read the fault/crash environment on every engine, not only at
      module init: chaos harnesses create many engines per process, each
      wanting a freshly armed countdown *)
@@ -107,9 +149,61 @@ let create ?(partition = Compile.Hash_partition) ?(optimize = true) ?cbo
     gov_stats = Gov_stats.create ();
     store;
     recovery;
+    mvcc =
+      (match mvcc with Some b -> b | None -> true) && mvcc_enabled_from_env ();
+    txn_stats = Txn_stats.create ();
+    txn_seq = Atomic.make 1;
+    dsess = None;
   }
 
 let catalog db = db.catalog
+let mvcc_enabled db = db.mvcc
+let txn_stats db = db.txn_stats
+
+let txn_report db =
+  Format.asprintf "txn: %a%s" Txn_stats.pp
+    (Txn_stats.snapshot db.txn_stats)
+    (if db.mvcc then
+       Printf.sprintf " mvcc=on ts=%d" (Catalog.current_ts db.catalog)
+     else " mvcc=off")
+
+(* ---------- sessions ---------- *)
+
+let new_session db = { sdb = db; txn = None }
+
+(* The sessionless API (exec / exec_script / query) runs on a lazily
+   created default session, so BEGIN works there too. *)
+let session db =
+  match db.dsess with
+  | Some s -> s
+  | None ->
+      let s = new_session db in
+      db.dsess <- Some s;
+      s
+
+let in_transaction sess = sess.txn <> None
+
+(* Visibility for a statement: inside a transaction, the snapshot pinned
+   at BEGIN plus the transaction's own staged rows (read-your-own-writes);
+   otherwise a fresh snapshot of latest-committed state.  [None] (the
+   kill-switch) means every scan reads the live table. *)
+let session_snapshot sess =
+  let db = sess.sdb in
+  if not db.mvcc then None
+  else
+    match sess.txn with
+    | Some tx ->
+        Some
+          (Mvcc.with_staged ~at:tx.snap_at
+             (List.map
+                (fun (n, st) -> (n, Array.of_list (List.rev st.st_rows)))
+                tx.writes))
+    | None -> Some (Catalog.snapshot db.catalog)
+
+(* Snapshot for session-less entry points (run_plan, analyze, prepared
+   handles driven through the public API). *)
+let engine_snapshot db =
+  if db.mvcc then Some (Catalog.snapshot db.catalog) else None
 
 (* ---------- durability ---------- *)
 
@@ -235,12 +329,18 @@ let governed_attempt : 'a. t -> (Governor.t option -> 'a) -> 'a =
     factor [msf] (1.0 = 100 suppliers / 2000 parts / 8000 partsupp). *)
 let load_tpch ?seed db ~msf =
   Mutex.protect db.ddl_lock (fun () ->
-      ignore (Tpch_gen.load ?seed db.catalog ~msf);
+      (* the bulk load is a commit like any other: its rows are stamped
+         with a reserved timestamp that is published only after the load
+         (and its WAL record) completed, so snapshots pinned before the
+         load never see a partially generated dataset *)
+      let ts = Catalog.next_commit_ts db.catalog in
+      ignore (Tpch_gen.load ?seed ~ts db.catalog ~msf);
       (* the generator is deterministic in (seed, msf), so logging the
          parameters is a complete redo record *)
-      match db.store with
+      (match db.store with
       | None -> ()
       | Some s -> Store.log_load_tpch s ~seed ~msf);
+      Catalog.publish_commit_ts db.catalog ts);
   ignore (Plan_cache.invalidate_stale db.cache db.catalog)
 
 let config ?observe db =
@@ -267,8 +367,11 @@ let effective_plan db src =
     (Optimizer.optimize ~cbo:db.cbo db.catalog plan).Optimizer.plan
   else plan
 
-(** Run a logical plan directly. *)
-let run_plan db plan = Executor.run ~config:(config db) db.catalog plan
+(** Run a logical plan directly (against a fresh snapshot of
+    latest-committed state). *)
+let run_plan db plan =
+  Executor.run ~config:(config db) ?snapshot:(engine_snapshot db) db.catalog
+    plan
 
 (* ---------- plan cache ---------- *)
 
@@ -381,16 +484,21 @@ let is_mem_trip = function
   | _ -> false
 
 (* Run one cached entry under the governor; on a memory-ceiling trip
-   with room to degrade, retry once via the downgraded cache key. *)
-let run_entry_governed db (e : Plan_cache.entry) : Relation.t =
+   with room to degrade, retry once via the downgraded cache key.
+   Compiled plans are snapshot-agnostic (visibility resolves per-run
+   from the environment), so the same cache entry serves every session
+   and transaction — the snapshot rides alongside. *)
+let run_entry_governed ?snapshot db (e : Plan_cache.entry) : Relation.t =
   try
     governed_attempt db (fun gov ->
-        Executor.run_compiled ?governor:gov db.catalog e.Plan_cache.compiled)
+        Executor.run_compiled ?governor:gov ?snapshot db.catalog
+          e.Plan_cache.compiled)
   with ex when is_mem_trip ex && can_downgrade e.Plan_cache.key ->
     Gov_stats.downgrade db.gov_stats;
     governed_attempt db (fun gov ->
         let d = lookup_or_prepare_key db (downgraded_key e.Plan_cache.key) in
-        Executor.run_compiled ?governor:gov db.catalog d.Plan_cache.compiled)
+        Executor.run_compiled ?governor:gov ?snapshot db.catalog
+          d.Plan_cache.compiled)
 
 let cached_plan db src =
   match Plan_cache.peek db.cache (cache_key db (normalize_sql src)) with
@@ -417,20 +525,22 @@ let prepared_plan h = h.p_entry.Plan_cache.plan
     and catalog versions, run it directly (counted as a hit); otherwise
     transparently re-prepare (via the cache, so a handle re-validating
     after unrelated knob flips can still hit an older entry). *)
-let exec_prepared db h =
+let exec_prepared_snap ?snapshot db h =
   let e = h.p_entry in
   if
     e.Plan_cache.key = cache_key db h.p_sql
     && Plan_cache.is_valid db.catalog e
   then begin
     if db.cache_enabled then Plan_cache.note_hit db.cache e;
-    run_entry_governed db e
+    run_entry_governed ?snapshot db e
   end
   else begin
     let e = lookup_or_prepare db h.p_sql in
     h.p_entry <- e;
-    run_entry_governed db e
+    run_entry_governed ?snapshot db e
   end
+
+let exec_prepared db h = exec_prepared_snap ?snapshot:(engine_snapshot db) db h
 
 (* ---------- EXPLAIN ANALYZE ---------- *)
 
@@ -481,7 +591,7 @@ let analyze_report cat plan sink rel =
    engine's cache has seen traffic, a summary line is appended (kept
    silent on untouched engines so plain EXPLAIN ANALYZE output is
    stable). *)
-let analyze_plan db plan =
+let analyze_plan ?snapshot db plan =
   let plan =
     if db.optimize then
       (Optimizer.optimize ~cbo:db.cbo db.catalog plan).Optimizer.plan
@@ -501,7 +611,9 @@ let analyze_plan db plan =
         ~batch_size:db.batch_size ~observe:sink ()
     in
     governed_attempt db (fun gov ->
-        let rel = Executor.run ~config:cfg ?governor:gov db.catalog plan in
+        let rel =
+          Executor.run ~config:cfg ?governor:gov ?snapshot db.catalog plan
+        in
         (rel, sink))
   in
   (* EXPLAIN ANALYZE follows the same graceful degradation as plain
@@ -564,6 +676,14 @@ let analyze_plan db plan =
       report ^ Format.asprintf "== dict: %a ==\n" Dict_stats.pp ds
     else report
   in
+  (* transaction footer, only once a transaction has run (engines that
+     never BEGIN keep the historical output byte-for-byte) *)
+  let report =
+    let ts = Txn_stats.snapshot db.txn_stats in
+    if Txn_stats.seen ts then
+      report ^ Format.asprintf "== txn: %a ==\n" Txn_stats.pp ts
+    else report
+  in
   (rel, report)
 
 (** Run a query under per-operator instrumentation: the result relation
@@ -574,7 +694,7 @@ let analyze db src =
   | Sql_binder.Bound_query plan
   | Sql_binder.Bound_explain plan
   | Sql_binder.Bound_explain_analyze plan ->
-      analyze_plan db plan
+      analyze_plan ?snapshot:(engine_snapshot db) db plan
   | Sql_binder.Bound_ddl _ | Sql_binder.Bound_prepare _
   | Sql_binder.Bound_execute _ | Sql_binder.Bound_deallocate _
   | Sql_binder.Bound_set _ ->
@@ -602,7 +722,8 @@ let analyze_profile db src =
   in
   let rel =
     governed_attempt db (fun gov ->
-        Executor.run ~config:cfg ?governor:gov db.catalog plan)
+        Executor.run ~config:cfg ?governor:gov
+          ?snapshot:(engine_snapshot db) db.catalog plan)
   in
   let stats =
     match Obs.snapshot sink with Some s -> Obs.flatten s | None -> []
@@ -780,13 +901,83 @@ let apply_set db name (v : Sql_ast.set_value) : outcome =
           | _ -> bad_value "a non-negative integer, OFF, or DEFAULT")
   | _ -> Failed (Errors.Name_error (Printf.sprintf "unknown SET knob %s" name))
 
-(* Execute one parsed statement; [sql] is the normalized source text
-   used as the cache key for plain queries. *)
-let exec_stmt db ~sql (stmt : Sql_ast.statement) : outcome =
+(* ---------- transactions ---------- *)
+
+(* Stage an INSERT inside an open transaction: bind and validate now
+   (all-or-nothing, so a bad row strands nothing), encode through the
+   table's dictionary now (read-your-own-writes scans then see the same
+   representation committed rows have), and buffer.  Shared state is
+   untouched until COMMIT. *)
+let stage_insert db tx name rows stmt =
+  let table, bound = Sql_binder.bind_insert_rows db.catalog name rows in
+  let encoded = List.map (Table.encode_row table) bound in
+  let key = String.lowercase_ascii (Table.name table) in
+  let st =
+    match List.assoc_opt key tx.writes with
+    | Some st when st.st_table == table -> st
+    | Some st ->
+        (* the table was dropped and recreated mid-transaction: COMMIT
+           would fail the conflict check anyway, so refuse at staging
+           time with the better error *)
+        ignore st;
+        Errors.txn_conflictf ~txn_id:tx.txn_id ~conflict_table:key
+          "table %s was recreated after transaction %d began" key tx.txn_id
+    | None ->
+        let st = { st_table = table; st_rows = [] } in
+        tx.writes <- tx.writes @ [ (key, st) ];
+        st
+  in
+  st.st_rows <- List.rev_append encoded st.st_rows;
+  tx.wstmts <- Sql_ast.statement_to_string stmt :: tx.wstmts;
+  Txn_stats.record_staged db.txn_stats;
+  Printf.sprintf "staged %d row(s) into %s (txn %d)" (List.length encoded)
+    (Table.name table) tx.txn_id
+
+(* COMMIT: first-committer-wins at table granularity, then apply, log
+   and publish — all under the commit (ddl) lock, so commit timestamps
+   are handed out in publish order and a multi-table commit becomes
+   visible atomically (the clock moves only after every table has its
+   rows in).  Readers never take this lock. *)
+let commit_txn db tx =
+  Mutex.protect db.ddl_lock (fun () ->
+      List.iter
+        (fun (name, st) ->
+          match Catalog.find_table_opt db.catalog name with
+          | None ->
+              Errors.txn_conflictf ~txn_id:tx.txn_id ~conflict_table:name
+                "table %s was dropped after transaction %d began" name
+                tx.txn_id
+          | Some live when not (live == st.st_table) ->
+              Errors.txn_conflictf ~txn_id:tx.txn_id ~conflict_table:name
+                "table %s was recreated after transaction %d began" name
+                tx.txn_id
+          | Some live ->
+              if Table.last_commit_ts live > tx.snap_at then
+                Errors.txn_conflictf ~txn_id:tx.txn_id ~conflict_table:name
+                  "table %s was modified by a later commit (ts %d > snapshot \
+                   %d)"
+                  name (Table.last_commit_ts live) tx.snap_at)
+        tx.writes;
+      let ts = Catalog.next_commit_ts db.catalog in
+      List.iter
+        (fun (_, st) -> Table.insert_all ~ts st.st_table (List.rev st.st_rows))
+        tx.writes;
+      (* the WAL group is one contiguous begin/stmts/commit record run
+         with a single sync decision; a crash before the commit marker
+         reaches disk makes recovery quarantine the whole group *)
+      (match db.store with
+      | None -> ()
+      | Some s -> Store.log_txn s ~id:tx.txn_id (List.rev tx.wstmts));
+      Catalog.publish_commit_ts db.catalog ts)
+
+(* Execute one parsed statement on a session; [sql] is the normalized
+   source text used as the cache key for plain queries. *)
+let exec_stmt sess ~sql (stmt : Sql_ast.statement) : outcome =
+  let db = sess.sdb in
   match stmt with
   | Sql_ast.Stmt_select _ -> (
       let e = lookup_or_prepare db sql in
-      try Rows (run_entry_governed db e)
+      try Rows (run_entry_governed ?snapshot:(session_snapshot sess) db e)
       with Errors.Resource_error _ as ex -> Failed ex)
   | Sql_ast.Stmt_prepare (name, q) -> (
       (* prepared-statement misuse (unknown table, bad binding...) fails
@@ -801,7 +992,8 @@ let exec_stmt db ~sql (stmt : Sql_ast.statement) : outcome =
       | Some h -> (
           (* a re-prepare over dropped tables, or a budget violation of
              the execution itself, fails cleanly *)
-          try Rows (exec_prepared db h)
+          try
+            Rows (exec_prepared_snap ?snapshot:(session_snapshot sess) db h)
           with ex when Errors.is_engine_error ex -> Failed ex)
       | None ->
           Failed
@@ -821,33 +1013,117 @@ let exec_stmt db ~sql (stmt : Sql_ast.statement) : outcome =
       Explanation (render_explain db (Sql_binder.bind_query db.catalog q))
   | Sql_ast.Stmt_explain_analyze q ->
       let _rel, report =
-        analyze_plan db (Sql_binder.bind_query db.catalog q)
+        analyze_plan ?snapshot:(session_snapshot sess) db
+          (Sql_binder.bind_query db.catalog q)
       in
       Explanation report
-  | Sql_ast.Stmt_create_table _ | Sql_ast.Stmt_create_index _
-  | Sql_ast.Stmt_insert _ | Sql_ast.Stmt_drop_table _
-  | Sql_ast.Stmt_drop_index _ ->
-      (* DDL/DML bodies are serialized (concurrent sessions may interleave
-         queries freely, but two writers to the same table must not
-         race); the eager sweep then evicts exactly the entries whose
-         fingerprints the statement changed. *)
+  | Sql_ast.Stmt_begin -> (
+      match sess.txn with
+      | Some tx ->
+          Failed
+            (Errors.Exec_error
+               (Printf.sprintf "transaction %d is already in progress"
+                  tx.txn_id))
+      | None ->
+          let id = Atomic.fetch_and_add db.txn_seq 1 in
+          sess.txn <-
+            Some
+              {
+                txn_id = id;
+                snap_at = Catalog.current_ts db.catalog;
+                writes = [];
+                wstmts = [];
+              };
+          Txn_stats.record_begin db.txn_stats;
+          Message (Printf.sprintf "begin (txn %d)" id))
+  | Sql_ast.Stmt_commit -> (
+      match sess.txn with
+      | None -> Failed (Errors.Exec_error "no transaction in progress")
+      | Some tx -> (
+          (* the transaction is over either way: a conflict aborts it
+             (classic first-committer-wins — the loser retries from a
+             fresh BEGIN), it never lingers half-committed *)
+          sess.txn <- None;
+          match
+            if tx.writes <> [] then commit_txn db tx
+          with
+          | () ->
+              Txn_stats.record_commit db.txn_stats;
+              if tx.writes <> [] then
+                ignore (Plan_cache.invalidate_stale db.cache db.catalog);
+              Message (Printf.sprintf "commit (txn %d)" tx.txn_id)
+          | exception (Errors.Txn_conflict _ as ex) ->
+              Txn_stats.record_conflict db.txn_stats;
+              Failed ex))
+  | Sql_ast.Stmt_rollback -> (
+      match sess.txn with
+      | None -> Failed (Errors.Exec_error "no transaction in progress")
+      | Some tx ->
+          (* staged writes never touched shared tables, so rollback is
+             pure bookkeeping: drop the buffers *)
+          sess.txn <- None;
+          Txn_stats.record_rollback db.txn_stats;
+          Message (Printf.sprintf "rollback (txn %d)" tx.txn_id))
+  | Sql_ast.Stmt_insert (name, rows) when sess.txn <> None -> (
+      let tx = Option.get sess.txn in
+      try Message (stage_insert db tx name rows stmt)
+      with Errors.Txn_conflict _ as ex -> Failed ex)
+  | Sql_ast.Stmt_insert (name, rows) ->
+      (* auto-commit: a bare INSERT is its own transaction.  It goes
+         through the same stamped path as COMMIT (reserve a timestamp,
+         apply, log, publish), so concurrent snapshot readers never see
+         its rows mid-statement. *)
       let msg =
         Mutex.protect db.ddl_lock (fun () ->
-            match Sql_binder.bind_statement db.catalog stmt with
-            | Sql_binder.Bound_ddl msg ->
-                (* committed: the in-memory apply succeeded, so the
-                   canonical text goes to the WAL (still under the lock,
-                   keeping log order = apply order).  A failed bind
-                   raises past this line and logs nothing. *)
-                log_committed db (Sql_ast.statement_to_string stmt);
-                msg
-            | _ -> assert false)
+            let table, bound =
+              Sql_binder.bind_insert_rows db.catalog name rows
+            in
+            let ts = Catalog.next_commit_ts db.catalog in
+            Table.insert_all ~ts table bound;
+            log_committed db (Sql_ast.statement_to_string stmt);
+            Catalog.publish_commit_ts db.catalog ts;
+            Printf.sprintf "inserted %d row(s) into %s" (List.length bound)
+              (Table.name table))
       in
       ignore (Plan_cache.invalidate_stale db.cache db.catalog);
       Message msg
+  | Sql_ast.Stmt_create_table _ | Sql_ast.Stmt_create_index _
+  | Sql_ast.Stmt_drop_table _ | Sql_ast.Stmt_drop_index _ -> (
+      match sess.txn with
+      | Some tx ->
+          (* catalog changes are not versioned: there is exactly one
+             live schema, so DDL cannot ride inside a snapshot *)
+          Failed
+            (Errors.Exec_error
+               (Printf.sprintf
+                  "DDL is not supported inside a transaction (txn %d): \
+                   COMMIT or ROLLBACK first"
+                  tx.txn_id))
+      | None ->
+          (* DDL/DML bodies are serialized (concurrent sessions may
+             interleave queries freely, but two writers to the same
+             table must not race); the eager sweep then evicts exactly
+             the entries whose fingerprints the statement changed. *)
+          let msg =
+            Mutex.protect db.ddl_lock (fun () ->
+                match Sql_binder.bind_statement db.catalog stmt with
+                | Sql_binder.Bound_ddl msg ->
+                    (* committed: the in-memory apply succeeded, so the
+                       canonical text goes to the WAL (still under the
+                       lock, keeping log order = apply order).  A failed
+                       bind raises past this line and logs nothing. *)
+                    log_committed db (Sql_ast.statement_to_string stmt);
+                    msg
+                | _ -> assert false)
+          in
+          ignore (Plan_cache.invalidate_stale db.cache db.catalog);
+          Message msg)
 
-(** Execute one SQL statement. *)
-let exec db src : outcome =
+(** Execute one SQL statement on a session (transaction state lives on
+    the session; outside a transaction this is indistinguishable from
+    {!exec}). *)
+let exec_session sess src : outcome =
+  let db = sess.sdb in
   let sql = normalize_sql src in
   (* warm fast path: a still-valid cached plan for this exact text skips
      even the parse *)
@@ -858,21 +1134,25 @@ let exec db src : outcome =
   in
   match fast with
   | Some e -> (
-      try Rows (run_entry_governed db e)
+      try Rows (run_entry_governed ?snapshot:(session_snapshot sess) db e)
       with Errors.Resource_error _ as ex -> Failed ex)
-  | None -> exec_stmt db ~sql (Sql_parser.parse_statement sql)
+  | None -> exec_stmt sess ~sql (Sql_parser.parse_statement sql)
+
+(** Execute one SQL statement (on the engine's default session). *)
+let exec db src : outcome = exec_session (session db) src
 
 (** Execute a whole ';'-separated script, returning each outcome.
     Queries are keyed on their printed (canonical) text, so a repeated
     script statement warms the same entries as {!exec}. *)
 let exec_script db src : outcome list =
+  let sess = session db in
   List.map
     (fun stmt ->
       match stmt with
       | Sql_ast.Stmt_explain q ->
           (* scripts keep the historical terse EXPLAIN rendering *)
           Explanation (Plan.to_string (Sql_binder.bind_query db.catalog q))
-      | _ -> exec_stmt db ~sql:(Sql_ast.statement_to_string stmt) stmt)
+      | _ -> exec_stmt sess ~sql:(Sql_ast.statement_to_string stmt) stmt)
     (Sql_parser.parse_script src)
 
 (** Run a query and return the relation (raises on DDL). *)

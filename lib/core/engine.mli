@@ -26,6 +26,13 @@ type prepared
     version.  Re-prepared transparently by {!exec_prepared} when a knob
     flip or DDL/DML made it stale. *)
 
+type session
+(** One client's view of the engine: at most one open transaction.
+    Sessions are cheap; the concurrent-session driver creates one per
+    simulated client.  The sessionless API ({!exec}, {!exec_script},
+    {!query}) runs on a lazily created default session, so transaction
+    control works there too. *)
+
 type outcome =
   | Rows of Relation.t          (** result of a query *)
   | Message of string           (** DDL/DML confirmation *)
@@ -53,6 +60,7 @@ val create :
   ?durability:Store.durability ->
   ?wal_group_commit:int ->
   ?checkpoint_wal_bytes:int ->
+  ?mvcc:bool ->
   unit ->
   t
 (** A fresh engine with an empty catalog.  Defaults: hash-partitioned
@@ -79,10 +87,21 @@ val create :
     WAL work).  The WAL auto-checkpoints into a snapshot once it passes
     [checkpoint_wal_bytes].  Without [data_dir] the engine is purely
     in-memory and the durability arguments are ignored.
+
+    [mvcc] (default on) enables snapshot-isolated reads: every
+    statement — and every transaction, for its whole lifetime —
+    resolves row visibility against an immutable commit-timestamp
+    snapshot, so readers never block on (or observe half of) a
+    concurrent writer.  The environment variable [GAPPLY_MVCC=off] (or
+    [0] / [false] / [no]) disables it globally; reads then see
+    latest-committed state as before snapshots existed, while BEGIN /
+    COMMIT / ROLLBACK keep their staging and first-committer-wins
+    semantics.  CI replays the full test suite that way.
     @raise Errors.Recovery_error when the directory holds real
     corruption (a torn WAL tail is quarantined, not raised). *)
 
 val catalog : t -> Catalog.t
+val mvcc_enabled : t -> bool
 
 val set_partition_strategy : t -> Compile.partition_strategy -> unit
 val set_optimize : t -> bool -> unit
@@ -270,10 +289,50 @@ val stats_report : t -> string -> string
 
 val exec : t -> string -> outcome
 (** Execute one SQL statement (query, EXPLAIN, EXPLAIN ANALYZE,
-    PREPARE / EXECUTE / DEALLOCATE, or DDL/DML). *)
+    PREPARE / EXECUTE / DEALLOCATE, transaction control, or DDL/DML)
+    on the engine's default session. *)
 
 val exec_script : t -> string -> outcome list
-(** Execute a ';'-separated script. *)
+(** Execute a ';'-separated script (on the default session, so a script
+    can BEGIN ... COMMIT across its statements). *)
+
+(** {1 Sessions and transactions}
+
+    [BEGIN] pins a snapshot: every read until [COMMIT] / [ROLLBACK]
+    resolves against the database as of that commit timestamp
+    (repeatable reads), plus the transaction's own staged writes
+    (read-your-own-writes).  Staged INSERTs never touch shared tables;
+    [COMMIT] applies them atomically under the commit lock after a
+    first-committer-wins check — if any written table took a later
+    commit, the transaction aborts with a typed
+    {!Errors.Txn_conflict} (surfaced as {!Failed}) and the loser
+    retries from a fresh [BEGIN].  [ROLLBACK] just drops the staged
+    buffers.  The commit is logged to the WAL as one contiguous
+    [Txn_begin / statements / Txn_commit] group with a single sync
+    decision; recovery replays only committed groups, quarantining a
+    transaction that was in flight at the crash.  DDL inside a
+    transaction is rejected (the catalog is not versioned).  Snapshot
+    readers never take the commit lock, so a long writer transaction
+    cannot block concurrent readers. *)
+
+val new_session : t -> session
+(** A fresh session with no open transaction. *)
+
+val session : t -> session
+(** The engine's default session (backing {!exec}); created lazily. *)
+
+val exec_session : session -> string -> outcome
+(** Like {!exec}, with transaction state on this session. *)
+
+val in_transaction : session -> bool
+
+val txn_stats : t -> Txn_stats.t
+(** Transaction counters: begun / committed / rolled back / conflicts /
+    staged statements. *)
+
+val txn_report : t -> string
+(** One-line transaction summary with the MVCC mode and current commit
+    timestamp (the CLI's [\txn] meta-command). *)
 
 val query : t -> string -> Relation.t
 (** Like {!exec} but raises {!Errors.Plan_error} unless the statement is

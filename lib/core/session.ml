@@ -47,6 +47,7 @@ let error_class (e : exn) =
   | Errors.Parse_error _ -> "parse"
   | Errors.Plan_error _ -> "plan"
   | Errors.Exec_error _ -> "exec"
+  | Errors.Txn_conflict _ -> "txn_conflict"
   | e -> Printexc.to_string e
 
 let digest_outcome acc (o : Engine.outcome) =
@@ -64,6 +65,11 @@ let rows_of_outcome = function
   | Engine.Message _ | Engine.Explanation _ | Engine.Failed _ -> 0
 
 let run_session db ~id stmts =
+  (* each simulated client gets its own engine session, so traces can
+     BEGIN/COMMIT without sharing transaction state across domains —
+     a writer session's open transaction never blocks sibling readers
+     (they read their own snapshots and never take the commit lock) *)
+  let sess = Engine.new_session db in
   let stmts = Array.of_list stmts in
   let latencies = Array.make (Array.length stmts) 0 in
   let digest = ref 0 and rows = ref 0 and errors = ref 0 in
@@ -73,7 +79,7 @@ let run_session db ~id stmts =
       (* a statement failing (typed error, parse error...) must not take
          its session — let alone its siblings — down with it *)
       let outcome =
-        try Engine.exec db src
+        try Engine.exec_session sess src
         with e when Errors.is_engine_error e -> Engine.Failed e
       in
       latencies.(i) <- Metrics.now_ns () - t0;

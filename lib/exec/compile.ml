@@ -297,20 +297,22 @@ and compile ~config ~(outer : Schema.t list) (p : Plan.t) : compiled =
   let schema = Props.schema_of ~outer p in
   match p with
   | Plan.Table_scan { table; _ } ->
+      (* visibility is resolved per run from the environment's snapshot,
+         so the compiled closure is snapshot-agnostic and one cached
+         plan serves every session *)
+      let scan_rows env =
+        let t = Catalog.find_table env.Env.catalog table in
+        match env.Env.snapshot with
+        | None -> Relation.rows_array (Table.to_relation t)
+        | Some snap -> Mvcc.visible_rows snap t
+      in
       {
         schema;
-        run =
-          (fun env ->
-            let t = Catalog.find_table env.Env.catalog table in
-            Cursor.of_relation (Table.to_relation t));
+        run = (fun env -> Cursor.of_array (scan_rows env));
         brun =
           (if not (batched config) then None
            else
-             Some
-               (fun env ->
-                 let t = Catalog.find_table env.Env.catalog table in
-                 Batch.of_array ~size:(bsize config)
-                   (Relation.rows_array (Table.to_relation t))));
+             Some (fun env -> Batch.of_array ~size:(bsize config) (scan_rows env)));
       }
   | Plan.Group_scan { var; _ } ->
       {
@@ -931,13 +933,32 @@ and compile_join ~config ~outer pred left right : compiled =
         | Some (table, cols) -> (
             match Catalog.find_index_on env.Env.catalog ~table ~cols with
             | None -> None
+            | Some _
+              when match env.Env.snapshot with
+                   | Some snap -> Mvcc.staged_for snap table <> None
+                   | None -> false ->
+                (* the session has its own uncommitted rows on the inner
+                   table: the index only covers committed rows, so bail
+                   to the hash build, whose scan sees the staged rows *)
+                None
             | Some index ->
                 let base = Catalog.find_table env.Env.catalog table in
                 (* freshen once when the probe cursor is built; a
-                   version check makes the fresh case a wait-free no-op,
-                   so per-group probes from pool domains never trigger
-                   (or observe) a concurrent rebuild mid-query *)
+                   version check makes the fresh case a wait-free no-op.
+                   Rebuilds swap the store atomically, so capturing the
+                   view here pins this query to one consistent build
+                   even if a writer commits mid-probe. *)
                 Index.refresh index base;
+                let iview = Index.view index in
+                (* offsets at or beyond the snapshot horizon belong to
+                   transactions committed after this session's snapshot:
+                   filter them out (the captured build may be fresher
+                   than the snapshot, never staler) *)
+                let visible =
+                  match env.Env.snapshot with
+                  | None -> max_int
+                  | Some snap -> Mvcc.visible_count snap base
+                in
                 (* re-order the probe to the index's column order *)
                 let by_col =
                   List.map2
@@ -957,8 +978,9 @@ and compile_join ~config ~outer pred left right : compiled =
                       fun lrow yield ->
                         let v = ce frames lrow in
                         if not (strict && Value.is_null v) then
-                          Index.iter_single index v (fun off ->
-                              yield (Table.get_row base off))
+                          Index.view_iter_single iview v (fun off ->
+                              if off < visible then
+                                yield (Table.get_row base off))
                   | probe ->
                       fun lrow yield ->
                         let parts =
@@ -973,8 +995,9 @@ and compile_join ~config ~outer pred left right : compiled =
                                parts)
                         then
                           let key = Tuple.of_list (List.map fst parts) in
-                          Index.iter_bucket index key (fun off ->
-                              yield (Table.get_row base off))))
+                          Index.view_iter_bucket iview key (fun off ->
+                              if off < visible then
+                                yield (Table.get_row base off))))
     in
     (* build the hash table from the right side; buckets are finalized
        into insertion-order arrays once the build drain finishes, so the

@@ -13,9 +13,14 @@ type t = {
       (* the running statement's resource governor; derived envs (Apply
          frames, GApply group bindings) inherit it, so budget checks
          reach per-group queries on pool domains *)
+  snapshot : Mvcc.t option;
+      (* the session's MVCC snapshot; table scans and index probes
+         resolve visibility against it.  None = latest-committed reads
+         (kill-switch / recovery replay). *)
 }
 
-let make ?governor catalog = { catalog; frames = []; groups = []; governor }
+let make ?governor ?snapshot catalog =
+  { catalog; frames = []; groups = []; governor; snapshot }
 
 let push_frame schema tuple env =
   { env with frames = (schema, tuple) :: env.frames }

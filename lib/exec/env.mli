@@ -13,9 +13,13 @@ type t = {
       (** the running statement's resource governor, inherited by every
           derived environment (so budget checks and cancellation reach
           per-group queries running on pool domains) *)
+  snapshot : Mvcc.t option;
+      (** the session's MVCC snapshot, inherited like the governor:
+          table scans and index probes resolve visibility against it
+          instead of the live table.  [None] reads latest-committed. *)
 }
 
-val make : ?governor:Governor.t -> Catalog.t -> t
+val make : ?governor:Governor.t -> ?snapshot:Mvcc.t -> Catalog.t -> t
 val push_frame : Schema.t -> Tuple.t -> t -> t
 val bind_group : string -> Relation.t -> t -> t
 

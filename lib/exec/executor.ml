@@ -36,25 +36,29 @@ let count ?governor (c : Compile.compiled) env : int =
       go ()
   | None -> Cursor.length (Governor.wrap_root governor (c.Compile.run env))
 
-(** Compile and run [plan] against [catalog], materialising the result. *)
-let run ?config ?governor (catalog : Catalog.t) (p : Plan.t) : Relation.t =
+(** Compile and run [plan] against [catalog], materialising the result.
+    [?snapshot] pins every scan and index probe to an MVCC snapshot. *)
+let run ?config ?governor ?snapshot (catalog : Catalog.t) (p : Plan.t) :
+    Relation.t =
   let compiled = Compile.plan ?config p in
-  materialize ?governor compiled (Env.make ?governor catalog)
+  materialize ?governor compiled (Env.make ?governor ?snapshot catalog)
 
 (** Run and count output rows without keeping them (used by benches to
     exclude materialisation of huge results from what we keep around). *)
-let run_count ?config ?governor (catalog : Catalog.t) (p : Plan.t) : int =
+let run_count ?config ?governor ?snapshot (catalog : Catalog.t) (p : Plan.t) :
+    int =
   let compiled = Compile.plan ?config p in
-  count ?governor compiled (Env.make ?governor catalog)
+  count ?governor compiled (Env.make ?governor ?snapshot catalog)
 
 (** Run an already-compiled plan (the plan-cache / prepared-statement
     warm path: no parse, bind, optimize, or compile).  The compiled
-    closures hold no per-run state, so one [compiled] value can be run
-    repeatedly and from several domains at once — the governor, if any,
-    belongs to this single run. *)
-let run_compiled ?governor (catalog : Catalog.t) (c : Compile.compiled) :
-    Relation.t =
-  materialize ?governor c (Env.make ?governor catalog)
+    closures hold no per-run state — visibility comes from the per-run
+    environment's snapshot — so one [compiled] value can be run
+    repeatedly and from several domains at once under different
+    snapshots; the governor, if any, belongs to this single run. *)
+let run_compiled ?governor ?snapshot (catalog : Catalog.t)
+    (c : Compile.compiled) : Relation.t =
+  materialize ?governor c (Env.make ?governor ?snapshot catalog)
 
 (** Run a plan under an explicit environment (used by the client-side
     GApply simulation, which pre-binds group variables). *)

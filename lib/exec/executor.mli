@@ -7,21 +7,27 @@
     ungoverned, exactly as before. *)
 
 val run :
-  ?config:Compile.config -> ?governor:Governor.t -> Catalog.t -> Plan.t ->
-  Relation.t
-(** Compile and run a logical plan, materialising the result. *)
+  ?config:Compile.config -> ?governor:Governor.t -> ?snapshot:Mvcc.t ->
+  Catalog.t -> Plan.t -> Relation.t
+(** Compile and run a logical plan, materialising the result.
+    [?snapshot] pins every table scan and index probe to an MVCC
+    snapshot; omitting it reads latest-committed. *)
 
 val run_count :
-  ?config:Compile.config -> ?governor:Governor.t -> Catalog.t -> Plan.t -> int
+  ?config:Compile.config -> ?governor:Governor.t -> ?snapshot:Mvcc.t ->
+  Catalog.t -> Plan.t -> int
 (** Run and count output rows without retaining them (used by the
     benchmarks). *)
 
 val run_compiled :
-  ?governor:Governor.t -> Catalog.t -> Compile.compiled -> Relation.t
+  ?governor:Governor.t -> ?snapshot:Mvcc.t -> Catalog.t -> Compile.compiled ->
+  Relation.t
 (** Run an already-compiled plan against a fresh environment — the warm
-    path of the plan cache and of prepared statements.  Safe to call
-    repeatedly and concurrently on the same [compiled] value; the
-    governor, if any, belongs to this one run. *)
+    path of the plan cache and of prepared statements.  Compiled plans
+    are snapshot-agnostic (visibility is resolved per run from the
+    environment), so one [compiled] value serves many sessions at
+    different snapshots concurrently; the governor, if any, belongs to
+    this one run. *)
 
 val run_in : ?config:Compile.config -> Env.t -> Plan.t -> Relation.t
 (** Run under an explicit environment (pre-bound relation-valued

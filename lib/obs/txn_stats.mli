@@ -1,0 +1,38 @@
+(** Transaction counters under snapshot isolation.
+
+    One instance per engine: transactions begun, committed, rolled back
+    and aborted by first-committer-wins conflicts, plus DML statements
+    staged inside open transactions.  All counters are atomic (sessions
+    run on pool domains); {!active} is derived from the closed-out
+    counts so it can never drift.  Rendered by the CLI's [\txn]
+    meta-command and the EXPLAIN ANALYZE footer. *)
+
+type t
+
+val create : unit -> t
+
+val record_begin : t -> unit
+val record_commit : t -> unit
+val record_rollback : t -> unit
+val record_conflict : t -> unit
+val record_staged : t -> unit
+(** One DML statement staged inside an open transaction. *)
+
+type snapshot = {
+  begun : int;
+  committed : int;
+  rolled_back : int;
+  conflicts : int;
+  staged_stmts : int;
+}
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val active : snapshot -> int
+(** Transactions currently open. *)
+
+val seen : snapshot -> bool
+(** Any transaction traffic at all (gates the EXPLAIN ANALYZE footer). *)
+
+val pp : Format.formatter -> snapshot -> unit

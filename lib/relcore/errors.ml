@@ -101,6 +101,34 @@ let recovery_violation_to_string (v : recovery_violation) =
      else Printf.sprintf " at offset %d" v.at_offset)
     (if v.rdetail = "" then "" else ": " ^ v.rdetail)
 
+(* Transaction-control failures are typed so the concurrent-session
+   driver and the serializability suite can switch on the conflict case
+   (first-committer-wins aborts are expected traffic, not bugs) without
+   parsing messages. *)
+
+type txn_violation = {
+  txn_id : int;          (* aborted transaction; -1 = n/a (misuse) *)
+  conflict_table : string option;
+      (* table whose last committer overtook this transaction's
+         snapshot; None for BEGIN-in-txn style misuse *)
+  tdetail : string;
+}
+
+exception Txn_conflict of txn_violation
+
+let txn_conflictf ?(txn_id = -1) ?conflict_table fmt =
+  Format.kasprintf
+    (fun tdetail ->
+      raise (Txn_conflict { txn_id; conflict_table; tdetail }))
+    fmt
+
+let txn_violation_to_string (v : txn_violation) =
+  Printf.sprintf "%s%s"
+    v.tdetail
+    (match v.conflict_table with
+    | None -> ""
+    | Some t -> Printf.sprintf " (table %s)" t)
+
 let type_errorf fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 let name_errorf fmt = Format.kasprintf (fun s -> raise (Name_error s)) fmt
 let parse_errorf fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
@@ -117,10 +145,11 @@ let to_string = function
   | Exec_error m -> "execution error: " ^ m
   | Resource_error v -> "resource error: " ^ resource_violation_to_string v
   | Recovery_error v -> "recovery error: " ^ recovery_violation_to_string v
+  | Txn_conflict v -> "transaction conflict: " ^ txn_violation_to_string v
   | e -> raise e
 
 let is_engine_error = function
   | Type_error _ | Name_error _ | Parse_error _ | Plan_error _ | Exec_error _
-  | Resource_error _ | Recovery_error _ ->
+  | Resource_error _ | Recovery_error _ | Txn_conflict _ ->
       true
   | _ -> false

@@ -72,6 +72,30 @@ val recovery_errorf :
 val recovery_kind_to_string : recovery_kind -> string
 val recovery_violation_to_string : recovery_violation -> string
 
+(** {1 Transaction conflicts}
+
+    First-committer-wins aborts under snapshot isolation: a COMMIT whose
+    write set overlaps a table someone else committed to after this
+    transaction's snapshot was taken raises {!Txn_conflict}.  The
+    concurrent-session driver treats these as expected traffic (retry or
+    report), so the payload is structured rather than a message. *)
+
+type txn_violation = {
+  txn_id : int;  (** aborted transaction's id; [-1] = n/a (misuse) *)
+  conflict_table : string option;
+      (** table whose last committer overtook this transaction's
+          snapshot; [None] for transaction-control misuse *)
+  tdetail : string;
+}
+
+exception Txn_conflict of txn_violation
+
+val txn_conflictf :
+  ?txn_id:int -> ?conflict_table:string ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val txn_violation_to_string : txn_violation -> string
+
 val type_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val name_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val parse_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a

@@ -82,6 +82,11 @@ type statement =
   | Stmt_prepare of string * query  (* PREPARE name AS query *)
   | Stmt_execute of string
   | Stmt_deallocate of string
+  | Stmt_begin
+      (* BEGIN [TRANSACTION | WORK] — open an interactive transaction on
+         the session: reads pin a snapshot, writes stage until COMMIT *)
+  | Stmt_commit  (* COMMIT [TRANSACTION | WORK] *)
+  | Stmt_rollback  (* ROLLBACK [TRANSACTION | WORK] *)
   | Stmt_set of string * set_value
       (* SET <knob> = <int> | <ident> | DEFAULT — session resource knobs
          (statement_timeout_ms, ...) take ints, durability takes an
@@ -258,6 +263,9 @@ let statement_to_string = function
   | Stmt_prepare (name, q) -> "PREPARE " ^ name ^ " AS " ^ query_to_string q
   | Stmt_execute name -> "EXECUTE " ^ name
   | Stmt_deallocate name -> "DEALLOCATE " ^ name
+  | Stmt_begin -> "BEGIN"
+  | Stmt_commit -> "COMMIT"
+  | Stmt_rollback -> "ROLLBACK"
   | Stmt_set (name, Set_int v) -> Printf.sprintf "SET %s = %d" name v
   | Stmt_set (name, Set_ident v) -> Printf.sprintf "SET %s = %s" name v
   | Stmt_set (name, Set_default) -> Printf.sprintf "SET %s = DEFAULT" name

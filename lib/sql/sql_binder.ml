@@ -951,6 +951,20 @@ type bound_statement =
       (* session knobs are interpreted by the engine, which owns the
          per-statement budget and the durability policy *)
 
+(** Bind an INSERT's literal rows and validate them against the table —
+    without applying anything.  The transactional engine stages the
+    result until COMMIT; validating here means a bad statement fails at
+    statement time and leaves no stranded uncommitted version behind. *)
+let bind_insert_rows (catalog : Catalog.t) (name : string)
+    (rows : Sql_ast.expr list list) : Table.t * Tuple.t list =
+  let table = Catalog.find_table catalog name in
+  let scope = root_scope catalog () in
+  (* bind every row before inserting any: a bad literal in row k must
+     not leave rows 1..k-1 inserted (and the table version bumped) *)
+  let bound = List.map (bind_literal_row scope) rows in
+  Table.check_rows table bound;
+  (table, bound)
+
 let bind_statement (catalog : Catalog.t) (stmt : Sql_ast.statement) :
     bound_statement =
   match stmt with
@@ -987,11 +1001,7 @@ let bind_statement (catalog : Catalog.t) (stmt : Sql_ast.statement) :
       Catalog.add_table catalog table;
       Bound_ddl (Printf.sprintf "created table %s" name)
   | Sql_ast.Stmt_insert (name, rows) ->
-      let table = Catalog.find_table catalog name in
-      let scope = root_scope catalog () in
-      (* bind every row before inserting any: a bad literal in row k must
-         not leave rows 1..k-1 inserted (and the table version bumped) *)
-      let bound = List.map (bind_literal_row scope) rows in
+      let table, bound = bind_insert_rows catalog name rows in
       (* insert_all validates arity for the whole batch before storing
          anything, so a bad row can't leave a partial insert (or a
          phantom Table.version bump) behind *)
@@ -1015,3 +1025,8 @@ let bind_statement (catalog : Catalog.t) (stmt : Sql_ast.statement) :
   | Sql_ast.Stmt_execute name -> Bound_execute name
   | Sql_ast.Stmt_deallocate name -> Bound_deallocate name
   | Sql_ast.Stmt_set (name, v) -> Bound_set (name, v)
+  | Sql_ast.Stmt_begin | Sql_ast.Stmt_commit | Sql_ast.Stmt_rollback ->
+      (* transaction control never reaches the binder: the engine owns
+         session transaction state (and the WAL never records these —
+         recovery sees Txn_begin/Txn_commit markers instead) *)
+      Errors.plan_errorf "transaction control is handled by the engine"

@@ -42,4 +42,15 @@ type bound_statement =
 
 val bind_statement : Catalog.t -> Sql_ast.statement -> bound_statement
 (** DDL/DML statements are executed against the catalog as a side
-    effect. *)
+    effect.  Transaction control ([BEGIN]/[COMMIT]/[ROLLBACK]) never
+    reaches here — the engine resolves it against session state.
+    @raise Errors.Plan_error if handed one anyway. *)
+
+val bind_insert_rows :
+  Catalog.t -> string -> Sql_ast.expr list list -> Table.t * Tuple.t list
+(** Bind an INSERT's literal rows and validate them against the table's
+    schema {e without applying} — the staging half of [Stmt_insert],
+    used by the engine to buffer writes inside an open transaction.  A
+    binding or arity error raises before any row is staged, so a failed
+    multi-row insert leaves no stranded uncommitted version.
+    @raise Errors.Name_error / Errors.Plan_error / Errors.Exec_error. *)

@@ -618,6 +618,24 @@ let parse_statement_inner st =
     advance st;
     Sql_ast.Stmt_deallocate (ident st)
   end
+  else if is_keyword st "begin" then begin
+    (* BEGIN / COMMIT / ROLLBACK are soft statement-head keywords like
+       PREPARE; the optional TRANSACTION / WORK noise word follows
+       PostgreSQL usage *)
+    advance st;
+    ignore (accept_keyword st "transaction" || accept_keyword st "work");
+    Sql_ast.Stmt_begin
+  end
+  else if is_keyword st "commit" then begin
+    advance st;
+    ignore (accept_keyword st "transaction" || accept_keyword st "work");
+    Sql_ast.Stmt_commit
+  end
+  else if is_keyword st "rollback" then begin
+    advance st;
+    ignore (accept_keyword st "transaction" || accept_keyword st "work");
+    Sql_ast.Stmt_rollback
+  end
   else if is_keyword st "set" then begin
     (* SET <knob> = <int> | <ident> | DEFAULT — another soft
        statement-head keyword.  DEFAULT resets to the knob's default;

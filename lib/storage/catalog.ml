@@ -17,6 +17,9 @@ type t = {
   indexes : (string, Index.t) Hashtbl.t;  (* by index name *)
   generation : int Atomic.t;              (* bumped on DDL *)
   stats_epoch : int Atomic.t;             (* bumped on stats (re)compute *)
+  commit_ts : int Atomic.t;               (* global commit clock: rows are
+                                             stamped with it, snapshots are
+                                             keyed by it *)
   lock : Mutex.t;
 }
 
@@ -27,12 +30,29 @@ let create () =
     indexes = Hashtbl.create 16;
     generation = Atomic.make 0;
     stats_epoch = Atomic.make 0;
+    commit_ts = Atomic.make 0;
     lock = Mutex.create ();
   }
 
 let generation cat = Atomic.get cat.generation
 let bump_generation cat = Atomic.incr cat.generation
 let stats_epoch cat = Atomic.get cat.stats_epoch
+
+(* ---------- commit clock / snapshots ----------
+
+   The clock only moves forward under the engine's commit lock: a writer
+   reserves [next_commit_ts] (clock + 1), stamps and applies its rows,
+   logs, then publishes with [publish_commit_ts].  Readers calling
+   [snapshot] between those two points still see the old clock, so a
+   half-applied multi-table commit is never visible. *)
+
+let current_ts cat = Atomic.get cat.commit_ts
+let next_commit_ts cat = Atomic.get cat.commit_ts + 1
+
+let publish_commit_ts cat ts =
+  if ts > Atomic.get cat.commit_ts then Atomic.set cat.commit_ts ts
+
+let snapshot cat = Mvcc.read_only ~at:(Atomic.get cat.commit_ts)
 
 let locked cat f = Mutex.protect cat.lock f
 

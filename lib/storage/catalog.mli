@@ -26,6 +26,31 @@ val stats_epoch : t -> int
     (re)computed or invalidated.  Part of the plan-cache key: a plan
     chosen under superseded statistics can never be served warm. *)
 
+(** {1 Commit clock and snapshots}
+
+    The global commit timestamp orders every committed write.  It only
+    advances under the engine's commit lock: a writer reserves
+    {!next_commit_ts}, stamps and applies its rows, logs them, and makes
+    the commit visible with {!publish_commit_ts}.  Snapshots taken in
+    between still read the old clock, so a half-applied multi-table
+    commit is never observable. *)
+
+val current_ts : t -> int
+(** The clock's current value — the horizon a fresh snapshot pins. *)
+
+val next_commit_ts : t -> int
+(** The timestamp the next commit will stamp its rows with.  Call only
+    under the engine's commit lock. *)
+
+val publish_commit_ts : t -> int -> unit
+(** Advance the clock to [ts] (monotone; lesser values are ignored),
+    making every row stamped [<= ts] visible to new snapshots. *)
+
+val snapshot : t -> Mvcc.t
+(** An immutable snapshot handle pinned at the current clock.  Reads
+    resolved through it see exactly the transactions committed before it
+    was taken, regardless of concurrent writers. *)
+
 val add_table : t -> Table.t -> unit
 (** @raise Errors.Name_error if the name is taken. *)
 

@@ -12,14 +12,17 @@
 
    [refresh] must be safe to call from concurrent query domains (the
    parallel GApply execution phase runs per-group queries — and hence
-   their index probes — on a domain pool).  Staleness is decided by a
-   table version check against an atomic, so the steady-state call is a
-   wait-free no-op; an actual rebuild takes the per-index mutex and
-   re-checks, and publishing the new version through the atomic after
-   the rebuild means any reader that observes the fresh version also
-   observes the rebuilt hash table.  Tables never change mid-query
-   (mutation goes through DDL/insert paths only), so concurrent readers
-   cannot observe a rebuild in flight. *)
+   their index probes — on a domain pool), and under MVCC a writer may
+   commit *while* another session's query is probing.  A rebuild
+   therefore never mutates the store in place: it builds a fresh hash
+   table and publishes it with a single atomic swap.  Probers capture a
+   {!view} once per query; a captured view is immutable, so a concurrent
+   rebuild can never be observed in flight.  Staleness is decided by a
+   table version check against an atomic, so the steady-state refresh is
+   a wait-free no-op; an actual rebuild takes the per-index mutex and
+   re-checks, and publishing [built_version] after the store swap means
+   any reader that observes the fresh version also observes the rebuilt
+   store. *)
 
 type store =
   | By_value of int array Value.Tbl.t (* single column: key is the value *)
@@ -30,10 +33,13 @@ type t = {
   idx_table : string;
   idx_columns : string list;
   idx_positions : int list;         (* column positions in the table *)
-  store : store;                    (* key -> row offsets, insertion order *)
+  store : store Atomic.t;           (* key -> row offsets, insertion order;
+                                       swapped wholesale on rebuild *)
   built_version : int Atomic.t;     (* Table.version covered; -1 = never *)
   lock : Mutex.t;                   (* serialises rebuilds *)
 }
+
+type view = store
 
 let name t = t.idx_name
 let table t = t.idx_table
@@ -41,6 +47,11 @@ let columns t = t.idx_columns
 
 let key_of_row positions (row : Tuple.t) =
   Tuple.of_list (List.map (fun i -> Tuple.get row i) positions)
+
+let empty_store positions =
+  match positions with
+  | [ _ ] -> By_value (Value.Tbl.create 1024)
+  | _ -> By_tuple (Tuple.Tbl.create 1024)
 
 let create ~name ~(table : Table.t) ~columns : t =
   let schema = Table.schema table in
@@ -50,10 +61,7 @@ let create ~name ~(table : Table.t) ~columns : t =
     idx_table = Table.name table;
     idx_columns = columns;
     idx_positions;
-    store =
-      (match idx_positions with
-      | [ _ ] -> By_value (Value.Tbl.create 1024)
-      | _ -> By_tuple (Tuple.Tbl.create 1024));
+    store = Atomic.make (empty_store idx_positions);
     built_version = Atomic.make (-1);
     lock = Mutex.create ();
   }
@@ -76,67 +84,80 @@ let build (type k) ~(find : k -> int list option) ~(add : k -> int list -> unit)
       replace key (Array.of_list (List.rev offsets)))
 
 (** (Re)build the index over the table's current contents.  No-op (a
-    single atomic read) when already fresh; thread-safe otherwise. *)
+    single atomic read) when already fresh; thread-safe otherwise, and
+    never disturbs views captured by in-flight probers. *)
 let refresh (t : t) (table : Table.t) =
   let v = Table.version table in
   if Atomic.get t.built_version <> v then begin
     Mutex.lock t.lock;
     (* another domain may have rebuilt while we waited *)
     if Atomic.get t.built_version <> v then begin
-      (match (t.store, t.idx_positions) with
-      | By_value tbl, [ pos ] ->
-          let acc : int list Value.Tbl.t = Value.Tbl.create 1024 in
-          Value.Tbl.reset tbl;
-          build table ~key_of:(fun row -> Tuple.get row pos)
-            ~find:(Value.Tbl.find_opt acc)
-            ~add:(Value.Tbl.replace acc)
-            ~replace:(Value.Tbl.replace tbl)
-            ~keys:(fun f -> Value.Tbl.iter (fun k _ -> f k) acc)
-      | By_tuple tbl, positions ->
-          let acc : int list Tuple.Tbl.t = Tuple.Tbl.create 1024 in
-          Tuple.Tbl.reset tbl;
-          build table ~key_of:(key_of_row positions)
-            ~find:(Tuple.Tbl.find_opt acc)
-            ~add:(Tuple.Tbl.replace acc)
-            ~replace:(Tuple.Tbl.replace tbl)
-            ~keys:(fun f -> Tuple.Tbl.iter (fun k _ -> f k) acc)
-      | By_value _, _ -> assert false);
-      (* release-publish: readers that see [v] see the rebuilt table *)
+      let fresh =
+        match t.idx_positions with
+        | [ pos ] ->
+            let tbl : int array Value.Tbl.t = Value.Tbl.create 1024 in
+            let acc : int list Value.Tbl.t = Value.Tbl.create 1024 in
+            build table ~key_of:(fun row -> Tuple.get row pos)
+              ~find:(Value.Tbl.find_opt acc)
+              ~add:(Value.Tbl.replace acc)
+              ~replace:(Value.Tbl.replace tbl)
+              ~keys:(fun f -> Value.Tbl.iter (fun k _ -> f k) acc);
+            By_value tbl
+        | positions ->
+            let tbl : int array Tuple.Tbl.t = Tuple.Tbl.create 1024 in
+            let acc : int list Tuple.Tbl.t = Tuple.Tbl.create 1024 in
+            build table ~key_of:(key_of_row positions)
+              ~find:(Tuple.Tbl.find_opt acc)
+              ~add:(Tuple.Tbl.replace acc)
+              ~replace:(Tuple.Tbl.replace tbl)
+              ~keys:(fun f -> Tuple.Tbl.iter (fun k _ -> f k) acc);
+            By_tuple tbl
+      in
+      Atomic.set t.store fresh;
+      (* release-publish: readers that see [v] see the rebuilt store *)
       Atomic.set t.built_version v
     end;
     Mutex.unlock t.lock
   end
 
-let find_bucket (t : t) (key : Tuple.t) : int array option =
-  match t.store with
+let view (t : t) : view = Atomic.get t.store
+
+let view_find_bucket (s : view) (key : Tuple.t) : int array option =
+  match s with
   | By_value tbl -> Value.Tbl.find_opt tbl (Tuple.get key 0)
   | By_tuple tbl -> Tuple.Tbl.find_opt tbl key
 
-(** Row offsets matching [key], in insertion order. *)
-let lookup (t : t) (key : Tuple.t) : int list =
-  match find_bucket t key with
-  | Some offsets -> Array.to_list offsets
-  | None -> []
-
-(** Allocation-free probe: call [f] on each matching offset in
-    insertion order — the join's per-row hot path. *)
-let iter_bucket (t : t) (key : Tuple.t) (f : int -> unit) : unit =
-  match find_bucket t key with
+(** Allocation-free probe against a captured view: call [f] on each
+    matching offset in insertion order — the join's per-row hot path. *)
+let view_iter_bucket (s : view) (key : Tuple.t) (f : int -> unit) : unit =
+  match view_find_bucket s key with
   | Some offsets -> Array.iter f offsets
   | None -> ()
 
-(** [iter_single] is {!iter_bucket} for a single-column index, probing
-    with the bare value — no key tuple on the hot path.
+(** [view_iter_single] is {!view_iter_bucket} for a single-column index,
+    probing with the bare value — no key tuple on the hot path.
     @raise Invalid_argument on a multi-column index. *)
-let iter_single (t : t) (v : Value.t) (f : int -> unit) : unit =
-  match t.store with
+let view_iter_single (s : view) (v : Value.t) (f : int -> unit) : unit =
+  match s with
   | By_value tbl -> (
       match Value.Tbl.find_opt tbl v with
       | Some offsets -> Array.iter f offsets
       | None -> ())
   | By_tuple _ -> invalid_arg "Index.iter_single: multi-column index"
 
+(** Row offsets matching [key], in insertion order. *)
+let lookup (t : t) (key : Tuple.t) : int list =
+  match view_find_bucket (view t) key with
+  | Some offsets -> Array.to_list offsets
+  | None -> []
+
+let iter_bucket (t : t) (key : Tuple.t) (f : int -> unit) : unit =
+  view_iter_bucket (view t) key f
+
+let iter_single (t : t) (v : Value.t) (f : int -> unit) : unit =
+  view_iter_single (view t) v f
+
 let cardinality (t : t) =
-  match t.store with
+  match Atomic.get t.store with
   | By_value tbl -> Value.Tbl.length tbl
   | By_tuple tbl -> Tuple.Tbl.length tbl

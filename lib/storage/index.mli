@@ -15,7 +15,25 @@ val columns : t -> string list
 val refresh : t -> Table.t -> unit
 (** (Re)build over the table's current contents when stale (decided by
     a {!Table.version} check, so the fresh case is a wait-free no-op).
-    Safe to call from concurrent query domains. *)
+    Safe to call from concurrent query domains; rebuilds publish a fresh
+    store by atomic swap and never disturb captured {!view}s. *)
+
+type view
+(** An immutable probe handle over one build of the index.  Capture once
+    per query (after {!refresh}); a concurrent rebuild swaps the index's
+    store but never mutates a captured view, so probes stay consistent
+    even while a writer commits. *)
+
+val view : t -> view
+
+val view_iter_bucket : view -> Tuple.t -> (int -> unit) -> unit
+(** Apply a function to each offset matching the key, in insertion
+    order, without materializing the bucket. *)
+
+val view_iter_single : view -> Value.t -> (int -> unit) -> unit
+(** {!view_iter_bucket} for a single-column index, probing with the bare
+    value — the hot path allocates no key tuple.
+    @raise Invalid_argument on a multi-column index. *)
 
 val lookup : t -> Tuple.t -> int list
 (** Row offsets matching the key, in insertion order. *)

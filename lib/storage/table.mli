@@ -1,7 +1,15 @@
-(** Stored tables: a schema, a growable row store, and key metadata.
+(** Stored tables: a schema, a growable multi-version row store, and key
+    metadata.
 
     Primary/foreign key declarations exist so the optimizer can
-    recognise foreign-key joins (paper Section 4.3, Definition 2). *)
+    recognise foreign-key joins (paper Section 4.3, Definition 2).
+
+    The row store is append-only with a per-row begin (commit)
+    timestamp.  Commits are serialized under the engine's commit lock,
+    so stamps are nondecreasing and the rows visible at a snapshot
+    timestamp form a prefix — visibility checks are one binary search,
+    not a per-row test.  Readers synchronize with writers through an
+    atomic published watermark and never take a lock. *)
 
 type foreign_key = {
   fk_columns : string list;      (** columns of this table *)
@@ -30,17 +38,41 @@ val version : t -> int
 (** Monotonic modification counter, bumped on every insert/clear.
     Indexes compare against it to decide whether they are stale. *)
 
+val last_commit_ts : t -> int
+(** Largest commit stamp in the table — the timestamp of the last
+    transaction that wrote it.  First-committer-wins conflict detection
+    compares this against a transaction's snapshot timestamp. *)
+
 val primary_key : t -> string list
 val foreign_keys : t -> foreign_key list
 
-val insert : t -> Tuple.t -> unit
-(** @raise Errors.Exec_error on arity mismatch. *)
-
-(** All-or-nothing batch insert: every row is validated before any is
-    stored, and {!version} is bumped once per batch.  A row failing its
-    arity check leaves the table (and its version) untouched.
+val insert : ?ts:int -> t -> Tuple.t -> unit
+(** Append one row stamped with commit timestamp [ts] (default: the
+    table's current {!last_commit_ts}, i.e. fold into the latest
+    committed state — what recovery replay and test fixtures want).
+    Stamps are forced nondecreasing.
     @raise Errors.Exec_error on arity mismatch. *)
-val insert_all : t -> Tuple.t list -> unit
+
+val insert_all : ?ts:int -> t -> Tuple.t list -> unit
+(** All-or-nothing batch insert: every row is validated before any is
+    stored, {!version} is bumped once per batch, and the batch becomes
+    visible to concurrent snapshot readers atomically (single watermark
+    publish).  A row failing its arity check leaves the table (and its
+    version) untouched.
+    @raise Errors.Exec_error on arity mismatch. *)
+
+val check_rows : t -> Tuple.t list -> unit
+(** Validate rows against the schema without storing them — staging-time
+    validation for transactions, so a bad statement fails before any
+    version is created.
+    @raise Errors.Exec_error on arity mismatch. *)
+
+val encode_row : t -> Tuple.t -> Tuple.t
+(** Dictionary-encode a row exactly as {!insert} would (idempotent;
+    identity when the table has no dictionary).  Staged transaction
+    writes are encoded up front so read-your-own-writes scans see the
+    same representation as committed rows. *)
+
 val clear : t -> unit
 val rows : t -> Tuple.t list
 
@@ -48,7 +80,19 @@ val get_row : t -> int -> Tuple.t
 (** Row by physical offset (used by indexes).
     @raise Errors.Exec_error out of range. *)
 
+val visible_count : t -> at:int -> int
+(** Number of rows with commit stamp [<= at] — the length of the prefix
+    a snapshot taken at timestamp [at] may read.  Lock-free. *)
+
+val rows_at : t -> at:int -> Tuple.t array
+(** Copy of the prefix visible at [at]. *)
+
+val to_relation_at : t -> at:int -> Relation.t
+(** Snapshot-resolved scan: only rows committed at or before [at]. *)
+
 val to_relation : t -> Relation.t
+(** Latest-committed scan (all published rows). *)
+
 val iter : (Tuple.t -> unit) -> t -> unit
 
 val dict_stats : t -> Dict_stats.t option

@@ -44,6 +44,8 @@ type outcome = {
   snapshot_loaded : bool;
   replayed : int;                 (* WAL records re-applied *)
   quarantined : Errors.recovery_violation option;
+  uncommitted_skipped : int;      (* statements of an in-flight transaction
+                                     discarded with its trailing group *)
   recovered_epoch : int;          (* epoch the reopened WAL runs under *)
   recovered_wal_length : int;
 }
@@ -53,16 +55,16 @@ let file_size path =
   | { Unix.st_size; _ } -> Some st_size
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> None
 
-(* copy the torn bytes aside, then cut the log back to its last valid
-   record so the reopened WAL appends over clean ground *)
-let quarantine_tail ~stats ~dir ~epoch path (scan : Wal.scan_result) =
-  let tail_len = scan.file_length - scan.valid_length in
+(* copy everything from [from] aside, then cut the log back so the
+   reopened WAL appends over clean ground *)
+let quarantine_tail ~stats ~dir ~epoch path ~from ~file_length =
+  let tail_len = file_length - from in
   let ic = open_in_bin path in
   let tail =
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
-        seek_in ic scan.valid_length;
+        seek_in ic from;
         really_input_string ic tail_len)
   in
   let qpath = quarantine_path dir ~epoch in
@@ -70,10 +72,29 @@ let quarantine_tail ~stats ~dir ~epoch path (scan : Wal.scan_result) =
   output_string oc tail;
   close_out oc;
   let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
-  Unix.ftruncate fd scan.valid_length;
+  Unix.ftruncate fd from;
   Unix.fsync fd;
   Unix.close fd;
   Wal_stats.record_quarantine stats ~bytes:tail_len
+
+(* A transaction group whose commit marker never made it to disk is a
+   crash artifact exactly like a torn record: the transaction was never
+   acknowledged.  [Store.log_txn] appends whole groups, so an open group
+   can only be the log's trailing records; this returns where it starts
+   (and its id and statement count) so recovery can quarantine from
+   there — keeping the invariant that a reopened log never holds an
+   embedded unterminated group. *)
+let uncommitted_cut (records : (int * Wal.record) list) =
+  List.fold_left
+    (fun acc (off, r) ->
+      match r with
+      | Wal.Txn_begin id -> Some (off, id, 0)
+      | Wal.Txn_commit _ -> None
+      | Wal.Stmt _ | Wal.Load_tpch _ -> (
+          match acc with
+          | Some (o, id, n) -> Some (o, id, n + 1)
+          | None -> None))
+    None records
 
 let replay_record catalog = function
   | Wal.Stmt sql ->
@@ -81,16 +102,23 @@ let replay_record catalog = function
         (Sql_binder.bind_statement catalog (Sql_parser.parse_statement sql))
   | Wal.Load_tpch { seed; msf } ->
       ignore (Tpch_gen.load ?seed catalog ~msf)
+  | Wal.Txn_begin _ | Wal.Txn_commit _ ->
+      (* group markers: recovery only ever replays complete groups (an
+         unterminated trailing group is quarantined before replay), so
+         the statements between the markers apply directly *)
+      ()
 
 let replay ~stats catalog records ~from_offset =
   let n =
     List.fold_left
       (fun n (offset, record) ->
-        if offset >= from_offset then begin
-          replay_record catalog record;
-          n + 1
-        end
-        else n)
+        if offset < from_offset then n
+        else
+          match record with
+          | Wal.Txn_begin _ | Wal.Txn_commit _ -> n
+          | record ->
+              replay_record catalog record;
+              n + 1)
       0 records
   in
   Wal_stats.record_replayed stats n;
@@ -127,6 +155,7 @@ let recover ?(stats = Wal_stats.create ()) dir =
           snapshot_loaded = false;
           replayed = 0;
           quarantined = None;
+          uncommitted_skipped = 0;
           recovered_epoch = 0;
           recovered_wal_length = Wal.length wal;
         } )
@@ -154,18 +183,40 @@ let recover ?(stats = Wal_stats.create ()) dir =
                 snap_epoch scan.scanned_epoch
       in
       ignore snap_epoch;
-      let quarantined =
-        match scan.torn with
-        | None -> None
-        | Some v ->
-            quarantine_tail ~stats ~dir ~epoch:scan.scanned_epoch wal_file
-              scan;
-            Some v
+      (* an in-flight transaction's trailing group subsumes any torn
+         record beyond it: quarantine from whichever cut comes first *)
+      let records, valid_length, quarantined, uncommitted_skipped =
+        match uncommitted_cut scan.records with
+        | Some (cut, id, stmts) ->
+            let v =
+              {
+                Errors.rkind = Errors.Torn_tail;
+                at_offset = cut;
+                rdetail =
+                  Printf.sprintf
+                    "transaction %d in flight at the crash (%d statement(s), \
+                     %d byte(s))"
+                    id stmts (scan.file_length - cut);
+              }
+            in
+            ( List.filter (fun (o, _) -> o < cut) scan.records,
+              cut,
+              Some v,
+              stmts )
+        | None -> (
+            match scan.torn with
+            | None -> (scan.records, scan.valid_length, None, 0)
+            | Some v -> (scan.records, scan.valid_length, Some v, 0))
       in
-      let replayed = replay ~stats catalog scan.records ~from_offset in
+      (match quarantined with
+      | Some _ ->
+          quarantine_tail ~stats ~dir ~epoch:scan.scanned_epoch wal_file
+            ~from:valid_length ~file_length:scan.file_length
+      | None -> ());
+      let replayed = replay ~stats catalog records ~from_offset in
       let wal =
         Wal.open_existing ~stats wal_file ~epoch:scan.scanned_epoch
-          ~length:scan.valid_length
+          ~length:valid_length
       in
       ( catalog,
         wal,
@@ -173,8 +224,9 @@ let recover ?(stats = Wal_stats.create ()) dir =
           snapshot_loaded = snapshot <> None;
           replayed;
           quarantined;
+          uncommitted_skipped;
           recovered_epoch = scan.scanned_epoch;
-          recovered_wal_length = scan.valid_length;
+          recovered_wal_length = valid_length;
         } )
   | Some { Snapshot.catalog; snap_epoch; _ }, None ->
       (* snapshot without a log: trust it and start a fresh log one
@@ -186,6 +238,7 @@ let recover ?(stats = Wal_stats.create ()) dir =
           snapshot_loaded = true;
           replayed = 0;
           quarantined = None;
+          uncommitted_skipped = 0;
           recovered_epoch = snap_epoch + 1;
           recovered_wal_length = Wal.length wal;
         } )
@@ -198,10 +251,14 @@ let db_digest catalog = Digest.to_hex (Digest.string (Snapshot.encode_body catal
 
 let outcome_to_string o =
   Printf.sprintf
-    "recovered epoch %d: snapshot %s, %d record(s) replayed%s"
+    "recovered epoch %d: snapshot %s, %d record(s) replayed%s%s"
     o.recovered_epoch
     (if o.snapshot_loaded then "loaded" else "absent")
     o.replayed
     (match o.quarantined with
     | None -> ""
     | Some v -> ", quarantined " ^ Errors.recovery_violation_to_string v)
+    (if o.uncommitted_skipped = 0 then ""
+     else
+       Printf.sprintf ", %d uncommitted statement(s) discarded"
+         o.uncommitted_skipped)

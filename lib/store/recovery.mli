@@ -10,10 +10,14 @@
 
     A torn WAL tail — the one state a crash legitimately produces — is
     copied to [wal.quarantine-<epoch>], truncated away, and reported in
-    the {!outcome} (typed, not raised).  Mid-log corruption, a bad
-    snapshot checksum, or disagreeing epochs abort with
-    {!Errors.Recovery_error}: silently dropping committed statements is
-    the failure mode this module exists to prevent. *)
+    the {!outcome} (typed, not raised).  A transaction group whose
+    commit marker never reached the disk is the same artifact one level
+    up: the whole trailing group (begin marker onward) is quarantined,
+    so recovery replays exactly the committed transactions and a
+    reopened log never holds an embedded unterminated group.  Mid-log
+    corruption, a bad snapshot checksum, or disagreeing epochs abort
+    with {!Errors.Recovery_error}: silently dropping committed
+    statements is the failure mode this module exists to prevent. *)
 
 val wal_path : string -> string
 val snapshot_path : string -> string
@@ -23,7 +27,11 @@ type outcome = {
   snapshot_loaded : bool;
   replayed : int;  (** WAL records re-applied against the catalog *)
   quarantined : Errors.recovery_violation option;
-      (** the torn tail, if one was cut off *)
+      (** the torn tail or in-flight transaction group, if one was cut
+          off *)
+  uncommitted_skipped : int;
+      (** statements of an in-flight (never-committed) transaction
+          discarded with its trailing group *)
   recovered_epoch : int;
   recovered_wal_length : int;
 }

@@ -133,6 +133,21 @@ let log_record t record =
 let log_statement t sql = log_record t (Wal.Stmt sql)
 let log_load_tpch t ~seed ~msf = log_record t (Wal.Load_tpch { seed; msf })
 
+(* A committed transaction is logged as one contiguous group —
+   begin marker, its statements, commit marker — with a single sync
+   decision at the end (the whole group is one durability unit, so
+   Strict pays one fsync per transaction, not per statement).  The
+   checkpoint trigger also runs once, after the group: a checkpoint can
+   therefore never split a transaction across the snapshot boundary. *)
+let log_txn t ~id stmts =
+  if t.durability <> Off then begin
+    ignore (Wal.append t.wal (Wal.Txn_begin id));
+    List.iter (fun sql -> ignore (Wal.append t.wal (Wal.Stmt sql))) stmts;
+    ignore (Wal.append t.wal (Wal.Txn_commit id));
+    sync_policy t;
+    maybe_checkpoint t
+  end
+
 let close t =
   if not t.closed then begin
     if t.durability <> Off then Wal.fsync t.wal;

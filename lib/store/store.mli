@@ -56,6 +56,13 @@ val log_statement : t -> string -> unit
 val log_load_tpch : t -> seed:int option -> msf:float -> unit
 (** Log a deterministic TPC-H bulk load by its parameters. *)
 
+val log_txn : t -> id:int -> string list -> unit
+(** Log a committed transaction as one contiguous group —
+    [Txn_begin id], its statements, [Txn_commit id] — with a single
+    sync-policy decision for the whole group (one fsync per transaction
+    under [Strict]) and one checkpoint check after it, so a checkpoint
+    never splits a group.  A no-op under [Off]. *)
+
 val flush : t -> unit
 (** Fsync any pending records regardless of mode. *)
 

@@ -34,6 +34,13 @@
 type record =
   | Stmt of string  (* canonical SQL text of a committed DDL/DML statement *)
   | Load_tpch of { seed : int option; msf : float }
+  | Txn_begin of int   (* opens a transaction group: the following Stmt
+                          records belong to transaction [id] ... *)
+  | Txn_commit of int  (* ... and take effect only when its commit marker
+                          is durable.  The whole group is appended at
+                          COMMIT time, so a crash can only ever leave an
+                          unterminated (= uncommitted) trailing group,
+                          which recovery discards. *)
 
 let magic = "GWAL0001"
 let header_len = 16
@@ -84,12 +91,26 @@ let encode_payload = function
              (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF))
       done;
       Buffer.contents buf
+  | Txn_begin id ->
+      let buf = Buffer.create 9 in
+      Buffer.add_char buf '\003';
+      put_u64 buf id;
+      Buffer.contents buf
+  | Txn_commit id ->
+      let buf = Buffer.create 9 in
+      Buffer.add_char buf '\004';
+      put_u64 buf id;
+      Buffer.contents buf
 
 let decode_payload payload =
   if payload = "" then Error "empty payload"
   else
     match payload.[0] with
     | '\001' -> Ok (Stmt (String.sub payload 1 (String.length payload - 1)))
+    | '\003' when String.length payload = 9 -> Ok (Txn_begin (get_u64 payload 1))
+    | '\004' when String.length payload = 9 ->
+        Ok (Txn_commit (get_u64 payload 1))
+    | ('\003' | '\004') -> Error "bad txn marker payload size"
     | '\002' ->
         if String.length payload <> 18 then Error "bad load_tpch payload size"
         else
@@ -111,6 +132,8 @@ let record_to_string = function
   | Load_tpch { seed; msf } ->
       Printf.sprintf "load_tpch msf=%g%s" msf
         (match seed with Some s -> Printf.sprintf " seed=%d" s | None -> "")
+  | Txn_begin id -> Printf.sprintf "txn_begin %d" id
+  | Txn_commit id -> Printf.sprintf "txn_commit %d" id
 
 let encode_record r =
   let payload = encode_payload r in

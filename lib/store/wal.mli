@@ -24,6 +24,15 @@ type record =
       (** canonical SQL text of a committed DDL/DML statement *)
   | Load_tpch of { seed : int option; msf : float }
       (** parameters of a deterministic [load_tpch] bulk load *)
+  | Txn_begin of int
+      (** opens transaction group [id]: the [Stmt] records that follow
+          belong to it and take effect only if its commit marker is
+          durable *)
+  | Txn_commit of int
+      (** closes transaction group [id].  Whole groups are appended at
+          COMMIT time, so a crash leaves at most one unterminated
+          trailing group — an uncommitted transaction recovery
+          discards. *)
 
 val record_to_string : record -> string
 

@@ -193,12 +193,12 @@ let order_date rng =
     (the paper's workload) plus customer/orders/lineitem (used by the
     multi-level XML publishing view).  Deterministic in [seed] and
     [msf]. *)
-let load ?(seed = 20030609) (catalog : Catalog.t) ~msf =
+let load ?(seed = 20030609) ?ts (catalog : Catalog.t) ~msf =
   let sc = scale_of_msf msf in
   let rng = Prng.create seed in
   let supplier = supplier_table () in
   for k = 1 to sc.suppliers do
-    Table.insert supplier
+    Table.insert ?ts supplier
       (Tuple.of_list
          [
            Value.Int k;
@@ -212,7 +212,7 @@ let load ?(seed = 20030609) (catalog : Catalog.t) ~msf =
   done;
   let part = part_table () in
   for k = 1 to sc.parts do
-    Table.insert part
+    Table.insert ?ts part
       (Tuple.of_list
          [
            Value.Int k;
@@ -230,7 +230,7 @@ let load ?(seed = 20030609) (catalog : Catalog.t) ~msf =
   for p = 1 to sc.parts do
     for i = 0 to sc.suppliers_per_part - 1 do
       let s = supplier_of_part ~suppliers:sc.suppliers ~part_key:p i in
-      Table.insert partsupp
+      Table.insert ?ts partsupp
         (Tuple.of_list
            [
              Value.Int s;
@@ -245,7 +245,7 @@ let load ?(seed = 20030609) (catalog : Catalog.t) ~msf =
   let customers = max 2 (3 * sc.suppliers / 2) in
   let customer = customer_table () in
   for k = 1 to customers do
-    Table.insert customer
+    Table.insert ?ts customer
       (Tuple.of_list
          [
            Value.Int k;
@@ -268,7 +268,7 @@ let load ?(seed = 20030609) (catalog : Catalog.t) ~msf =
         let qty = Prng.range rng 1 50 in
         let price = retail_price p *. float_of_int qty in
         total := !total +. price;
-        Table.insert lineitem
+        Table.insert ?ts lineitem
           (Tuple.of_list
              [
                Value.Int o;
@@ -278,7 +278,7 @@ let load ?(seed = 20030609) (catalog : Catalog.t) ~msf =
                Value.Float price;
              ])
       done;
-      Table.insert orders
+      Table.insert ?ts orders
         (Tuple.of_list
            [
              Value.Int o;

@@ -23,9 +23,12 @@ val retail_price : int -> float
 val supplier_of_part : suppliers:int -> part_key:int -> int -> int
 (** The TPC-H supplier-spreading formula: the i-th supplier of a part. *)
 
-val load : ?seed:int -> Catalog.t -> msf:float -> scale
+val load : ?seed:int -> ?ts:int -> Catalog.t -> msf:float -> scale
 (** Generate and load the three tables.  Deterministic in [seed]
-    (default fixed) and [msf]. *)
+    (default fixed) and [msf].  [ts] stamps every generated row with
+    that commit timestamp (the engine reserves one so the bulk load
+    commits atomically with respect to snapshot readers); without it
+    rows fold into each table's latest committed version. *)
 
 val catalog : ?seed:int -> msf:float -> unit -> Catalog.t
 (** A fresh catalog pre-loaded at the given scale. *)

@@ -30,4 +30,5 @@ let () =
       ("crash", Test_crash.suite);
       ("stats", Test_stats.suite);
       ("plan-choice", Test_plan_choice.suite);
+      ("mvcc", Test_mvcc.suite);
     ]

@@ -60,6 +60,106 @@ let test_wal_roundtrip () =
   Alcotest.(check int) "valid = file length" scan.Wal.file_length
     scan.Wal.valid_length
 
+(* Transaction markers round-trip like any record, and a committed
+   group replays while an unterminated trailing group is quarantined
+   whole — recovery applies exactly the committed transactions. *)
+let test_wal_txn_group_roundtrip () =
+  let dir = tmpdir () in
+  let path = Recovery.wal_path dir in
+  let wal = Wal.create path ~epoch:0 in
+  let records =
+    [
+      Wal.Stmt "create table t (a int)";
+      Wal.Txn_begin 7;
+      Wal.Stmt "insert into t values (1)";
+      Wal.Stmt "insert into t values (2)";
+      Wal.Txn_commit 7;
+    ]
+  in
+  List.iter (fun r -> ignore (Wal.append wal r)) records;
+  Wal.fsync wal;
+  Wal.close wal;
+  let scan = Wal.scan path in
+  Alcotest.(check bool) "no tear" true (scan.Wal.torn = None);
+  Alcotest.(check (list string)) "markers round-trip"
+    (List.map Wal.record_to_string records)
+    (List.map (fun (_, r) -> Wal.record_to_string r) scan.Wal.records);
+  (* recovery replays the committed group *)
+  let cat, wal', outcome = Recovery.recover dir in
+  Wal.close wal';
+  Alcotest.(check int) "both inserts replayed" 2
+    (Table.cardinality (Catalog.find_table cat "t"));
+  Alcotest.(check int) "markers are not counted as replayed statements" 3
+    outcome.Recovery.replayed;
+  Alcotest.(check int) "nothing skipped" 0
+    outcome.Recovery.uncommitted_skipped
+
+let test_wal_uncommitted_tail_quarantined () =
+  let dir = tmpdir () in
+  let path = Recovery.wal_path dir in
+  let wal = Wal.create path ~epoch:0 in
+  List.iter
+    (fun r -> ignore (Wal.append wal r))
+    [
+      Wal.Stmt "create table t (a int)";
+      Wal.Stmt "insert into t values (1)";
+      (* a transaction whose commit marker never reached the disk *)
+      Wal.Txn_begin 3;
+      Wal.Stmt "insert into t values (2)";
+      Wal.Stmt "insert into t values (3)";
+    ];
+  Wal.fsync wal;
+  Wal.close wal;
+  let cat, wal', outcome = Recovery.recover dir in
+  Alcotest.(check int) "only the committed prefix replayed" 1
+    (Table.cardinality (Catalog.find_table cat "t"));
+  Alcotest.(check int) "the in-flight statements were counted" 2
+    outcome.Recovery.uncommitted_skipped;
+  (match outcome.Recovery.quarantined with
+  | Some v ->
+      Alcotest.(check bool) "quarantined as a torn tail" true
+        (v.Errors.rkind = Errors.Torn_tail)
+  | None -> Alcotest.fail "expected the in-flight group to be quarantined");
+  (* the reopened log holds no trace of the group: a second recovery is
+     clean and idempotent *)
+  Wal.close wal';
+  let cat2, wal2, outcome2 = Recovery.recover dir in
+  Wal.close wal2;
+  Alcotest.(check int) "idempotent" 1
+    (Table.cardinality (Catalog.find_table cat2 "t"));
+  Alcotest.(check bool) "second recovery sees a clean log" true
+    (outcome2.Recovery.quarantined = None)
+
+(* Store.log_txn writes one contiguous group and recovery replays it
+   through the engine; a transaction left open at close time (staged
+   only, never logged) leaves no trace. *)
+let test_engine_txn_commit_durable () =
+  let dir = tmpdir () in
+  let db = Engine.create ~data_dir:dir ~durability:Store.Strict () in
+  exec_ok db "create table t (a int, b text)";
+  let sess = Engine.new_session db in
+  exec_ok db "insert into t values (1, 'auto')";
+  ignore (Engine.exec_session sess "begin");
+  ignore (Engine.exec_session sess "insert into t values (2, 'txn')");
+  ignore (Engine.exec_session sess "insert into t values (3, 'txn')");
+  (match Engine.exec_session sess "commit" with
+  | Engine.Message _ -> ()
+  | o -> Alcotest.failf "commit failed: %s" (msg_or_fail o));
+  (* a second transaction stays open: staged rows are memory-only *)
+  ignore (Engine.exec_session sess "begin");
+  ignore (Engine.exec_session sess "insert into t values (99, 'lost')");
+  let before = digest db in
+  (* abandon without close: strict mode means every *acknowledged*
+     commit is already durable *)
+  let recovered = Engine.create ~data_dir:dir () in
+  Alcotest.(check string)
+    "committed transaction survives, open transaction does not" before
+    (digest recovered);
+  Alcotest.(check int) "three committed rows" 3
+    (Table.cardinality (Catalog.find_table (Engine.catalog recovered) "t"));
+  Engine.close recovered;
+  Engine.close db
+
 let test_wal_torn_tail () =
   let dir = tmpdir () in
   let path = Recovery.wal_path dir in
@@ -389,6 +489,12 @@ let suite =
       test_wal_roundtrip;
     Alcotest.test_case "wal: torn tail ends the readable prefix, typed" `Quick
       test_wal_torn_tail;
+    Alcotest.test_case "wal: txn group round-trips and replays committed"
+      `Quick test_wal_txn_group_roundtrip;
+    Alcotest.test_case "wal: unterminated txn group is quarantined whole"
+      `Quick test_wal_uncommitted_tail_quarantined;
+    Alcotest.test_case "engine: committed txn durable, open txn traceless"
+      `Quick test_engine_txn_commit_durable;
     Alcotest.test_case "wal: mid-log corruption refuses recovery" `Quick
       test_wal_midlog_corruption;
     Alcotest.test_case "snapshot: round-trip preserves rows, keys, indexes"
