@@ -1516,13 +1516,167 @@ let bench_vectorized ~msf ~repeat () =
       ("speedup", Json.Float (t_plain /. t_dict));
     ]
 
+(* ---------- section: network server (open-loop admission) ---------- *)
+
+(* Open-loop load against a real loopback server: requests fire on a
+   fixed schedule regardless of completions (each driver thread owns an
+   interleaved slice of the schedule), so queueing delay lands in the
+   measured latencies instead of silently throttling the offered rate —
+   the coordinated-omission trap a closed-loop driver falls into.
+   Latency is send-to-response on the wire; percentiles cover admitted
+   statements only, sheds are counted separately.  One run below
+   measured capacity (shedding must not engage) and one at 2x capacity
+   (typed sheds must engage while admitted latency stays bounded by the
+   admission deadline plus service time). *)
+
+let bench_server ~msf ~repeat:_ () =
+  (* a deliberately heavy statement keeps capacity at tens of
+     statements/s, so 2x overload is reachable from a handful of driver
+     threads; cap the scale so full-msf runs stay bounded *)
+  let msf = Float.min msf 0.2 in
+  Format.printf "@.=== Network server: open-loop admission (msf %g) ===@." msf;
+  let stmt = "select count(*) as n from lineitem l1, lineitem l2" in
+  let admission_timeout_ms = 1000 in
+  let cfg =
+    {
+      Server.host = "127.0.0.1";
+      port = 0;
+      acceptors = 2;
+      max_concurrent = 4;
+      queue_depth = 16;
+      admission_timeout_ms;
+      idle_timeout_ms = 0;
+      http_port = None;
+    }
+  in
+  let db = Engine.create () in
+  Engine.load_tpch db ~msf;
+  let stats = Net_stats.create () in
+  let srv = Server.start ~stats cfg db in
+  let port = Server.port srv in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Engine.close db)
+    (fun () ->
+      let query_once c =
+        match Net_client.query c stmt with
+        | Wire.Rows _ -> `Ok
+        | Wire.Overloaded _ -> `Shed
+        | _ -> `Failed
+      in
+      (* closed-loop capacity probe: gate-many workers back to back *)
+      let capacity_qps =
+        let per_worker = 4 in
+        let completed = Atomic.make 0 in
+        let t0 = Metrics.now_ns () in
+        let ts =
+          List.init cfg.Server.max_concurrent (fun _ ->
+              Thread.create
+                (fun () ->
+                  let c = Net_client.connect ~port () in
+                  for _ = 1 to per_worker do
+                    match query_once c with
+                    | `Ok -> Atomic.incr completed
+                    | _ -> ()
+                  done;
+                  ignore (Net_client.quit c))
+                ())
+        in
+        List.iter Thread.join ts;
+        let dt = float_of_int (Metrics.now_ns () - t0) /. 1e9 in
+        float_of_int (Atomic.get completed) /. dt
+      in
+      Format.printf "capacity (closed loop, %d workers): %.1f statements/s@."
+        cfg.Server.max_concurrent capacity_qps;
+      let open_loop ~rate ~n ~workers =
+        let mu = Mutex.create () in
+        let admitted = ref [] and sheds = ref 0 and failed = ref 0 in
+        let t0 = Metrics.now_ns () in
+        let fire i c =
+          let sched = t0 + int_of_float (float_of_int i /. rate *. 1e9) in
+          let rec hold () =
+            let now = Metrics.now_ns () in
+            if now < sched then begin
+              Unix.sleepf
+                (Float.min 0.01 (float_of_int (sched - now) /. 1e9));
+              hold ()
+            end
+          in
+          hold ();
+          let t = Metrics.now_ns () in
+          let r = query_once c in
+          let lat_ms = float_of_int (Metrics.now_ns () - t) /. 1e6 in
+          Mutex.protect mu (fun () ->
+              match r with
+              | `Ok -> admitted := lat_ms :: !admitted
+              | `Shed -> incr sheds
+              | `Failed -> incr failed)
+        in
+        let ts =
+          List.init workers (fun w ->
+              Thread.create
+                (fun () ->
+                  let c = Net_client.connect ~port () in
+                  let i = ref w in
+                  while !i < n do
+                    fire !i c;
+                    i := !i + workers
+                  done;
+                  ignore (Net_client.quit c))
+                ())
+        in
+        List.iter Thread.join ts;
+        let lats = Array.of_list !admitted in
+        Array.sort compare lats;
+        let pct p =
+          if Array.length lats = 0 then Float.nan
+          else
+            lats.(Int.min
+                    (Array.length lats - 1)
+                    (int_of_float (p *. float_of_int (Array.length lats))))
+        in
+        (Array.length lats, pct, !sheds, !failed)
+      in
+      let run label rate n =
+        (* enough driver threads that offered in-flight load can exceed
+           gate + queue — otherwise the drivers themselves throttle the
+           open loop and shedding never engages *)
+        let workers = cfg.Server.max_concurrent + cfg.Server.queue_depth + 12 in
+        let adm, pct, sheds, failed = open_loop ~rate ~n ~workers in
+        Format.printf
+          "%-14s offered %6.1f/s  admitted %3d  shed %3d  p50 %7.1f ms  \
+           p99 %7.1f ms  p99.9 %7.1f ms@."
+          label rate adm sheds (pct 0.50) (pct 0.99) (pct 0.999);
+        record ~section:"server" ~query:label
+          [
+            ("offered_qps", Json.Float rate);
+            ("capacity_qps", Json.Float capacity_qps);
+            ("requests", Json.Int n);
+            ("admitted", Json.Int adm);
+            ("shed", Json.Int sheds);
+            ("failed", Json.Int failed);
+            ("shed_rate", Json.Float (float_of_int sheds /. float_of_int n));
+            ("p50_ms", Json.Float (pct 0.50));
+            ("p99_ms", Json.Float (pct 0.99));
+            ("p999_ms", Json.Float (pct 0.999));
+            ("max_concurrent", Json.Int cfg.Server.max_concurrent);
+            ("queue_depth", Json.Int cfg.Server.queue_depth);
+            ("admission_timeout_ms", Json.Int admission_timeout_ms);
+          ]
+      in
+      run "open-loop-0.5x" (0.5 *. capacity_qps) 24;
+      run "open-loop-2x" (2.0 *. capacity_qps) 96;
+      Format.printf "server counters: %a@." Net_stats.pp
+        (Net_stats.snapshot stats))
+
 (* ---------- driver ---------- *)
 
 let all_sections =
   [
     "figure8"; "table1"; "partitioning"; "parallel"; "clientsim";
     "pipeline"; "ablation"; "analyze"; "throughput"; "transactions";
-    "governor"; "durability"; "vectorized"; "micro";
+    "governor"; "durability"; "vectorized"; "server"; "micro";
   ]
 
 let run_section ~msf ~repeat = function
@@ -1539,6 +1693,7 @@ let run_section ~msf ~repeat = function
   | "governor" -> bench_governor ~msf ~repeat ()
   | "durability" -> bench_durability ~msf ~repeat ()
   | "vectorized" -> bench_vectorized ~msf ~repeat ()
+  | "server" -> bench_server ~msf ~repeat ()
   | "micro" -> bench_micro ()
   | other ->
       Format.eprintf "unknown section %s (known: %s)@." other

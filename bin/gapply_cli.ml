@@ -62,56 +62,26 @@ let run_statement db ~timing ~analyze src =
   with e when Errors.is_engine_error e ->
     Format.printf "error: %s@." (Errors.to_string e)
 
+(* REPL-local toggles (\q, \timing, \analyze) stay here; everything
+   else goes through the shared Meta dispatcher (also used by the
+   network server), so both front ends agree on commands, knob scoping
+   and typed unknown-command failures. *)
 let run_meta db ~timing ~analyze cmd =
   match String.split_on_char ' ' (String.trim cmd) with
   | [ "\\q" ] | [ "\\quit" ] -> raise Exit
-  | [ "\\tables" ] ->
-      List.iter
-        (fun name ->
-          let t = Catalog.find_table (Engine.catalog db) name in
-          Format.printf "%-12s %8d row(s)  %s@." name (Table.cardinality t)
-            (Schema.to_string (Table.schema t)))
-        (Catalog.table_names (Engine.catalog db))
-  | [ "\\stats"; table ] -> (
-      try Format.printf "%s" (Engine.stats_report db table)
-      with e when Errors.is_engine_error e ->
-        Format.printf "error: %s@." (Errors.to_string e))
   | [ "\\timing" ] ->
       timing := not !timing;
       Format.printf "timing %s@." (if !timing then "on" else "off")
   | [ "\\analyze" ] ->
       analyze := not !analyze;
       Format.printf "analyze %s@." (if !analyze then "on" else "off")
-  | [ "\\cache" ] -> Format.printf "%s@." (Engine.cache_report db)
-  | [ "\\governor" ] -> Format.printf "%s@." (Engine.governor_report db)
-  | [ "\\dict" ] -> Format.printf "%s@." (Engine.dict_report db)
-  | [ "\\wal" ] -> Format.printf "%s@." (Engine.wal_report db)
-  | [ "\\txn" ] -> Format.printf "%s@." (Engine.txn_report db)
-  | [ "\\checkpoint" ] -> (
-      try
-        let bytes = Engine.checkpoint db in
-        Format.printf "checkpoint: snapshot written (%s)@."
-          (Pretty.bytes bytes)
-      with e when Errors.is_engine_error e ->
-        Format.printf "error: %s@." (Errors.to_string e))
-  | [ ("\\timeout" | "\\rowlimit" | "\\memlimit") as knob; v ] -> (
-      let set =
-        match knob with
-        | "\\timeout" -> Engine.set_timeout_ms db
-        | "\\rowlimit" -> Engine.set_row_limit db
-        | _ -> Engine.set_mem_limit db
-      in
-      match v with
-      | "off" | "default" ->
-          set None;
-          Format.printf "%s off@." knob
-      | v -> (
-          match int_of_string_opt v with
-          | Some n when n > 0 ->
-              set (Some n);
-              Format.printf "%s %d@." knob n
-          | _ -> Format.printf "usage: %s <positive int> | off@." knob))
-  | _ -> Format.printf "unknown meta-command: %s@." cmd
+  | _ -> (
+      match Meta.run (Engine.session db) cmd with
+      | Engine.Message m ->
+          Format.printf "%s" m;
+          if m = "" || m.[String.length m - 1] <> '\n' then
+            Format.printf "@."
+      | outcome -> print_outcome false 0. outcome)
 
 let repl db ~analyze =
   let timing = ref false in

@@ -26,12 +26,21 @@ type t = {
   mutable batch_size : int;  (* rows per batch; 0 = scalar execution *)
   cache : Plan_cache.t;
   mutable cache_enabled : bool;
-  prepared : (string, prepared) Hashtbl.t;  (* SQL-level PREPARE names *)
   ddl_lock : Mutex.t;  (* serializes DDL/DML statement bodies — under
                           MVCC this is the commit lock: writers apply,
                           log and publish the commit timestamp under it,
                           while snapshot readers never take it *)
   mutable budget : Governor.budget;  (* per-statement resource budget *)
+  mutable always_governed : bool;
+      (* force a governor onto every statement even with an unlimited
+         budget: the network server needs every in-flight statement to
+         carry a cancellation token so a drain can abort it *)
+  inflight : (int, Governor.t) Hashtbl.t;
+      (* governors of currently executing statements, keyed by a
+         registration id — the drain path walks this to flip every
+         cancellation token *)
+  inflight_mu : Mutex.t;
+  inflight_seq : int Atomic.t;
   gov_stats : Gov_stats.t;
   store : Store.t option;  (* durability layer, when a data_dir is given *)
   recovery : Recovery.outcome option;  (* what opening the store found *)
@@ -45,12 +54,21 @@ type t = {
 
 and prepared = { p_sql : string; mutable p_entry : Plan_cache.entry }
 
-(* A session owns at most one open transaction.  Uncommitted writes
-   never touch shared tables: they stage here (pre-encoded through the
-   table's dictionary, so read-your-own-writes scans see the committed
-   representation) and are appended at COMMIT under the commit lock.
-   ROLLBACK just drops the buffer — there is nothing to undo. *)
-and session = { sdb : t; mutable txn : txn option }
+(* A session owns at most one open transaction, its own SQL-level
+   prepared-statement namespace, and (optionally) its own resource
+   budget — the per-connection state the network front end hands to
+   each wire client.  Uncommitted writes never touch shared tables:
+   they stage here (pre-encoded through the table's dictionary, so
+   read-your-own-writes scans see the committed representation) and are
+   appended at COMMIT under the commit lock.  ROLLBACK just drops the
+   buffer — there is nothing to undo. *)
+and session = {
+  sdb : t;
+  mutable txn : txn option;
+  mutable sbudget : Governor.budget option;
+      (* SET statement_* overlay; [None] inherits the engine budget *)
+  sprepared : (string, prepared) Hashtbl.t;  (* SQL-level PREPARE names *)
+}
 
 and txn = {
   txn_id : int;
@@ -138,7 +156,6 @@ let create ?(partition = Compile.Hash_partition) ?(optimize = true) ?cbo
     batch_size;
     cache = Plan_cache.create ~capacity:cache_capacity ();
     cache_enabled;
-    prepared = Hashtbl.create 8;
     ddl_lock = Mutex.create ();
     budget =
       {
@@ -146,6 +163,10 @@ let create ?(partition = Compile.Hash_partition) ?(optimize = true) ?cbo
         row_limit;
         mem_limit_bytes = mem_limit;
       };
+    always_governed = false;
+    inflight = Hashtbl.create 32;
+    inflight_mu = Mutex.create ();
+    inflight_seq = Atomic.make 0;
     gov_stats = Gov_stats.create ();
     store;
     recovery;
@@ -169,7 +190,22 @@ let txn_report db =
 
 (* ---------- sessions ---------- *)
 
-let new_session db = { sdb = db; txn = None }
+let new_session db =
+  { sdb = db; txn = None; sbudget = None; sprepared = Hashtbl.create 4 }
+
+let session_db sess = sess.sdb
+
+(* The budget a statement on this session runs under: the session's SET
+   statement_* overlay when one was set, the engine budget otherwise. *)
+let session_budget sess =
+  match sess.sbudget with Some b -> b | None -> sess.sdb.budget
+
+(* SQL SET of a budget knob is engine-global on the default (CLI /
+   embedded-API) session — the historical behavior — and a private
+   overlay anywhere else, so one network connection's
+   [SET statement_timeout_ms] never throttles its neighbors. *)
+let is_default_session sess =
+  match sess.sdb.dsess with Some s -> s == sess | None -> false
 
 (* The sessionless API (exec / exec_script / query) runs on a lazily
    created default session, so BEGIN works there too. *)
@@ -300,21 +336,64 @@ let governor_report db =
     | None -> "")
 
 (* A statement runs governed when any budget is set — or when a fault
-   plan is armed, because the fault sites live inside the governor's
-   wrappers. *)
-let governor_for db =
-  if Governor.is_unlimited db.budget && not (Fault.armed ()) then None
-  else Some (Governor.start db.budget)
+   plan is armed (the fault sites live inside the governor's wrappers),
+   or when the engine is in always-governed mode (the network server
+   needs a cancellation token on every statement so a drain can abort
+   in-flight work). *)
+let governor_for ?budget db =
+  let budget = match budget with Some b -> b | None -> db.budget in
+  if
+    Governor.is_unlimited budget
+    && not (Fault.armed ())
+    && not db.always_governed
+  then None
+  else Some (Governor.start budget)
 
-(* One governed attempt: create the statement's governor, run, record
-   any violation in the engine's counters, and keep the peak-accounted
-   gauge fresh either way. *)
-let governed_attempt : 'a. t -> (Governor.t option -> 'a) -> 'a =
- fun db run ->
-  match governor_for db with
+(* In-flight statement registry: every governed statement parks its
+   governor here for its whole execution, so [cancel_inflight] can flip
+   the cancellation token of everything currently running (the graceful
+   drain path).  Registration is two mutex ops per governed statement —
+   ungoverned statements skip it entirely. *)
+let register_inflight db gov =
+  let id = Atomic.fetch_and_add db.inflight_seq 1 in
+  Mutex.protect db.inflight_mu (fun () -> Hashtbl.replace db.inflight id gov);
+  id
+
+let unregister_inflight db id =
+  Mutex.protect db.inflight_mu (fun () -> Hashtbl.remove db.inflight id)
+
+let inflight_count db =
+  Mutex.protect db.inflight_mu (fun () -> Hashtbl.length db.inflight)
+
+(** Flip the cancellation token of every in-flight governed statement;
+    returns how many were cancelled.  Each aborts with a typed
+    [Cancelled] resource error at its next cursor pull, on whichever
+    domain it runs. *)
+let cancel_inflight db =
+  let govs =
+    Mutex.protect db.inflight_mu (fun () ->
+        Hashtbl.fold (fun _ g acc -> g :: acc) db.inflight [])
+  in
+  List.iter Governor.cancel govs;
+  List.length govs
+
+let set_always_governed db b = db.always_governed <- b
+let always_governed db = db.always_governed
+
+(* One governed attempt: create the statement's governor, register it
+   in-flight, run, record any violation in the engine's counters, and
+   keep the peak-accounted gauge fresh either way. *)
+let governed_attempt : 'a. ?budget:Governor.budget -> t ->
+    (Governor.t option -> 'a) -> 'a =
+ fun ?budget db run ->
+  match governor_for ?budget db with
   | None -> run None
   | Some gov -> (
-      let note () = Gov_stats.note_peak db.gov_stats (Governor.mem_bytes gov) in
+      let id = register_inflight db gov in
+      let note () =
+        unregister_inflight db id;
+        Gov_stats.note_peak db.gov_stats (Governor.mem_bytes gov)
+      in
       try
         let r = run (Some gov) in
         note ();
@@ -323,6 +402,9 @@ let governed_attempt : 'a. t -> (Governor.t option -> 'a) -> 'a =
       | Errors.Resource_error v as e ->
           note ();
           Gov_stats.record db.gov_stats v.Errors.kind;
+          raise e
+      | e ->
+          unregister_inflight db id;
           raise e)
 
 (** Load the TPC-H style dataset (supplier/part/partsupp) at micro scale
@@ -488,14 +570,15 @@ let is_mem_trip = function
    Compiled plans are snapshot-agnostic (visibility resolves per-run
    from the environment), so the same cache entry serves every session
    and transaction — the snapshot rides alongside. *)
-let run_entry_governed ?snapshot db (e : Plan_cache.entry) : Relation.t =
+let run_entry_governed ?snapshot ?budget db (e : Plan_cache.entry) :
+    Relation.t =
   try
-    governed_attempt db (fun gov ->
+    governed_attempt ?budget db (fun gov ->
         Executor.run_compiled ?governor:gov ?snapshot db.catalog
           e.Plan_cache.compiled)
   with ex when is_mem_trip ex && can_downgrade e.Plan_cache.key ->
     Gov_stats.downgrade db.gov_stats;
-    governed_attempt db (fun gov ->
+    governed_attempt ?budget db (fun gov ->
         let d = lookup_or_prepare_key db (downgraded_key e.Plan_cache.key) in
         Executor.run_compiled ?governor:gov ?snapshot db.catalog
           d.Plan_cache.compiled)
@@ -525,19 +608,19 @@ let prepared_plan h = h.p_entry.Plan_cache.plan
     and catalog versions, run it directly (counted as a hit); otherwise
     transparently re-prepare (via the cache, so a handle re-validating
     after unrelated knob flips can still hit an older entry). *)
-let exec_prepared_snap ?snapshot db h =
+let exec_prepared_snap ?snapshot ?budget db h =
   let e = h.p_entry in
   if
     e.Plan_cache.key = cache_key db h.p_sql
     && Plan_cache.is_valid db.catalog e
   then begin
     if db.cache_enabled then Plan_cache.note_hit db.cache e;
-    run_entry_governed ?snapshot db e
+    run_entry_governed ?snapshot ?budget db e
   end
   else begin
     let e = lookup_or_prepare db h.p_sql in
     h.p_entry <- e;
-    run_entry_governed ?snapshot db e
+    run_entry_governed ?snapshot ?budget db e
   end
 
 let exec_prepared db h = exec_prepared_snap ?snapshot:(engine_snapshot db) db h
@@ -806,7 +889,14 @@ let prepared_name name = String.lowercase_ascii name
    Resource knobs take an int; DEFAULT and OFF both reset to unlimited
    (OFF is the historical spelling).  durability takes a mode name,
    wal_group_commit an int, checkpoint_wal_bytes an int or OFF. *)
-let apply_set db name (v : Sql_ast.set_value) : outcome =
+let apply_set sess name (v : Sql_ast.set_value) : outcome =
+  let db = sess.sdb in
+  (* budget knobs: engine-global on the default session (historical
+     behavior), a session overlay anywhere else *)
+  let budget_knob update =
+    if is_default_session sess then fun v -> db.budget <- update db.budget v
+    else fun v -> sess.sbudget <- Some (update (session_budget sess) v)
+  in
   let bad_value what =
     Failed
       (Errors.Type_error
@@ -854,9 +944,18 @@ let apply_set db name (v : Sql_ast.set_value) : outcome =
           set_cbo db false;
           Message "cbo = off"
       | _ -> bad_value "ON, OFF, or DEFAULT")
-  | "statement_timeout_ms" -> int_knob (set_timeout_ms db)
-  | "statement_row_limit" -> int_knob (set_row_limit db)
-  | "statement_mem_limit" -> int_knob (set_mem_limit db)
+  | "statement_timeout_ms" ->
+      int_knob
+        (budget_knob (fun b ms ->
+             {
+               b with
+               Governor.timeout_ns = Option.map (fun m -> m * 1_000_000) ms;
+             }))
+  | "statement_row_limit" ->
+      int_knob (budget_knob (fun b n -> { b with Governor.row_limit = n }))
+  | "statement_mem_limit" ->
+      int_knob
+        (budget_knob (fun b n -> { b with Governor.mem_limit_bytes = n }))
   | "durability" ->
       with_store (fun s ->
           let mode =
@@ -977,38 +1076,47 @@ let exec_stmt sess ~sql (stmt : Sql_ast.statement) : outcome =
   match stmt with
   | Sql_ast.Stmt_select _ -> (
       let e = lookup_or_prepare db sql in
-      try Rows (run_entry_governed ?snapshot:(session_snapshot sess) db e)
+      try
+        Rows
+          (run_entry_governed
+             ?snapshot:(session_snapshot sess)
+             ~budget:(session_budget sess) db e)
       with Errors.Resource_error _ as ex -> Failed ex)
   | Sql_ast.Stmt_prepare (name, q) -> (
       (* prepared-statement misuse (unknown table, bad binding...) fails
-         the statement, not the session *)
+         the statement, not the session.  Handles are session state: a
+         connection's PREPARE is invisible to its neighbors and dies
+         with the connection. *)
       try
         let h = prepare db (Sql_ast.query_to_string q) in
-        Hashtbl.replace db.prepared (prepared_name name) h;
+        Hashtbl.replace sess.sprepared (prepared_name name) h;
         Message (Printf.sprintf "prepared %s" name)
       with ex when Errors.is_engine_error ex -> Failed ex)
   | Sql_ast.Stmt_execute name -> (
-      match Hashtbl.find_opt db.prepared (prepared_name name) with
+      match Hashtbl.find_opt sess.sprepared (prepared_name name) with
       | Some h -> (
           (* a re-prepare over dropped tables, or a budget violation of
              the execution itself, fails cleanly *)
           try
-            Rows (exec_prepared_snap ?snapshot:(session_snapshot sess) db h)
+            Rows
+              (exec_prepared_snap
+                 ?snapshot:(session_snapshot sess)
+                 ~budget:(session_budget sess) db h)
           with ex when Errors.is_engine_error ex -> Failed ex)
       | None ->
           Failed
             (Errors.Name_error
                (Printf.sprintf "unknown prepared statement %s" name)))
   | Sql_ast.Stmt_deallocate name ->
-      if not (Hashtbl.mem db.prepared (prepared_name name)) then
+      if not (Hashtbl.mem sess.sprepared (prepared_name name)) then
         Failed
           (Errors.Name_error
              (Printf.sprintf "unknown prepared statement %s" name))
       else begin
-        Hashtbl.remove db.prepared (prepared_name name);
+        Hashtbl.remove sess.sprepared (prepared_name name);
         Message (Printf.sprintf "deallocated %s" name)
       end
-  | Sql_ast.Stmt_set (name, v) -> apply_set db name v
+  | Sql_ast.Stmt_set (name, v) -> apply_set sess name v
   | Sql_ast.Stmt_explain q ->
       Explanation (render_explain db (Sql_binder.bind_query db.catalog q))
   | Sql_ast.Stmt_explain_analyze q ->
@@ -1119,6 +1227,17 @@ let exec_stmt sess ~sql (stmt : Sql_ast.statement) : outcome =
           ignore (Plan_cache.invalidate_stale db.cache db.catalog);
           Message msg)
 
+let first_keyword_is_set sql =
+  let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let n = String.length sql in
+  let i = ref 0 in
+  while !i < n && is_space sql.[!i] do incr i done;
+  !i + 3 <= n
+  && String.lowercase_ascii (String.sub sql !i 3) = "set"
+  && (!i + 3 = n || not (match sql.[!i + 3] with
+                        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+                        | _ -> false))
+
 (** Execute one SQL statement on a session (transaction state lives on
     the session; outside a transaction this is indistinguishable from
     {!exec}). *)
@@ -1134,9 +1253,21 @@ let exec_session sess src : outcome =
   in
   match fast with
   | Some e -> (
-      try Rows (run_entry_governed ?snapshot:(session_snapshot sess) db e)
+      try
+        Rows
+          (run_entry_governed
+             ?snapshot:(session_snapshot sess)
+             ~budget:(session_budget sess) db e)
       with Errors.Resource_error _ as ex -> Failed ex)
-  | None -> exec_stmt sess ~sql (Sql_parser.parse_statement sql)
+  | None -> (
+      match Sql_parser.parse_statement sql with
+      | stmt -> exec_stmt sess ~sql stmt
+      | exception Errors.Parse_error m when first_keyword_is_set sql ->
+          (* a SET that fails to parse is a malformed knob value, not
+             unparseable SQL: report the stable [Type_error] class so
+             wire clients can switch on it (same class a well-formed SET
+             with a wrong-shaped value gets) *)
+          Failed (Errors.Type_error (Printf.sprintf "malformed SET: %s" m)))
 
 (** Execute one SQL statement (on the engine's default session). *)
 let exec db src : outcome = exec_session (session db) src

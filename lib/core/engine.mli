@@ -169,6 +169,30 @@ val gov_stats : t -> Gov_stats.t
 val governor_report : t -> string
 (** One-line human-readable governor summary (the CLI's [\governor]). *)
 
+(** {2 In-flight registry and drain}
+
+    Every governed statement registers its governor for the duration of
+    its execution, which is what makes a graceful drain possible: the
+    network server flips {!set_always_governed} at startup so even
+    statements with unlimited budgets carry a cancellation token, and
+    {!cancel_inflight} aborts everything currently running with a typed
+    [Cancelled] resource error. *)
+
+val set_always_governed : t -> bool -> unit
+(** Force a governor (hence a cancellation token) onto every statement,
+    even under fully unlimited budgets.  Off by default — the embedded
+    API keeps its zero-overhead ungoverned fast path. *)
+
+val always_governed : t -> bool
+
+val cancel_inflight : t -> int
+(** Cancel every in-flight governed statement (each aborts at its next
+    cursor pull with a typed [Cancelled] error); returns how many were
+    signalled. *)
+
+val inflight_count : t -> int
+(** Governed statements currently executing. *)
+
 (** {1 Durability}
 
     Present only when the engine was created with [data_dir].  Commit
@@ -316,13 +340,29 @@ val exec_script : t -> string -> outcome list
     cannot block concurrent readers. *)
 
 val new_session : t -> session
-(** A fresh session with no open transaction. *)
+(** A fresh session with no open transaction, no prepared handles, and
+    no budget overlay. *)
 
 val session : t -> session
 (** The engine's default session (backing {!exec}); created lazily. *)
 
+val session_db : session -> t
+(** The engine a session belongs to. *)
+
+val session_budget : session -> Governor.budget
+(** The budget statements on this session run under: the session's
+    [SET statement_*] overlay when present, the engine budget otherwise.
+    On the default session the SQL knobs write the engine budget
+    directly (the historical engine-global behavior), so the overlay
+    only ever exists on explicitly created sessions — one network
+    connection's SET never throttles its neighbors. *)
+
 val exec_session : session -> string -> outcome
-(** Like {!exec}, with transaction state on this session. *)
+(** Like {!exec}, with transaction state, prepared-statement namespace
+    and budget overlay on this session.  A statement starting with [SET]
+    that fails to parse is reported as a typed [Type_error]
+    ("malformed SET: ...") rather than a generic parse error, giving
+    wire clients a stable error class for bad knob values. *)
 
 val in_transaction : session -> bool
 

@@ -1,0 +1,16 @@
+(** Backslash meta-commands ([\tables], [\cache], [\wal], [\timeout MS],
+    ...), shared by the interactive shell and the network server.
+
+    {!run} dispatches one command on a session and returns a typed
+    {!Engine.outcome} — it never prints and never raises.  An unknown
+    command or malformed argument is a [Failed] with a stable error
+    class ([Name_error] / [Type_error]), so wire clients can switch on
+    the class instead of scraping messages.
+
+    The budget knobs ([\timeout], [\rowlimit], [\memlimit]) are sugar
+    over SQL [SET statement_*] and follow its session scoping.
+
+    Presentation-state toggles ([\q], [\timing], [\analyze]) are not
+    handled here — they belong to the front ends. *)
+
+val run : Engine.session -> string -> Engine.outcome

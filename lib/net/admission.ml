@@ -1,0 +1,193 @@
+(* Admission control for the network front end.
+
+   Classic gate + bounded queue: up to [max_concurrent] statements
+   execute at once; up to [queue_depth] more wait, each with a deadline
+   of [admission_timeout_ms]; everything beyond that — or anything
+   still queued when its deadline lands, or anything arriving during a
+   drain — is shed with a typed {!Errors.Overloaded} carrying the queue
+   occupancy and a retry-after hint derived from the EWMA service time.
+   Shedding is deliberate: under sustained overload a bounded queue
+   keeps admitted-statement latency flat while the excess gets a fast,
+   honest rejection instead of a timeout.
+
+   The stdlib has no [Condition.timedwait], so deadline expiry is
+   driven by a lazily started ticker thread that broadcasts the
+   condition every few milliseconds while anyone is queued; waiters
+   re-check slot availability and their own deadline on every wake.
+   The tick only bounds how *late* a shed can be (one tick past the
+   deadline), never admission itself — a freed slot broadcasts
+   immediately. *)
+
+type config = {
+  max_concurrent : int;
+  queue_depth : int;
+  admission_timeout_ms : int;
+}
+
+let default_config =
+  { max_concurrent = 4; queue_depth = 16; admission_timeout_ms = 100 }
+
+type t = {
+  cfg : config;
+  stats : Net_stats.t option;
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable running : int;
+  mutable waiting : int;
+  mutable draining : bool;
+  mutable stopped : bool;        (* ticker shutdown *)
+  mutable ewma_service_ns : float;
+  mutable ticker : Thread.t option;
+}
+
+let tick_interval = 0.002 (* 2ms: bounds deadline-check latency *)
+
+let create ?stats cfg =
+  if cfg.max_concurrent < 1 then invalid_arg "admission: max_concurrent < 1";
+  if cfg.queue_depth < 0 then invalid_arg "admission: queue_depth < 0";
+  {
+    cfg;
+    stats;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    running = 0;
+    waiting = 0;
+    draining = false;
+    stopped = false;
+    ewma_service_ns = 0.;
+    ticker = None;
+  }
+
+let ticker_loop t =
+  let continue_ = ref true in
+  while !continue_ do
+    Thread.delay tick_interval;
+    Mutex.protect t.mu (fun () ->
+        if t.stopped then continue_ := false
+        else if t.waiting > 0 then Condition.broadcast t.cond)
+  done
+
+(* Called with [t.mu] held. *)
+let ensure_ticker t =
+  match t.ticker with
+  | Some _ -> ()
+  | None -> t.ticker <- Some (Thread.create ticker_loop t)
+
+let now_ns () = Metrics.now_ns ()
+
+(* Retry hint: with [waiting] statements ahead and [max_concurrent]
+   servers draining the queue at the observed EWMA service time, a
+   retry after roughly (queue position / servers) * service time should
+   find room.  Clamped to [1, 5000] ms so a cold EWMA still gives a
+   sane hint. *)
+let retry_after_ms_locked t =
+  let service_ms = t.ewma_service_ns /. 1e6 in
+  let est =
+    service_ms
+    *. float_of_int (t.waiting + 1)
+    /. float_of_int t.cfg.max_concurrent
+  in
+  max 1 (min 5000 (int_of_float (ceil est)))
+
+let shed t reason ~detail =
+  (match (t.stats, reason) with
+  | Some s, r -> Net_stats.shed s r
+  | None, _ -> ());
+  let queue_depth, retry_after_ms =
+    Mutex.protect t.mu (fun () -> (t.waiting, retry_after_ms_locked t))
+  in
+  Errors.overloadedf ~queue_depth ~retry_after_ms "%s" detail
+
+let note_service t elapsed_ns =
+  (* EWMA with alpha 0.2: smooth enough to survive one outlier, fresh
+     enough to track a phase change within a few statements *)
+  Mutex.protect t.mu (fun () ->
+      t.ewma_service_ns <-
+        (if t.ewma_service_ns = 0. then float_of_int elapsed_ns
+         else (0.8 *. t.ewma_service_ns) +. (0.2 *. float_of_int elapsed_ns)))
+
+let release t =
+  Mutex.protect t.mu (fun () ->
+      t.running <- t.running - 1;
+      Condition.broadcast t.cond)
+
+(* Admit or shed, then run [f] inside the slot. *)
+let admit t f =
+  let deadline =
+    now_ns () + (t.cfg.admission_timeout_ms * 1_000_000)
+  in
+  let decision =
+    Mutex.protect t.mu (fun () ->
+        if t.draining then `Shed (Net_stats.Draining, "server is draining")
+        else if t.running < t.cfg.max_concurrent && t.waiting = 0 then begin
+          t.running <- t.running + 1;
+          `Admitted
+        end
+        else if t.waiting >= t.cfg.queue_depth then
+          `Shed (Net_stats.Queue_full, "admission queue full")
+        else begin
+          t.waiting <- t.waiting + 1;
+          ensure_ticker t;
+          let result = ref `Wait in
+          while !result = `Wait do
+            if t.draining then result := `Drained
+            else if t.running < t.cfg.max_concurrent then begin
+              t.running <- t.running + 1;
+              result := `Slot
+            end
+            else if now_ns () > deadline then result := `Deadline
+            else Condition.wait t.cond t.mu
+          done;
+          t.waiting <- t.waiting - 1;
+          match !result with
+          | `Slot -> `Admitted
+          | `Deadline ->
+              `Shed (Net_stats.Deadline, "admission deadline exceeded")
+          | `Drained | `Wait ->
+              `Shed (Net_stats.Draining, "server is draining")
+        end)
+  in
+  match decision with
+  | `Shed (reason, detail) -> shed t reason ~detail
+  | `Admitted ->
+      (match t.stats with Some s -> Net_stats.admitted s | None -> ());
+      let t0 = now_ns () in
+      Fun.protect
+        ~finally:(fun () ->
+          note_service t (now_ns () - t0);
+          release t)
+        f
+
+let begin_drain t =
+  Mutex.protect t.mu (fun () ->
+      t.draining <- true;
+      Condition.broadcast t.cond)
+
+let draining t = Mutex.protect t.mu (fun () -> t.draining)
+
+(* Wait (bounded) for every admitted statement to finish; queued
+   waiters are flushed by [begin_drain]'s broadcast. *)
+let await_idle t ~timeout_ms =
+  let deadline = now_ns () + (timeout_ms * 1_000_000) in
+  let rec poll () =
+    if Mutex.protect t.mu (fun () -> t.running = 0 && t.waiting = 0) then true
+    else if now_ns () > deadline then false
+    else begin
+      Thread.delay 0.002;
+      poll ()
+    end
+  in
+  poll ()
+
+let stop t =
+  Mutex.protect t.mu (fun () ->
+      t.stopped <- true;
+      Condition.broadcast t.cond);
+  match t.ticker with Some th -> Thread.join th | None -> ()
+
+let running t = Mutex.protect t.mu (fun () -> t.running)
+let queued t = Mutex.protect t.mu (fun () -> t.waiting)
+
+let retry_after_ms t = Mutex.protect t.mu (fun () -> retry_after_ms_locked t)
+let ewma_service_ms t =
+  Mutex.protect t.mu (fun () -> t.ewma_service_ns /. 1e6)

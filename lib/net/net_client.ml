@@ -1,0 +1,37 @@
+(* Minimal blocking client for the wire protocol — the test suite's and
+   the bench driver's view of the server.  One request in flight at a
+   time per connection (the protocol is strictly request/response). *)
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let request t req =
+  Wire.write_request t.fd req;
+  match Wire.read_response t.fd with
+  | Some r -> r
+  | None -> raise End_of_file
+
+let query t sql = request t (Wire.Query sql)
+let meta t cmd = request t (Wire.Meta cmd)
+
+let quit t =
+  let r = try request t Wire.Quit with End_of_file -> Wire.Goodbye in
+  close t;
+  r
+
+let fd t = t.fd

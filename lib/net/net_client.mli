@@ -1,0 +1,27 @@
+(** Minimal blocking wire-protocol client (tests, the bench driver, and
+    anything else that wants to talk to {!Server} from OCaml).
+
+    Strictly one request in flight per connection.  Not thread-safe;
+    give each thread its own connection. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Raises [Unix.Unix_error] if the server is unreachable. *)
+
+val request : t -> Wire.request -> Wire.response
+(** Send one request and block for its response.
+    @raise End_of_file if the server closed the connection instead. *)
+
+val query : t -> string -> Wire.response
+val meta : t -> string -> Wire.response
+
+val quit : t -> Wire.response
+(** Send [Quit], read the goodbye (tolerating an early close), and
+    close the socket. *)
+
+val close : t -> unit
+(** Close without the goodbye handshake; idempotent. *)
+
+val fd : t -> Unix.file_descr
+(** The raw socket — chaos tests use it to tear connections mid-frame. *)

@@ -1,0 +1,189 @@
+(* Length-framed wire protocol.
+
+   Every frame is [tag (1 byte) | payload length u32 LE | payload]; the
+   payload layout depends on the tag.  Strings are raw bytes (the SQL
+   layer is byte-transparent).  Integers inside payloads are u32 LE.
+
+   Requests:
+     'Q' query   payload = SQL text (one statement)
+     'M' meta    payload = backslash command
+     'X' quit    payload empty
+
+   Responses:
+     'R' rows        payload = row count u32 | rendered table
+     'm' message     payload = text
+     'E' explanation payload = text
+     'F' failed      payload = class len u8 | class | message
+     'O' overloaded  payload = queue depth u32 | retry-after ms u32 | message
+     'G' goodbye     payload empty
+
+   A frame over [max_frame] (or an unknown tag) raises
+   {!Protocol_error}: the server answers with a typed 'F' frame of
+   class "protocol" and closes, so a confused client never hangs. *)
+
+exception Protocol_error of string
+
+let max_frame = 64 * 1024 * 1024
+
+type request = Query of string | Meta of string | Quit
+
+type response =
+  | Rows of { count : int; body : string }
+  | Message of string
+  | Explanation of string
+  | Failed of { cls : string; message : string }
+  | Overloaded of { queue_depth : int; retry_after_ms : int; message : string }
+  | Goodbye
+
+(* ---------- payload primitives ---------- *)
+
+let put_u32 buf n =
+  if n < 0 || n > 0xFFFFFFFF then
+    raise (Protocol_error (Printf.sprintf "u32 out of range: %d" n));
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+let get_u32 s pos =
+  if pos + 4 > String.length s then
+    raise (Protocol_error "truncated u32 in payload");
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+(* ---------- encoding (to tag + payload) ---------- *)
+
+let encode_request = function
+  | Query sql -> ('Q', sql)
+  | Meta cmd -> ('M', cmd)
+  | Quit -> ('X', "")
+
+let encode_response = function
+  | Rows { count; body } ->
+      let buf = Buffer.create (String.length body + 4) in
+      put_u32 buf count;
+      Buffer.add_string buf body;
+      ('R', Buffer.contents buf)
+  | Message m -> ('m', m)
+  | Explanation e -> ('E', e)
+  | Failed { cls; message } ->
+      if String.length cls > 255 then
+        raise (Protocol_error "error class too long");
+      let buf = Buffer.create (String.length cls + String.length message + 1) in
+      Buffer.add_char buf (Char.chr (String.length cls));
+      Buffer.add_string buf cls;
+      Buffer.add_string buf message;
+      ('F', Buffer.contents buf)
+  | Overloaded { queue_depth; retry_after_ms; message } ->
+      let buf = Buffer.create (String.length message + 8) in
+      put_u32 buf queue_depth;
+      put_u32 buf retry_after_ms;
+      Buffer.add_string buf message;
+      ('O', Buffer.contents buf)
+  | Goodbye -> ('G', "")
+
+(* ---------- decoding (from tag + payload) ---------- *)
+
+let decode_request tag payload =
+  match tag with
+  | 'Q' -> Query payload
+  | 'M' -> Meta payload
+  | 'X' -> Quit
+  | c -> raise (Protocol_error (Printf.sprintf "unknown request tag %C" c))
+
+let decode_response tag payload =
+  match tag with
+  | 'R' ->
+      let count = get_u32 payload 0 in
+      Rows
+        { count; body = String.sub payload 4 (String.length payload - 4) }
+  | 'm' -> Message payload
+  | 'E' -> Explanation payload
+  | 'F' ->
+      if payload = "" then raise (Protocol_error "empty failed frame");
+      let n = Char.code payload.[0] in
+      if 1 + n > String.length payload then
+        raise (Protocol_error "truncated error class");
+      Failed
+        {
+          cls = String.sub payload 1 n;
+          message = String.sub payload (1 + n) (String.length payload - 1 - n);
+        }
+  | 'O' ->
+      Overloaded
+        {
+          queue_depth = get_u32 payload 0;
+          retry_after_ms = get_u32 payload 4;
+          message = String.sub payload 8 (String.length payload - 8);
+        }
+  | 'G' -> Goodbye
+  | c -> raise (Protocol_error (Printf.sprintf "unknown response tag %C" c))
+
+(* ---------- framed IO over file descriptors ---------- *)
+
+(* [read_exact] tolerates short reads and EINTR (a drain signal must
+   not corrupt a frame mid-read); EOF inside a frame is a protocol
+   error, EOF at a frame boundary is a clean close. *)
+let read_exact fd buf pos len =
+  let got = ref 0 in
+  while !got < len do
+    match Unix.read fd buf (pos + !got) (len - !got) with
+    | 0 ->
+        if !got = 0 then raise End_of_file
+        else raise (Protocol_error "connection closed mid-frame")
+    | n -> got := !got + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let write_all fd s =
+  let len = String.length s in
+  let sent = ref 0 in
+  while !sent < len do
+    let n =
+      try Unix.write_substring fd s !sent (len - !sent)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    sent := !sent + n
+  done
+
+let write_frame fd (tag, payload) =
+  let buf = Buffer.create (String.length payload + 5) in
+  Buffer.add_char buf tag;
+  put_u32 buf (String.length payload);
+  Buffer.add_string buf payload;
+  write_all fd (Buffer.contents buf)
+
+(* Returns [None] on a clean EOF at a frame boundary. *)
+let read_frame fd =
+  let header = Bytes.create 5 in
+  match read_exact fd header 0 5 with
+  | exception End_of_file -> None
+  | () ->
+      let tag = Bytes.get header 0 in
+      let len =
+        Char.code (Bytes.get header 1)
+        lor (Char.code (Bytes.get header 2) lsl 8)
+        lor (Char.code (Bytes.get header 3) lsl 16)
+        lor (Char.code (Bytes.get header 4) lsl 24)
+      in
+      if len > max_frame then
+        raise (Protocol_error (Printf.sprintf "frame too large: %d bytes" len));
+      let payload = Bytes.create len in
+      (try read_exact fd payload 0 len
+       with End_of_file -> raise (Protocol_error "connection closed mid-frame"));
+      Some (tag, Bytes.unsafe_to_string payload)
+
+let write_request fd r = write_frame fd (encode_request r)
+let write_response fd r = write_frame fd (encode_response r)
+
+let read_request fd =
+  match read_frame fd with
+  | None -> None
+  | Some (tag, payload) -> Some (decode_request tag payload)
+
+let read_response fd =
+  match read_frame fd with
+  | None -> None
+  | Some (tag, payload) -> Some (decode_response tag payload)

@@ -1,0 +1,62 @@
+(** Length-framed wire protocol between the server and its clients.
+
+    Every frame is [tag (1 byte) | payload length u32 LE | payload].
+    Requests carry SQL text ('Q'), a backslash meta-command ('M'), or a
+    quit ('X'); responses mirror {!Engine.outcome} plus the two
+    server-side cases a wire client must distinguish: a typed failure
+    ('F', with a stable error-class string) and an admission shed ('O',
+    with the queue depth and a retry-after hint).
+
+    Malformed traffic — unknown tag, oversized frame, EOF mid-frame —
+    raises {!Protocol_error}; a clean EOF at a frame boundary reads as
+    [None]. *)
+
+exception Protocol_error of string
+
+val max_frame : int
+(** Upper bound on a frame payload (64 MiB); larger frames are a
+    protocol error, not an allocation. *)
+
+type request =
+  | Query of string  (** one SQL statement *)
+  | Meta of string   (** backslash meta-command, e.g. ["\\cache"] *)
+  | Quit
+
+type response =
+  | Rows of { count : int; body : string }
+      (** result cardinality + the rendered table *)
+  | Message of string       (** DDL/DML/SET confirmation *)
+  | Explanation of string   (** EXPLAIN output *)
+  | Failed of { cls : string; message : string }
+      (** typed statement failure; [cls] is the stable error class
+          ("parse", "name", "type", "exec", "timeout", "cancelled",
+          "txn_conflict", "protocol", ...) *)
+  | Overloaded of { queue_depth : int; retry_after_ms : int; message : string }
+      (** admission shed: nothing ran; back off and retry *)
+  | Goodbye
+
+(** {1 Framed IO over file descriptors}
+
+    Reads tolerate short reads and EINTR; writes are complete-or-raise.
+    A read on a socket with [SO_RCVTIMEO] set propagates
+    [EAGAIN]/[EWOULDBLOCK] to the caller — the server's idle-timeout
+    signal. *)
+
+val write_request : Unix.file_descr -> request -> unit
+val write_response : Unix.file_descr -> response -> unit
+
+val read_request : Unix.file_descr -> request option
+(** [None] on clean EOF at a frame boundary. *)
+
+val read_response : Unix.file_descr -> response option
+
+val write_all : Unix.file_descr -> string -> unit
+(** Complete write of a raw byte string (EINTR-safe); used by the
+    plain-HTTP metrics listener. *)
+
+(** {1 Raw codec} — exposed for protocol round-trip tests. *)
+
+val encode_request : request -> char * string
+val decode_request : char -> string -> request
+val encode_response : response -> char * string
+val decode_response : char -> string -> response

@@ -1,0 +1,101 @@
+(* Network-front-end counters, Gov_stats-style: atomics, so acceptor
+   and connection threads record without tearing, and the snapshot pair
+   attributes one bench run (or one chaos sweep) against a long-lived
+   server. *)
+
+type t = {
+  accepted : Metrics.counter;       (* connections accepted *)
+  closed : Metrics.counter;         (* connections fully torn down *)
+  active : int Atomic.t;            (* gauge: live connections *)
+  admitted : Metrics.counter;       (* statements that got a slot *)
+  shed_queue_full : Metrics.counter;
+  shed_timeout : Metrics.counter;   (* queued past the admission deadline *)
+  shed_draining : Metrics.counter;  (* rejected because a drain began *)
+  protocol_errors : Metrics.counter;
+  idle_timeouts : Metrics.counter;  (* connections reaped for silence *)
+  drain_cancelled : Metrics.counter;
+      (* in-flight statements cancelled by a graceful drain *)
+}
+
+let create () =
+  {
+    accepted = Metrics.counter ();
+    closed = Metrics.counter ();
+    active = Atomic.make 0;
+    admitted = Metrics.counter ();
+    shed_queue_full = Metrics.counter ();
+    shed_timeout = Metrics.counter ();
+    shed_draining = Metrics.counter ();
+    protocol_errors = Metrics.counter ();
+    idle_timeouts = Metrics.counter ();
+    drain_cancelled = Metrics.counter ();
+  }
+
+let connection_opened t =
+  Metrics.incr t.accepted;
+  Atomic.incr t.active
+
+let connection_closed t =
+  Metrics.incr t.closed;
+  Atomic.decr t.active
+
+let admitted t = Metrics.incr t.admitted
+
+type shed_reason = Queue_full | Deadline | Draining
+
+let shed t = function
+  | Queue_full -> Metrics.incr t.shed_queue_full
+  | Deadline -> Metrics.incr t.shed_timeout
+  | Draining -> Metrics.incr t.shed_draining
+
+let protocol_error t = Metrics.incr t.protocol_errors
+let idle_timeout t = Metrics.incr t.idle_timeouts
+let drain_cancelled t = Metrics.incr t.drain_cancelled
+
+type snapshot = {
+  accepted : int;
+  closed : int;
+  active : int;
+  admitted : int;
+  shed_queue_full : int;
+  shed_timeout : int;
+  shed_draining : int;
+  protocol_errors : int;
+  idle_timeouts : int;
+  drain_cancelled : int;
+}
+
+let snapshot (t : t) =
+  {
+    accepted = Metrics.get t.accepted;
+    closed = Metrics.get t.closed;
+    active = Atomic.get t.active;
+    admitted = Metrics.get t.admitted;
+    shed_queue_full = Metrics.get t.shed_queue_full;
+    shed_timeout = Metrics.get t.shed_timeout;
+    shed_draining = Metrics.get t.shed_draining;
+    protocol_errors = Metrics.get t.protocol_errors;
+    idle_timeouts = Metrics.get t.idle_timeouts;
+    drain_cancelled = Metrics.get t.drain_cancelled;
+  }
+
+let reset (t : t) =
+  Metrics.reset t.accepted;
+  Metrics.reset t.closed;
+  Metrics.reset t.admitted;
+  Metrics.reset t.shed_queue_full;
+  Metrics.reset t.shed_timeout;
+  Metrics.reset t.shed_draining;
+  Metrics.reset t.protocol_errors;
+  Metrics.reset t.idle_timeouts;
+  Metrics.reset t.drain_cancelled
+
+let sheds (s : snapshot) = s.shed_queue_full + s.shed_timeout + s.shed_draining
+
+let pp ppf (s : snapshot) =
+  Format.fprintf ppf
+    "conns=%d/%d active=%d admitted=%d shed=%d (queue=%d deadline=%d \
+     drain=%d) proto_err=%d idle=%d cancelled=%d"
+    s.accepted s.closed s.active s.admitted (sheds s) s.shed_queue_full
+    s.shed_timeout s.shed_draining s.protocol_errors s.idle_timeouts
+    s.drain_cancelled

@@ -1,0 +1,47 @@
+(** Network front-end counters: connections, admission decisions, sheds
+    by reason, protocol errors, and drain cancellations.
+
+    Same contract as {!Gov_stats}: lock-free atomic counters recorded
+    from acceptor and connection threads, with a snapshot type for
+    attributing one workload run against a long-lived server.  The
+    server's [/metrics] endpoint renders a snapshot in Prometheus text
+    format. *)
+
+type t
+
+val create : unit -> t
+
+val connection_opened : t -> unit
+val connection_closed : t -> unit
+val admitted : t -> unit
+
+type shed_reason =
+  | Queue_full  (** admission queue at capacity when the statement arrived *)
+  | Deadline    (** queued, but no slot freed before the admission deadline *)
+  | Draining    (** rejected because a graceful drain had begun *)
+
+val shed : t -> shed_reason -> unit
+val protocol_error : t -> unit
+val idle_timeout : t -> unit
+val drain_cancelled : t -> unit
+
+type snapshot = {
+  accepted : int;
+  closed : int;
+  active : int;  (** gauge: connections currently open *)
+  admitted : int;
+  shed_queue_full : int;
+  shed_timeout : int;
+  shed_draining : int;
+  protocol_errors : int;
+  idle_timeouts : int;
+  drain_cancelled : int;
+}
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val sheds : snapshot -> int
+(** Total statements shed, all reasons. *)
+
+val pp : Format.formatter -> snapshot -> unit

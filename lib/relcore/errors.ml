@@ -129,6 +129,31 @@ let txn_violation_to_string (v : txn_violation) =
     | None -> ""
     | Some t -> Printf.sprintf " (table %s)" t)
 
+(* Admission-control sheds are typed so wire clients (and the open-loop
+   bench driver) can distinguish "the server is over capacity, back off
+   and retry" from a statement that actually failed.  The payload
+   carries the observable a client needs to behave well under overload:
+   the queue depth it was shed behind and a retry-after hint derived
+   from the recent service rate. *)
+
+type overload_info = {
+  queue_depth : int;     (* admission-queue occupancy at shed time *)
+  retry_after_ms : int;  (* backoff hint from the recent service rate *)
+  odetail : string;
+}
+
+exception Overloaded of overload_info
+
+let overloadedf ~queue_depth ~retry_after_ms fmt =
+  Format.kasprintf
+    (fun odetail -> raise (Overloaded { queue_depth; retry_after_ms; odetail }))
+    fmt
+
+let overload_to_string (o : overload_info) =
+  Printf.sprintf "%s (queue depth %d, retry after %d ms)"
+    (if o.odetail = "" then "server over capacity" else o.odetail)
+    o.queue_depth o.retry_after_ms
+
 let type_errorf fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 let name_errorf fmt = Format.kasprintf (fun s -> raise (Name_error s)) fmt
 let parse_errorf fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
@@ -146,10 +171,11 @@ let to_string = function
   | Resource_error v -> "resource error: " ^ resource_violation_to_string v
   | Recovery_error v -> "recovery error: " ^ recovery_violation_to_string v
   | Txn_conflict v -> "transaction conflict: " ^ txn_violation_to_string v
+  | Overloaded o -> "overloaded: " ^ overload_to_string o
   | e -> raise e
 
 let is_engine_error = function
   | Type_error _ | Name_error _ | Parse_error _ | Plan_error _ | Exec_error _
-  | Resource_error _ | Recovery_error _ | Txn_conflict _ ->
+  | Resource_error _ | Recovery_error _ | Txn_conflict _ | Overloaded _ ->
       true
   | _ -> false

@@ -96,6 +96,29 @@ val txn_conflictf :
 
 val txn_violation_to_string : txn_violation -> string
 
+(** {1 Admission-control sheds}
+
+    The network front end's admission controller raises {!Overloaded}
+    when offered load exceeds capacity: the statement was never
+    admitted (nothing ran, nothing to undo) and the payload tells the
+    client how deep the queue was and when retrying is likely to
+    succeed.  Wire clients switch on this class to back off instead of
+    treating a shed as a statement failure. *)
+
+type overload_info = {
+  queue_depth : int;     (** admission-queue occupancy at shed time *)
+  retry_after_ms : int;  (** backoff hint from the recent service rate *)
+  odetail : string;
+}
+
+exception Overloaded of overload_info
+
+val overloadedf :
+  queue_depth:int -> retry_after_ms:int ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val overload_to_string : overload_info -> string
+
 val type_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val name_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val parse_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a

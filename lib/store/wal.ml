@@ -157,13 +157,59 @@ type t = {
   mutable closed : bool;
 }
 
+(* A networked process sees signals the batch CLI never did (SIGTERM
+   drains, timer wheels, thread wake-ups), so every WAL write and fsync
+   must survive EINTR and partial writes.  Progress-free retries are
+   bounded: a descriptor that does nothing but EINTR (or write 0 bytes)
+   for [max_io_retries] consecutive attempts is broken, and giving up
+   with a typed error beats spinning forever inside the commit path.
+   Partial writes don't count against the bound — they made progress. *)
+let max_io_retries = 64
+
+type write_fault = Short_write | Eintr
+
+(* Injectable fault site for the unit tests: consulted before every
+   write syscall.  [Short_write] forces a 1-byte partial write,
+   [Eintr] makes the attempt fail as if a signal landed mid-write. *)
+let write_fault_hook : (unit -> write_fault option) ref = ref (fun () -> None)
+
+let set_write_fault f =
+  write_fault_hook := (match f with Some f -> f | None -> fun () -> None)
+
 let write_all fd s pos len =
-  let written = ref pos and remaining = ref len in
+  let written = ref pos and remaining = ref len and stalls = ref 0 in
   while !remaining > 0 do
-    let n = Unix.write_substring fd s !written !remaining in
-    written := !written + n;
-    remaining := !remaining - n
+    let n =
+      try
+        match !write_fault_hook () with
+        | Some Eintr -> raise (Unix.Unix_error (Unix.EINTR, "write", "injected"))
+        | Some Short_write when !remaining > 1 ->
+            Unix.write_substring fd s !written 1
+        | _ -> Unix.write_substring fd s !written !remaining
+      with Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> 0
+    in
+    if n > 0 then begin
+      stalls := 0;
+      written := !written + n;
+      remaining := !remaining - n
+    end
+    else begin
+      incr stalls;
+      if !stalls > max_io_retries then
+        Errors.exec_errorf
+          "wal: write made no progress after %d retries (%d byte(s) \
+           unwritten)"
+          max_io_retries !remaining
+    end
   done
+
+let rec fsync_fd ?(retries = 0) fd =
+  try Unix.fsync fd
+  with Unix.Unix_error (Unix.EINTR, _, _) ->
+    if retries >= max_io_retries then
+      Errors.exec_errorf "wal: fsync interrupted %d times, giving up"
+        max_io_retries;
+    fsync_fd ~retries:(retries + 1) fd
 
 let header_bytes ~epoch =
   let buf = Buffer.create header_len in
@@ -174,7 +220,7 @@ let header_bytes ~epoch =
 let create ?(stats = Wal_stats.create ()) path ~epoch =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   write_all fd (header_bytes ~epoch) 0 header_len;
-  Unix.fsync fd;
+  fsync_fd fd;
   {
     path;
     fd;
@@ -217,7 +263,7 @@ let append t r =
        truncate away *)
     let torn = max 1 (n / 2) in
     write_all t.fd bytes 0 torn;
-    Unix.fsync t.fd;
+    fsync_fd t.fd;
     raise (Fault.Crash Fault.Append)
   end;
   let offset = t.len in
@@ -235,7 +281,7 @@ let fsync t =
       Unix.ftruncate t.fd t.durable;
       raise (Fault.Crash Fault.Fsync)
     end;
-    Unix.fsync t.fd;
+    fsync_fd t.fd;
     Wal_stats.record_fsync t.stats ~batch:t.pending;
     t.durable <- t.len;
     t.pending <- 0
@@ -247,7 +293,7 @@ let reset t ~epoch =
   Unix.ftruncate t.fd 0;
   ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
   write_all t.fd (header_bytes ~epoch) 0 header_len;
-  Unix.fsync t.fd;
+  fsync_fd t.fd;
   t.epoch <- epoch;
   t.len <- header_len;
   t.durable <- header_len;

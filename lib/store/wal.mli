@@ -94,3 +94,21 @@ val dump : Format.formatter -> string -> unit
 (** [--wal-dump]: pretty-print every record with offset and checksum
     status.  Never raises on corruption — this is the debugging view of
     a damaged log. *)
+
+(** {1 I/O hardening}
+
+    Every WAL write and fsync survives [EINTR] and partial writes with a
+    bounded retry loop (a networked process sees signals the batch CLI
+    never did).  [max_io_retries] consecutive progress-free attempts
+    raise a typed {!Errors.Exec_error} instead of spinning inside the
+    commit path. *)
+
+val max_io_retries : int
+
+type write_fault = Short_write | Eintr
+
+val set_write_fault : (unit -> write_fault option) option -> unit
+(** Unit-test hook: the callback is consulted before every write
+    syscall — [Some Short_write] forces a 1-byte partial write,
+    [Some Eintr] fails the attempt as if a signal landed, [None] lets
+    the write through.  Pass [None] to clear the hook. *)

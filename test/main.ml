@@ -31,4 +31,5 @@ let () =
       ("stats", Test_stats.suite);
       ("plan-choice", Test_plan_choice.suite);
       ("mvcc", Test_mvcc.suite);
+      ("net", Test_net.suite);
     ]

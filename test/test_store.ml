@@ -60,6 +60,66 @@ let test_wal_roundtrip () =
   Alcotest.(check int) "valid = file length" scan.Wal.file_length
     scan.Wal.valid_length
 
+(* ---------- I/O hardening (injected short writes / EINTR) ---------- *)
+
+(* Every write syscall is disturbed — interrupted by a fake signal or
+   forced to a 1-byte partial write, round-robin — and the log must
+   still come out byte-perfect: the retry loop in [Wal.write_all]
+   accumulates progress across partial writes and treats EINTR as a
+   zero-byte attempt. *)
+let test_wal_survives_short_writes_and_eintr () =
+  let dir = tmpdir () in
+  let path = Recovery.wal_path dir in
+  let flip = ref 0 in
+  Wal.set_write_fault
+    (Some
+       (fun () ->
+         incr flip;
+         match !flip mod 3 with
+         | 0 -> Some Wal.Eintr
+         | 1 -> Some Wal.Short_write
+         | _ -> None));
+  Fun.protect ~finally:(fun () -> Wal.set_write_fault None) (fun () ->
+      let wal = Wal.create path ~epoch:2 in
+      let records =
+        [
+          Wal.Stmt "create table t (a int)";
+          Wal.Txn_begin 5;
+          Wal.Stmt "insert into t values (1)";
+          Wal.Txn_commit 5;
+          Wal.Load_tpch { seed = Some 7; msf = 0.5 };
+        ]
+      in
+      List.iter (fun r -> ignore (Wal.append wal r)) records;
+      Wal.fsync wal;
+      Wal.close wal;
+      let scan = Wal.scan path in
+      Alcotest.(check int) "epoch survives faulted writes" 2
+        scan.Wal.scanned_epoch;
+      Alcotest.(check bool) "no tear" true (scan.Wal.torn = None);
+      Alcotest.(check (list string)) "all records intact"
+        (List.map Wal.record_to_string records)
+        (List.map (fun (_, r) -> Wal.record_to_string r) scan.Wal.records))
+
+(* A write that never makes progress (EINTR forever) must not spin: the
+   retry loop gives up after [max_io_retries] consecutive progress-free
+   attempts with a typed error, not a hang and not corruption. *)
+let test_wal_progress_free_write_fails_typed () =
+  let dir = tmpdir () in
+  let path = Recovery.wal_path dir in
+  Wal.set_write_fault (Some (fun () -> Some Wal.Eintr));
+  Fun.protect ~finally:(fun () -> Wal.set_write_fault None) (fun () ->
+      match Wal.create path ~epoch:0 with
+      | exception Errors.Exec_error m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "mentions the retry bound: %s" m)
+            true
+            (let needle = string_of_int Wal.max_io_retries in
+             let n = String.length needle and len = String.length m in
+             let rec go i = i + n <= len && (String.sub m i n = needle || go (i + 1)) in
+             go 0)
+      | _ -> Alcotest.fail "expected a typed exec error, got a WAL")
+
 (* Transaction markers round-trip like any record, and a committed
    group replays while an unterminated trailing group is quarantined
    whole — recovery applies exactly the committed transactions. *)
@@ -487,6 +547,10 @@ let suite =
   [
     Alcotest.test_case "wal: append/scan round-trip with offsets" `Quick
       test_wal_roundtrip;
+    Alcotest.test_case "wal: survives injected short writes and EINTR" `Quick
+      test_wal_survives_short_writes_and_eintr;
+    Alcotest.test_case "wal: progress-free write fails typed, no spin" `Quick
+      test_wal_progress_free_write_fails_typed;
     Alcotest.test_case "wal: torn tail ends the readable prefix, typed" `Quick
       test_wal_torn_tail;
     Alcotest.test_case "wal: txn group round-trips and replays committed"
