@@ -1545,6 +1545,7 @@ let bench_server ~msf ~repeat:_ () =
       max_concurrent = 4;
       queue_depth = 16;
       admission_timeout_ms;
+      per_client_cap = 0;
       idle_timeout_ms = 0;
       http_port = None;
     }
@@ -1670,13 +1671,153 @@ let bench_server ~msf ~repeat:_ () =
       Format.printf "server counters: %a@." Net_stats.pp
         (Net_stats.snapshot stats))
 
+(* ---------- replication: apply lag, catch-up, failover ---------- *)
+
+(* Workload: a primary ingesting acknowledged single-row INSERTs under
+   strict durability while a live replica applies the shipped WAL over
+   loopback.  Reported: steady-state apply lag sampled from the
+   replica's position gauges (primary-WAL bytes), wall-clock catch-up
+   after the last acknowledgement, applied commit units per second, and
+   a failover at the end — primary killed after convergence, replica
+   promoted — with the count of acknowledged rows missing on the new
+   primary (failover_lost_rows, gated at exactly 0 in CI). *)
+let bench_replication ~msf:_ ~repeat:_ () =
+  Format.printf "@.=== Replication: apply lag and failover ===@.";
+  let fresh_dir tag =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gapply_bench_repl_%s_%d" tag (Unix.getpid ()))
+    in
+    if Sys.file_exists dir then
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir)
+    else Unix.mkdir dir 0o755;
+    dir
+  in
+  let exec_ok db sql =
+    match Engine.exec db sql with
+    | Engine.Message _ -> ()
+    | _ -> failwith ("unexpected outcome for: " ^ sql)
+  in
+  let n = 1500 in
+  let pdb =
+    Engine.create ~data_dir:(fresh_dir "p") ~durability:Store.Strict ()
+  in
+  let cfg =
+    {
+      Server.host = "127.0.0.1";
+      port = 0;
+      acceptors = 2;
+      max_concurrent = 4;
+      queue_depth = 16;
+      admission_timeout_ms = 1000;
+      per_client_cap = 0;
+      idle_timeout_ms = 0;
+      http_port = None;
+    }
+  in
+  let srv = Server.start cfg pdb in
+  let rdb =
+    Engine.create ~data_dir:(fresh_dir "r") ~durability:Store.Strict ()
+  in
+  let rep =
+    Repl.start_replica ~host:"127.0.0.1" ~port:(Server.port srv) rdb
+  in
+  exec_ok pdb "create table ingest (a int, b varchar)";
+  let lag_samples = ref [] in
+  let t0 = Metrics.now_ns () in
+  for i = 1 to n do
+    exec_ok pdb (Printf.sprintf "insert into ingest values (%d, 'row-%d')" i i);
+    if i mod 25 = 0 then
+      lag_samples :=
+        Repl_stats.lag_bytes (Repl_stats.snapshot (Repl.replica_stats rep))
+        :: !lag_samples
+  done;
+  let ingest_ms = float_of_int (Metrics.now_ns () - t0) /. 1e6 in
+  (* catch-up: wall-clock from the last acknowledgement to position
+     parity with the primary's durable WAL end *)
+  let t1 = Metrics.now_ns () in
+  let deadline = t1 + 60_000_000_000 in
+  while
+    Repl.replica_position rep <> Some (Engine.repl_position pdb)
+    && Metrics.now_ns () < deadline
+  do
+    Thread.delay 0.001
+  done;
+  let caught_up =
+    Repl.replica_position rep = Some (Engine.repl_position pdb)
+  in
+  let catchup_ms = float_of_int (Metrics.now_ns () - t1) /. 1e6 in
+  let rs = Repl_stats.snapshot (Repl.replica_stats rep) in
+  let lags = Array.of_list !lag_samples in
+  Array.sort compare lags;
+  let pct p =
+    if Array.length lags = 0 then 0
+    else
+      lags.(Int.min
+              (Array.length lags - 1)
+              (int_of_float (p *. float_of_int (Array.length lags))))
+  in
+  let lag_max = if Array.length lags = 0 then 0 else lags.(Array.length lags - 1)
+  in
+  let applied_per_sec =
+    float_of_int rs.Repl_stats.units_applied
+    /. (float_of_int (Metrics.now_ns () - t0) /. 1e9)
+  in
+  Format.printf
+    "ingest: %d acked rows in %.0f ms; lag p50 %d B p90 %d B max %d B; \
+     catch-up %.1f ms%s; %.0f units/s applied@."
+    n ingest_ms (pct 0.5) (pct 0.9) lag_max catchup_ms
+    (if caught_up then "" else " (NOT CONVERGED)")
+    applied_per_sec;
+  record ~section:"replication" ~query:"steady-state"
+    [
+      ("rows", Json.Int n);
+      ("ingest_ms", Json.Float ingest_ms);
+      ("lag_p50_bytes", Json.Int (pct 0.5));
+      ("lag_p90_bytes", Json.Int (pct 0.9));
+      ("lag_max_bytes", Json.Int lag_max);
+      ("catchup_ms", Json.Float catchup_ms);
+      ("converged", Json.Bool caught_up);
+      ("applied_units_per_sec", Json.Float applied_per_sec);
+      ("snapshots_installed", Json.Int rs.Repl_stats.snapshots_installed);
+      ("reconnects", Json.Int rs.Repl_stats.reconnects);
+      ("torn_detected", Json.Int rs.Repl_stats.torn_detected);
+    ];
+  (* failover: kill the primary for good, promote the replica, count
+     the acknowledged rows that survived *)
+  Server.stop srv;
+  Engine.close pdb;
+  Repl.promote rep;
+  let survivors =
+    match Engine.exec rdb "select a from ingest" with
+    | Engine.Rows r -> Relation.cardinality r
+    | _ -> -1
+  in
+  let lost = n - survivors in
+  exec_ok rdb "insert into ingest values (0, 'post-failover')";
+  Format.printf
+    "failover: %d/%d acked rows on the promoted replica (%d lost); \
+     post-promote write ok@."
+    survivors n lost;
+  record ~section:"replication" ~query:"failover"
+    [
+      ("acked_rows", Json.Int n);
+      ("replicated_rows", Json.Int survivors);
+      ("lost_rows", Json.Int lost);
+    ];
+  Engine.close rdb
+
 (* ---------- driver ---------- *)
 
 let all_sections =
   [
     "figure8"; "table1"; "partitioning"; "parallel"; "clientsim";
     "pipeline"; "ablation"; "analyze"; "throughput"; "transactions";
-    "governor"; "durability"; "vectorized"; "server"; "micro";
+    "governor"; "durability"; "vectorized"; "server"; "replication";
+    "micro";
   ]
 
 let run_section ~msf ~repeat = function
@@ -1694,6 +1835,7 @@ let run_section ~msf ~repeat = function
   | "durability" -> bench_durability ~msf ~repeat ()
   | "vectorized" -> bench_vectorized ~msf ~repeat ()
   | "server" -> bench_server ~msf ~repeat ()
+  | "replication" -> bench_replication ~msf ~repeat ()
   | "micro" -> bench_micro ()
   | other ->
       Format.eprintf "unknown section %s (known: %s)@." other

@@ -7,14 +7,20 @@
      dune exec bin/gapply_server.exe -- \
        [--listen HOST:PORT] [--http-port PORT] [--acceptors N]
        [--max-concurrent N] [--queue-depth N] [--admission-timeout-ms MS]
-       [--idle-timeout-ms MS] [--drain-timeout-ms MS]
-       [--tpch MSF] [--data-dir DIR] [--durability MODE]
-       [--timeout MS] [--row-limit N] [--mem-limit BYTES]
-       [--parallelism N] [--batch-size N]
+       [--per-client-cap N] [--idle-timeout-ms MS] [--drain-timeout-ms MS]
+       [--replica-of HOST:PORT] [--tpch MSF] [--data-dir DIR]
+       [--durability MODE] [--timeout MS] [--row-limit N]
+       [--mem-limit BYTES] [--parallelism N] [--batch-size N]
 
    The bound port is announced on stdout as "listening on PORT" (an
    ephemeral --listen HOST:0 resolves here — the CI smoke test and the
-   bench driver parse this line). *)
+   bench driver parse this line).
+
+   With --replica-of the node serves reads while continuously applying
+   the primary's WAL stream; writes are refused with a typed read-only
+   redirect naming the primary.  SIGUSR1 promotes it in place: the
+   applier stops at its durable mark and the engine starts accepting
+   writes. *)
 
 open Cmdliner
 
@@ -32,8 +38,9 @@ let parse_listen s =
       | _ -> None)
 
 let main listen http_port acceptors max_concurrent queue_depth
-    admission_timeout_ms idle_timeout_ms drain_timeout_ms tpch_msf data_dir
-    durability timeout_ms row_limit mem_limit parallelism batch_size =
+    admission_timeout_ms per_client_cap idle_timeout_ms drain_timeout_ms
+    replica_of tpch_msf data_dir durability timeout_ms row_limit mem_limit
+    parallelism batch_size =
   let host, port =
     match parse_listen listen with
     | Some hp -> hp
@@ -41,6 +48,25 @@ let main listen http_port acceptors max_concurrent queue_depth
         Format.eprintf "bad --listen %s (HOST:PORT or PORT)@." listen;
         exit 2
   in
+  let replica_target =
+    match replica_of with
+    | None -> None
+    | Some s -> (
+        match parse_listen s with
+        | Some hp -> Some hp
+        | None ->
+            Format.eprintf "bad --replica-of %s (HOST:PORT)@." s;
+            exit 2)
+  in
+  if replica_target <> None && data_dir = None then begin
+    Format.eprintf "--replica-of requires --data-dir@.";
+    exit 2
+  end;
+  if replica_target <> None && tpch_msf <> None then begin
+    Format.eprintf "--tpch conflicts with --replica-of (a replica only \
+                    writes what the primary ships)@.";
+    exit 2
+  end;
   let durability =
     match durability with
     | None -> None
@@ -65,7 +91,8 @@ let main listen http_port acceptors max_concurrent queue_depth
      the shutdown signals process-wide before any thread is spawned
      (children inherit the mask) and receive them synchronously with
      Thread.wait_signal below. *)
-  ignore (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
+  ignore
+    (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint; Sys.sigusr1 ]);
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let db =
     try
@@ -86,6 +113,22 @@ let main listen http_port acceptors max_concurrent queue_depth
       Engine.load_tpch db ~msf;
       Format.printf "loaded TPC-H micro data at msf %g@." msf
   | None -> ());
+  (* One stats instance shared by the applier and the server's hub, so
+     \repl and /metrics on a replica node show the apply counters. *)
+  let repl_stats = Repl_stats.create () in
+  let replica =
+    ref
+      (match replica_target with
+      | None -> None
+      | Some (rhost, rport) ->
+          let r =
+            Repl.start_replica ~stats:repl_stats ~host:rhost ~port:rport db
+          in
+          Format.printf "replicating from %s:%d (reads served here, \
+                         writes redirected)@."
+            rhost rport;
+          Some r)
+  in
   let cfg =
     {
       Server.host;
@@ -94,12 +137,13 @@ let main listen http_port acceptors max_concurrent queue_depth
       max_concurrent;
       queue_depth;
       admission_timeout_ms;
+      per_client_cap;
       idle_timeout_ms;
       http_port;
     }
   in
   let srv =
-    try Server.start cfg db
+    try Server.start ~repl_stats cfg db
     with Unix.Unix_error (e, _, _) ->
       Format.eprintf "cannot listen on %s:%d: %s@." host port
         (Unix.error_message e);
@@ -110,8 +154,30 @@ let main listen http_port acceptors max_concurrent queue_depth
   | Some p -> Format.printf "metrics on %d@." p
   | None -> ());
   Format.print_flush ();
-  let _signal = Thread.wait_signal [ Sys.sigterm; Sys.sigint ] in
+  (* SIGUSR1 promotes a replica in place and keeps serving; SIGTERM /
+     SIGINT drain and exit. *)
+  let rec wait_loop () =
+    let signal =
+      Thread.wait_signal [ Sys.sigterm; Sys.sigint; Sys.sigusr1 ]
+    in
+    if signal = Sys.sigusr1 then begin
+      (match !replica with
+      | Some r ->
+          Repl.promote r;
+          replica := None;
+          Format.printf "promoted: now accepting writes as a primary@.";
+          Format.print_flush ()
+      | None -> ());
+      wait_loop ()
+    end
+  in
+  wait_loop ();
   Format.printf "draining...@.";
+  (match !replica with
+  | Some r ->
+      Format.printf "replica %s@." (Repl.status r);
+      Repl.stop_replica r
+  | None -> ());
   Server.stop ~drain_timeout_ms srv;
   Engine.close db;
   Format.printf "%a@." Net_stats.pp (Net_stats.snapshot (Server.stats srv));
@@ -153,6 +219,22 @@ let admission_timeout_arg =
        & info [ "admission-timeout-ms" ] ~docv:"MS"
            ~doc:"Maximum time a statement may wait in the admission \
                  queue before being shed.")
+
+let per_client_cap_arg =
+  Arg.(value & opt int 0
+       & info [ "per-client-cap" ] ~docv:"N"
+           ~doc:"Maximum admission slots one authenticated client may \
+                 hold at once (0 = no quota).  Over-cap statements \
+                 queue and are shed with a typed quota reason at the \
+                 admission deadline.")
+
+let replica_of_arg =
+  Arg.(value & opt (some string) None
+       & info [ "replica-of" ] ~docv:"HOST:PORT"
+           ~doc:"Run as a read-serving replica of the given primary: \
+                 continuously apply its WAL stream, refuse writes with \
+                 a typed redirect, promote on SIGUSR1.  Requires \
+                 --data-dir.")
 
 let idle_timeout_arg =
   Arg.(value & opt int 0
@@ -216,7 +298,8 @@ let cmd =
     (Cmd.info "gapply_server" ~doc)
     Term.(const main $ listen_arg $ http_port_arg $ acceptors_arg
           $ max_concurrent_arg $ queue_depth_arg $ admission_timeout_arg
-          $ idle_timeout_arg $ drain_timeout_arg $ tpch_arg $ data_dir_arg
+          $ per_client_cap_arg $ idle_timeout_arg $ drain_timeout_arg
+          $ replica_of_arg $ tpch_arg $ data_dir_arg
           $ durability_arg $ timeout_arg $ row_limit_arg $ mem_limit_arg
           $ parallelism_arg $ batch_size_arg)
 

@@ -48,6 +48,11 @@ type t = {
                    reads latest-committed, as before this existed) *)
   txn_stats : Txn_stats.t;
   txn_seq : int Atomic.t;  (* transaction ids, engine-wide *)
+  mutable read_only : Errors.read_only_info option;
+      (* writes refused with the typed [Errors.Read_only] when set: a
+         replica names its primary here, and a disk-full degrade sets it
+         with no primary.  Reads are never affected, and the replication
+         applier bypasses the gate (it is the write path). *)
   mutable dsess : session option;  (* lazily-created default session
                                       backing the sessionless exec API *)
 }
@@ -174,8 +179,17 @@ let create ?(partition = Compile.Hash_partition) ?(optimize = true) ?cbo
       (match mvcc with Some b -> b | None -> true) && mvcc_enabled_from_env ();
     txn_stats = Txn_stats.create ();
     txn_seq = Atomic.make 1;
+    read_only = None;
     dsess = None;
   }
+
+let read_only db = db.read_only
+let set_read_only db info = db.read_only <- info
+
+let check_writable db =
+  match db.read_only with
+  | None -> ()
+  | Some info -> raise (Errors.Read_only info)
 
 let catalog db = db.catalog
 let mvcc_enabled db = db.mvcc
@@ -285,8 +299,148 @@ let wal_report db =
    as [Fault.Crash] — deliberately not an engine error: the statement
    was applied in memory but never acknowledged, exactly the window a
    real crash hits. *)
+(* ENOSPC surfaces here as the typed [Errors.Disk_full]: the statement
+   fails, and the engine flips to read-only instead of crashing.  The
+   in-memory apply already happened, so memory may run ahead of the
+   durable log — exactly the already-handled crash window (applied but
+   never acknowledged); a restart recovers the durable prefix. *)
+let degrade_on_disk_full db f =
+  try f ()
+  with Errors.Disk_full _ as e ->
+    db.read_only <-
+      Some
+        {
+          Errors.primary = None;
+          ro_detail = "WAL device out of space: engine degraded to read-only";
+        };
+    raise e
+
 let log_committed db sql =
-  match db.store with None -> () | Some s -> Store.log_statement s sql
+  match db.store with
+  | None -> ()
+  | Some s -> degrade_on_disk_full db (fun () -> Store.log_statement s sql)
+
+(* ---------- replication ----------
+
+   Primary side: the streaming sender reads positions and raw durable
+   WAL bytes through here; everything position-related is taken under
+   the commit (ddl) lock so an (epoch, offset) pair can never straddle
+   a checkpoint's snapshot-then-reset sequence.
+
+   Replica side: the applier replays shipped commit units through the
+   same stamped MVCC path local commits use (reserve a timestamp, apply,
+   log, publish under the commit lock), then logs the whole batch as one
+   local transaction group ending in a [Wal.Repl_mark] — recovery
+   replays complete groups only, so the applied data and the resume
+   position are crash-atomic. *)
+
+let repl_store db =
+  match db.store with
+  | None -> Errors.exec_errorf "replication requires a data directory"
+  | Some s -> s
+
+let watermark db = Catalog.current_ts db.catalog
+
+(** Primary (epoch, durable offset) — the stream position a subscriber
+    may be served up to. *)
+let repl_position db =
+  let s = repl_store db in
+  Mutex.protect db.ddl_lock (fun () ->
+      (Store.wal_epoch s, Store.wal_durable_length s))
+
+(** Raw durable WAL bytes for the sender.  Held under the commit lock so
+    the read can never race a checkpoint's truncation; batches are small
+    (the sender's max-batch knob), so writers stall negligibly. *)
+let repl_read_wal db ~pos ~len =
+  let s = repl_store db in
+  Mutex.protect db.ddl_lock (fun () -> Store.read_wal_bytes s ~pos ~len)
+
+(** Consistent snapshot transfer: flush, then capture (epoch, offset,
+    body) atomically with respect to commits — a bootstrapping replica
+    installs the body and subscribes from exactly that position, so
+    commits racing the transfer are neither lost nor double-applied. *)
+let repl_snapshot db =
+  let s = repl_store db in
+  Mutex.protect db.ddl_lock (fun () ->
+      Store.flush s;
+      (Store.wal_epoch s, Store.wal_length s, Snapshot.encode_body db.catalog))
+
+let set_on_durable db f =
+  match db.store with None -> () | Some s -> Store.set_on_durable s f
+
+let repl_recovered_position db =
+  match db.recovery with
+  | Some o -> o.Recovery.repl_position
+  | None -> None
+
+let repl_recovered_diverged db =
+  match db.recovery with
+  | Some o -> o.Recovery.repl_diverged
+  | None -> false
+
+let strip_markers =
+  List.filter (function
+    | Wal.Txn_begin _ | Wal.Txn_commit _ | Wal.Repl_mark _ -> false
+    | Wal.Stmt _ | Wal.Load_tpch _ -> true)
+
+(** Apply one batch of complete replication units (each the records of
+    one primary commit unit: a bare statement, a bulk load, or a whole
+    transaction group) and advance the replicated watermark to [mark].
+    Each unit gets its own reserved-then-published commit timestamp, so
+    replica readers see exactly a committed prefix of the primary's
+    history — never a partially applied unit.  Bypasses the read-only
+    gate: this {e is} the replica's write path. *)
+let apply_replicated db units ~mark =
+  let id = Atomic.fetch_and_add db.txn_seq 1 in
+  Mutex.protect db.ddl_lock (fun () ->
+      List.iter
+        (fun unit_records ->
+          let ts = Catalog.next_commit_ts db.catalog in
+          List.iter
+            (fun r ->
+              match r with
+              | Wal.Stmt sql -> (
+                  match Sql_parser.parse_statement sql with
+                  | Sql_ast.Stmt_insert (name, rows) ->
+                      let table, bound =
+                        Sql_binder.bind_insert_rows db.catalog name rows
+                      in
+                      Table.insert_all ~ts table bound
+                  | stmt -> ignore (Sql_binder.bind_statement db.catalog stmt))
+              | Wal.Load_tpch { seed; msf } ->
+                  ignore (Tpch_gen.load ?seed ~ts db.catalog ~msf)
+              | Wal.Txn_begin _ | Wal.Txn_commit _ | Wal.Repl_mark _ -> ())
+            unit_records;
+          Catalog.publish_commit_ts db.catalog ts)
+        units;
+      (* one local group for the whole batch: primary-side unit
+         boundaries collapse into it (batch atomicity subsumes unit
+         atomicity), and the trailing mark records how far catch-up
+         durably reached *)
+      Store.log_repl_group (repl_store db) ~id ~mark
+        (List.concat_map strip_markers units));
+  ignore (Plan_cache.invalidate_stale db.cache db.catalog)
+
+(** Persist a bare position mark (bootstrap, or right after a replica
+    checkpoint erased the previous marks with the WAL reset). *)
+let repl_log_mark db ~mark =
+  let id = Atomic.fetch_and_add db.txn_seq 1 in
+  Mutex.protect db.ddl_lock (fun () ->
+      Store.log_repl_group (repl_store db) ~id ~mark [])
+
+(** Install a transferred primary snapshot: adopt the decoded catalog,
+    then persist it via a local checkpoint plus a fresh mark so a
+    restart resumes from the same primary position instead of
+    re-transferring. *)
+let install_replica_snapshot db ~mark body =
+  let incoming = Snapshot.decode_body body in
+  let id = Atomic.fetch_and_add db.txn_seq 1 in
+  Mutex.protect db.ddl_lock (fun () ->
+      Catalog.adopt db.catalog ~from:incoming;
+      let s = repl_store db in
+      ignore (Store.checkpoint s);
+      Store.log_repl_group s ~id ~mark []);
+  ignore (Plan_cache.invalidate_stale db.cache db.catalog)
 
 (* Knob setters need no cache action: the knobs are part of the cache
    key, so flipping one key-splits — the old entries stay behind for
@@ -410,6 +564,7 @@ let governed_attempt : 'a. ?budget:Governor.budget -> t ->
 (** Load the TPC-H style dataset (supplier/part/partsupp) at micro scale
     factor [msf] (1.0 = 100 suppliers / 2000 parts / 8000 partsupp). *)
 let load_tpch ?seed db ~msf =
+  check_writable db;
   Mutex.protect db.ddl_lock (fun () ->
       (* the bulk load is a commit like any other: its rows are stamped
          with a reserved timestamp that is published only after the load
@@ -421,7 +576,8 @@ let load_tpch ?seed db ~msf =
          parameters is a complete redo record *)
       (match db.store with
       | None -> ()
-      | Some s -> Store.log_load_tpch s ~seed ~msf);
+      | Some s ->
+          degrade_on_disk_full db (fun () -> Store.log_load_tpch s ~seed ~msf));
       Catalog.publish_commit_ts db.catalog ts);
   ignore (Plan_cache.invalidate_stale db.cache db.catalog)
 
@@ -1008,6 +1164,7 @@ let apply_set sess name (v : Sql_ast.set_value) : outcome =
    representation committed rows have), and buffer.  Shared state is
    untouched until COMMIT. *)
 let stage_insert db tx name rows stmt =
+  check_writable db;
   let table, bound = Sql_binder.bind_insert_rows db.catalog name rows in
   let encoded = List.map (Table.encode_row table) bound in
   let key = String.lowercase_ascii (Table.name table) in
@@ -1038,6 +1195,7 @@ let stage_insert db tx name rows stmt =
    visible atomically (the clock moves only after every table has its
    rows in).  Readers never take this lock. *)
 let commit_txn db tx =
+  check_writable db;
   Mutex.protect db.ddl_lock (fun () ->
       List.iter
         (fun (name, st) ->
@@ -1066,7 +1224,9 @@ let commit_txn db tx =
          reaches disk makes recovery quarantine the whole group *)
       (match db.store with
       | None -> ()
-      | Some s -> Store.log_txn s ~id:tx.txn_id (List.rev tx.wstmts));
+      | Some s ->
+          degrade_on_disk_full db (fun () ->
+              Store.log_txn s ~id:tx.txn_id (List.rev tx.wstmts)));
       Catalog.publish_commit_ts db.catalog ts)
 
 (* Execute one parsed statement on a session; [sql] is the normalized
@@ -1181,6 +1341,7 @@ let exec_stmt sess ~sql (stmt : Sql_ast.statement) : outcome =
          through the same stamped path as COMMIT (reserve a timestamp,
          apply, log, publish), so concurrent snapshot readers never see
          its rows mid-statement. *)
+      check_writable db;
       let msg =
         Mutex.protect db.ddl_lock (fun () ->
             let table, bound =
@@ -1212,6 +1373,7 @@ let exec_stmt sess ~sql (stmt : Sql_ast.statement) : outcome =
              interleave queries freely, but two writers to the same
              table must not race); the eager sweep then evicts exactly
              the entries whose fingerprints the statement changed. *)
+          check_writable db;
           let msg =
             Mutex.protect db.ddl_lock (fun () ->
                 match Sql_binder.bind_statement db.catalog stmt with

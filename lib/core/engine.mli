@@ -231,6 +231,74 @@ val wal_stats : t -> Wal_stats.snapshot option
 val wal_report : t -> string
 (** One-line durability summary (the CLI's [\wal]). *)
 
+(** {1 Read-only mode}
+
+    When set, every write path (autocommit INSERT, staged INSERT,
+    COMMIT, DDL, bulk load) refuses with the typed {!Errors.Read_only}
+    carrying this payload — a replica names its primary so clients can
+    redirect, and a disk-full degrade sets it with no primary.  Reads
+    are never affected.  {!apply_replicated} bypasses the gate (it is
+    the replica's write path). *)
+
+val read_only : t -> Errors.read_only_info option
+val set_read_only : t -> Errors.read_only_info option -> unit
+
+(** {1 Replication}
+
+    Primary side: positions and raw durable WAL bytes are read under
+    the commit lock, so an (epoch, offset) pair can never straddle a
+    checkpoint.  Replica side: shipped commit units replay through the
+    same stamped MVCC path local commits use, and each applied batch is
+    logged as one local transaction group ending in a {!Wal.Repl_mark} —
+    data and resume position are crash-atomic.
+
+    All of these raise {!Errors.Exec_error} without a data directory. *)
+
+val watermark : t -> int
+(** The published commit timestamp — on a replica, the replicated
+    watermark its reads resolve against. *)
+
+val repl_position : t -> int * int
+(** Primary (epoch, durable offset): the stream position a subscriber
+    may be served up to. *)
+
+val repl_read_wal : t -> pos:int -> len:int -> string
+(** Raw durable WAL bytes for the streaming sender; may return fewer
+    bytes at end-of-file. *)
+
+val repl_snapshot : t -> int * int * string
+(** Consistent snapshot transfer: flush, then capture
+    [(epoch, wal_offset, body)] atomically with respect to commits. *)
+
+val set_on_durable : t -> (unit -> unit) -> unit
+(** Replication wake-up hook, forwarded to {!Store.set_on_durable}; a
+    no-op without a data directory. *)
+
+val repl_recovered_position : t -> (int * int) option
+(** The primary-side position recovery found in the local WAL's last
+    replication mark — where a restarted replica resumes catch-up. *)
+
+val repl_recovered_diverged : t -> bool
+(** Recovery found local commits {e after} the last replication mark: a
+    promoted ex-replica whose history is no longer a prefix of any
+    primary's.  The applier must subscribe as diverged (and be
+    refused), never resume from the stale mark. *)
+
+val apply_replicated : t -> Wal.record list list -> mark:int * int -> unit
+(** Apply a batch of complete replication units (each one primary
+    commit unit's records) and durably advance the replicated watermark
+    to [mark]. *)
+
+val repl_log_mark : t -> mark:int * int -> unit
+(** Persist a bare position mark (bootstrap, or right after a replica
+    checkpoint erased previous marks with the WAL reset). *)
+
+val install_replica_snapshot : t -> mark:int * int -> string -> unit
+(** Install a transferred primary snapshot body ({!Snapshot.decode_body}
+    + {!Catalog.adopt}), then checkpoint locally and log a fresh mark so
+    a restart resumes from [mark] instead of re-transferring.
+    @raise Errors.Recovery_error on a malformed body. *)
+
 (** {1 Plan cache} *)
 
 val plan_cache : t -> Plan_cache.t

@@ -22,10 +22,16 @@ type config = {
   max_concurrent : int;
   queue_depth : int;
   admission_timeout_ms : int;
+  per_client_cap : int;          (* 0 = no per-client quota *)
 }
 
 let default_config =
-  { max_concurrent = 4; queue_depth = 16; admission_timeout_ms = 100 }
+  {
+    max_concurrent = 4;
+    queue_depth = 16;
+    admission_timeout_ms = 100;
+    per_client_cap = 0;
+  }
 
 type t = {
   cfg : config;
@@ -38,6 +44,7 @@ type t = {
   mutable stopped : bool;        (* ticker shutdown *)
   mutable ewma_service_ns : float;
   mutable ticker : Thread.t option;
+  by_client : (string, int) Hashtbl.t;  (* token -> running count *)
 }
 
 let tick_interval = 0.002 (* 2ms: bounds deadline-check latency *)
@@ -56,7 +63,20 @@ let create ?stats cfg =
     stopped = false;
     ewma_service_ns = 0.;
     ticker = None;
+    by_client = Hashtbl.create 16;
   }
+
+(* Per-client bookkeeping; all called with [t.mu] held. *)
+let client_count_locked t c =
+  match Hashtbl.find_opt t.by_client c with Some n -> n | None -> 0
+
+let incr_client_locked t c =
+  Hashtbl.replace t.by_client c (client_count_locked t c + 1)
+
+let decr_client_locked t c =
+  match client_count_locked t c - 1 with
+  | n when n <= 0 -> Hashtbl.remove t.by_client c
+  | n -> Hashtbl.replace t.by_client c n
 
 let ticker_loop t =
   let continue_ = ref true in
@@ -106,21 +126,43 @@ let note_service t elapsed_ns =
         (if t.ewma_service_ns = 0. then float_of_int elapsed_ns
          else (0.8 *. t.ewma_service_ns) +. (0.2 *. float_of_int elapsed_ns)))
 
-let release t =
+let release t client =
   Mutex.protect t.mu (fun () ->
       t.running <- t.running - 1;
+      (match client with Some c -> decr_client_locked t c | None -> ());
       Condition.broadcast t.cond)
 
-(* Admit or shed, then run [f] inside the slot. *)
-let admit t f =
+(* Admit or shed, then run [f] inside the slot.  [client] is the quota
+   identity: with [per_client_cap] set, a client already holding its
+   fair share of slots queues behind everyone else even while the gate
+   has room, and a deadline expiry in that state is shed as [Quota] —
+   the typed signal that the client, not the server, is the
+   bottleneck. *)
+let admit ?client t f =
   let deadline =
     now_ns () + (t.cfg.admission_timeout_ms * 1_000_000)
+  in
+  let quota =
+    match client with
+    | Some c when t.cfg.per_client_cap > 0 -> Some c
+    | _ -> None
+  in
+  let client_ok () =
+    match quota with
+    | None -> true
+    | Some c -> client_count_locked t c < t.cfg.per_client_cap
+  in
+  let take_slot () =
+    t.running <- t.running + 1;
+    match quota with Some c -> incr_client_locked t c | None -> ()
   in
   let decision =
     Mutex.protect t.mu (fun () ->
         if t.draining then `Shed (Net_stats.Draining, "server is draining")
-        else if t.running < t.cfg.max_concurrent && t.waiting = 0 then begin
-          t.running <- t.running + 1;
+        else if
+          t.running < t.cfg.max_concurrent && t.waiting = 0 && client_ok ()
+        then begin
+          take_slot ();
           `Admitted
         end
         else if t.waiting >= t.cfg.queue_depth then
@@ -131,11 +173,12 @@ let admit t f =
           let result = ref `Wait in
           while !result = `Wait do
             if t.draining then result := `Drained
-            else if t.running < t.cfg.max_concurrent then begin
-              t.running <- t.running + 1;
+            else if t.running < t.cfg.max_concurrent && client_ok () then begin
+              take_slot ();
               result := `Slot
             end
-            else if now_ns () > deadline then result := `Deadline
+            else if now_ns () > deadline then
+              result := (if client_ok () then `Deadline else `Quota)
             else Condition.wait t.cond t.mu
           done;
           t.waiting <- t.waiting - 1;
@@ -143,6 +186,11 @@ let admit t f =
           | `Slot -> `Admitted
           | `Deadline ->
               `Shed (Net_stats.Deadline, "admission deadline exceeded")
+          | `Quota ->
+              `Shed
+                ( Net_stats.Quota,
+                  Printf.sprintf "client over per-client cap of %d"
+                    t.cfg.per_client_cap )
           | `Drained | `Wait ->
               `Shed (Net_stats.Draining, "server is draining")
         end)
@@ -155,7 +203,7 @@ let admit t f =
       Fun.protect
         ~finally:(fun () ->
           note_service t (now_ns () - t0);
-          release t)
+          release t quota)
         f
 
 let begin_drain t =
@@ -187,6 +235,8 @@ let stop t =
 
 let running t = Mutex.protect t.mu (fun () -> t.running)
 let queued t = Mutex.protect t.mu (fun () -> t.waiting)
+
+let client_running t c = Mutex.protect t.mu (fun () -> client_count_locked t c)
 
 let retry_after_ms t = Mutex.protect t.mu (fun () -> retry_after_ms_locked t)
 let ewma_service_ms t =

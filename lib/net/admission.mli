@@ -18,6 +18,12 @@ type config = {
   max_concurrent : int;       (** statements executing at once (>= 1) *)
   queue_depth : int;          (** bounded waiters beyond the gate (>= 0) *)
   admission_timeout_ms : int; (** max time a statement may queue *)
+  per_client_cap : int;
+      (** max slots one authenticated client may hold at once; 0
+          disables the quota.  Prevents one greedy client from
+          monopolizing the gate: over-cap statements queue as usual but
+          a deadline expiry while quota-blocked is shed with the typed
+          [Quota] reason instead of [Deadline]. *)
 }
 
 val default_config : config
@@ -27,10 +33,13 @@ type t
 val create : ?stats:Net_stats.t -> config -> t
 (** @raise Invalid_argument on a non-positive gate or negative queue. *)
 
-val admit : t -> (unit -> 'a) -> 'a
+val admit : ?client:string -> t -> (unit -> 'a) -> 'a
 (** Run the thunk inside an execution slot, queueing if the gate is
-    full.  @raise Errors.Overloaded when shed (queue full, deadline
-    exceeded, or draining) — the thunk never ran. *)
+    full.  [client] is the quota identity (an authenticated token);
+    with [per_client_cap] set, a client at its cap queues even while
+    the gate has room.  @raise Errors.Overloaded when shed (queue full,
+    deadline exceeded, quota-blocked at deadline, or draining) — the
+    thunk never ran. *)
 
 val begin_drain : t -> unit
 (** Stop admitting: queued waiters are flushed with [Overloaded],
@@ -47,6 +56,9 @@ val stop : t -> unit
 
 val running : t -> int
 val queued : t -> int
+
+val client_running : t -> string -> int
+(** Slots currently held by one client token. *)
 
 val retry_after_ms : t -> int
 (** The backoff hint a shed issued now would carry. *)

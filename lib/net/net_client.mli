@@ -25,3 +25,74 @@ val close : t -> unit
 
 val fd : t -> Unix.file_descr
 (** The raw socket — chaos tests use it to tear connections mid-frame. *)
+
+(** Exponential backoff with full jitter, the shared retry policy of
+    {!Persistent} and the replication applier's reconnect loop.  Each
+    failed attempt doubles a delay ceiling (bounded by [cap_ms]); the
+    returned delay is uniform in [0, ceiling], floored by any
+    server-supplied retry-after hint.  Deterministic given [seed]. *)
+module Backoff : sig
+  type t
+
+  val create : ?base_ms:int -> ?cap_ms:int -> seed:int -> unit -> t
+  (** Defaults: [base_ms = 5], [cap_ms = 2000]. *)
+
+  val next_delay_ms : ?hint_ms:int -> t -> int
+  (** Delay before the next attempt, advancing the exponent.
+      [hint_ms] is a floor (a typed shed's retry-after beats our
+      guess). *)
+
+  val reset : t -> unit
+  (** Call after a success: the next failure starts from [base_ms]. *)
+
+  val attempts : t -> int
+  (** Consecutive failures since the last {!reset}. *)
+end
+
+(** A self-healing client: dials lazily, re-dials with {!Backoff} after
+    transport errors, re-authenticates with its token on every new
+    connection, and retries typed [Overloaded] sheds honouring the
+    server's retry-after hint.
+
+    Retrying after a {e transport} error resends the request, which may
+    re-execute a statement the server already ran — callers issue
+    idempotent work (reads, the bench driver's inserts into keyless
+    tables) or accept at-least-once.  An [Overloaded] shed by contrast
+    is always safe to retry: nothing ran. *)
+module Persistent : sig
+  type t
+
+  val create :
+    ?host:string ->
+    port:int ->
+    ?token:string ->
+    ?seed:int ->
+    ?base_ms:int ->
+    ?cap_ms:int ->
+    ?max_attempts:int ->
+    unit ->
+    t
+  (** No I/O happens until the first {!request}.  [token] is the
+      admission-quota identity sent as an [Auth] frame after each
+      (re)connect.  [max_attempts] (default 8) bounds the attempts of
+      one [request] call, counting both transport failures and
+      [Overloaded] sheds. *)
+
+  val request : t -> Wire.request -> Wire.response
+  (** Send one request, transparently dialing/retrying.  After
+      [max_attempts] the last [Overloaded] response is returned (typed,
+      for the caller to act on) or the last transport exception is
+      re-raised. *)
+
+  val query : t -> string -> Wire.response
+  val meta : t -> string -> Wire.response
+
+  val reconnects : t -> int
+  (** Times the underlying connection was torn down and re-dialed. *)
+
+  val connected : t -> bool
+
+  val close : t -> unit
+  (** Close the underlying socket; further requests are
+      [Invalid_argument]. *)
+end

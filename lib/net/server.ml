@@ -29,6 +29,7 @@ type config = {
   max_concurrent : int;
   queue_depth : int;
   admission_timeout_ms : int;
+  per_client_cap : int;         (* 0 = no per-client quota *)
   idle_timeout_ms : int;        (* 0 = no idle timeout *)
   http_port : int option;       (* health/metrics listener; 0 = ephemeral *)
 }
@@ -41,6 +42,7 @@ let default_config =
     max_concurrent = 4;
     queue_depth = 16;
     admission_timeout_ms = 100;
+    per_client_cap = 0;
     idle_timeout_ms = 0;
     http_port = None;
   }
@@ -50,6 +52,7 @@ type t = {
   cfg : config;
   adm : Admission.t;
   stats : Net_stats.t;
+  repl : Repl.hub;
   lfd : Unix.file_descr;
   port : int;
   http : (Unix.file_descr * int) option;
@@ -76,6 +79,8 @@ let error_class (e : exn) =
   | Errors.Txn_conflict _ -> "txn_conflict"
   | Errors.Recovery_error _ -> "recovery"
   | Errors.Overloaded _ -> "overloaded"
+  | Errors.Read_only _ -> "read_only"
+  | Errors.Disk_full _ -> "disk_full"
   | Wire.Protocol_error _ -> "protocol"
   | _ -> "internal"
 
@@ -103,9 +108,9 @@ let send_quietly fd resp =
   try Wire.write_response fd resp with
   | Unix.Unix_error _ | Wire.Protocol_error _ -> ()
 
-let handle_query t sess sql =
+let handle_query t sess ?client sql =
   match
-    Admission.admit t.adm (fun () -> Engine.exec_session sess sql)
+    Admission.admit ?client t.adm (fun () -> Engine.exec_session sess sql)
   with
   | outcome -> response_of_outcome outcome
   | exception Errors.Overloaded o ->
@@ -119,8 +124,13 @@ let handle_query t sess sql =
 
 let handle_meta t sess cmd = ignore t; response_of_outcome (Meta.run sess cmd)
 
+let repl_status_body t =
+  Format.asprintf "repl: %a" Repl_stats.pp
+    (Repl_stats.snapshot (Repl.hub_stats t.repl))
+
 let connection_loop t fd =
   let sess = Engine.new_session t.db in
+  let client = ref None in
   if t.cfg.idle_timeout_ms > 0 then
     Unix.setsockopt_float fd Unix.SO_RCVTIMEO
       (float_of_int t.cfg.idle_timeout_ms /. 1000.);
@@ -135,8 +145,22 @@ let connection_loop t fd =
     | Some Wire.Quit | Some (Wire.Meta ("\\q" | "\\quit")) ->
         send_quietly fd Wire.Goodbye;
         quit := true
+    | Some (Wire.Auth token) ->
+        (* the admission-quota identity for the rest of the connection *)
+        client := Some token;
+        send_quietly fd (Wire.Message "authenticated")
+    | Some (Wire.Repl_subscribe { lineage; epoch; offset }) ->
+        (* the connection stops speaking request/response and becomes a
+           one-way replication stream until drain or disconnect *)
+        Repl.serve t.repl fd
+          ~stopping:(fun () -> Mutex.protect t.mu (fun () -> t.stopping))
+          ~lineage ~epoch ~offset;
+        quit := true
+    | Some (Wire.Meta "\\repl") ->
+        send_quietly fd (Wire.Message (repl_status_body t))
     | Some (Wire.Meta cmd) -> send_quietly fd (handle_meta t sess cmd)
-    | Some (Wire.Query sql) -> send_quietly fd (handle_query t sess sql)
+    | Some (Wire.Query sql) ->
+        send_quietly fd (handle_query t sess ?client:!client sql)
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         (* idle past the read timeout: tell the client and reap *)
         Net_stats.idle_timeout t.stats;
@@ -216,6 +240,8 @@ let prometheus_body t =
     s.Net_stats.shed_timeout;
   line "gapply_statements_shed_total{reason=\"draining\"} %d"
     s.Net_stats.shed_draining;
+  line "gapply_statements_shed_total{reason=\"quota\"} %d"
+    s.Net_stats.shed_quota;
   line "# TYPE gapply_protocol_errors_total counter";
   line "gapply_protocol_errors_total %d" s.Net_stats.protocol_errors;
   line "# TYPE gapply_idle_timeouts_total counter";
@@ -237,6 +263,24 @@ let prometheus_body t =
     g.Gov_stats.row_limits;
   line "gapply_governor_violations_total{kind=\"cancelled\"} %d"
     g.Gov_stats.cancellations;
+  let r = Repl_stats.snapshot (Repl.hub_stats t.repl) in
+  line "# TYPE gapply_repl_subscribers gauge";
+  line "gapply_repl_subscribers %d" r.Repl_stats.subscribers;
+  line "# TYPE gapply_repl_batches_sent_total counter";
+  line "gapply_repl_batches_sent_total %d" r.Repl_stats.batches_sent;
+  line "# TYPE gapply_repl_bytes_sent_total counter";
+  line "gapply_repl_bytes_sent_total %d" r.Repl_stats.bytes_sent;
+  line "# TYPE gapply_repl_snapshots_sent_total counter";
+  line "gapply_repl_snapshots_sent_total %d" r.Repl_stats.snapshots_sent;
+  line "# TYPE gapply_repl_heartbeats_sent_total counter";
+  line "gapply_repl_heartbeats_sent_total %d" r.Repl_stats.heartbeats_sent;
+  line "# TYPE gapply_repl_diverged_rejections_total counter";
+  line "gapply_repl_diverged_rejections_total %d"
+    r.Repl_stats.diverged_rejections;
+  line "# TYPE gapply_repl_batches_applied_total counter";
+  line "gapply_repl_batches_applied_total %d" r.Repl_stats.batches_applied;
+  line "# TYPE gapply_repl_lag_bytes gauge";
+  line "gapply_repl_lag_bytes %d" (Repl_stats.lag_bytes r);
   Buffer.contents b
 
 (* One-shot HTTP/1.0: read the request head (bounded), answer, close.
@@ -316,7 +360,7 @@ let listen_on host port =
   in
   (fd, bound)
 
-let start ?stats cfg db =
+let start ?stats ?repl_stats cfg db =
   let stats = match stats with Some s -> s | None -> Net_stats.create () in
   let adm =
     Admission.create ~stats
@@ -324,8 +368,10 @@ let start ?stats cfg db =
         Admission.max_concurrent = cfg.max_concurrent;
         queue_depth = cfg.queue_depth;
         admission_timeout_ms = cfg.admission_timeout_ms;
+        per_client_cap = cfg.per_client_cap;
       }
   in
+  let repl = Repl.create_hub ?stats:repl_stats db in
   (* every statement must carry a cancellation token, or drain could
      not abort in-flight work with unlimited budgets *)
   Engine.set_always_governed db true;
@@ -341,6 +387,7 @@ let start ?stats cfg db =
       cfg;
       adm;
       stats;
+      repl;
       lfd;
       port;
       http;
@@ -363,6 +410,7 @@ let port t = t.port
 let http_port t = match t.http with Some (_, p) -> Some p | None -> None
 let stats t = t.stats
 let admission t = t.adm
+let repl_stats t = Repl.hub_stats t.repl
 
 let stop ?(drain_timeout_ms = 5000) t =
   let already = Mutex.protect t.mu (fun () ->

@@ -24,6 +24,9 @@ type config = {
   max_concurrent : int;         (** admission gate *)
   queue_depth : int;            (** bounded admission queue *)
   admission_timeout_ms : int;   (** max queueing time before a shed *)
+  per_client_cap : int;
+      (** max admission slots one [Auth]-identified client may hold at
+          once; 0 disables the quota (see {!Admission}) *)
   idle_timeout_ms : int;        (** reap silent connections; 0 = never *)
   http_port : int option;
       (** plain-HTTP [/health] + [/metrics] (Prometheus text) listener;
@@ -32,13 +35,17 @@ type config = {
 
 val default_config : config
 (** Loopback, ephemeral port, gate 4, queue 16, 100 ms admission
-    deadline, no idle timeout, no HTTP listener. *)
+    deadline, no per-client quota, no idle timeout, no HTTP listener. *)
 
 type t
 
-val start : ?stats:Net_stats.t -> config -> Engine.t -> t
-(** Bind, listen, and serve.  Raises [Unix.Unix_error] if the address
-    cannot be bound. *)
+val start : ?stats:Net_stats.t -> ?repl_stats:Repl_stats.t -> config ->
+  Engine.t -> t
+(** Bind, listen, and serve.  Also registers the replication hub: a
+    connection sending [Repl_subscribe] becomes a WAL stream served by
+    {!Repl.serve} on its own thread (replication streams bypass
+    admission — they are not statements).  Raises [Unix.Unix_error] if
+    the address cannot be bound. *)
 
 val port : t -> int
 (** The bound SQL port (resolves ephemeral requests). *)
@@ -47,6 +54,10 @@ val http_port : t -> int option
 
 val stats : t -> Net_stats.t
 val admission : t -> Admission.t
+
+val repl_stats : t -> Repl_stats.t
+(** The replication hub's counters (also rendered by [/metrics] and the
+    [\repl] meta-command). *)
 
 val stop : ?drain_timeout_ms:int -> t -> unit
 (** Graceful drain (default 5 s bound on waiting for in-flight

@@ -5,9 +5,11 @@
    layer is byte-transparent).  Integers inside payloads are u32 LE.
 
    Requests:
-     'Q' query   payload = SQL text (one statement)
-     'M' meta    payload = backslash command
-     'X' quit    payload empty
+     'Q' query     payload = SQL text (one statement)
+     'M' meta      payload = backslash command
+     'A' auth      payload = client token (admission-quota identity)
+     'S' subscribe payload = lineage u8 | epoch u64 LE | offset u64 LE
+     'X' quit      payload empty
 
    Responses:
      'R' rows        payload = row count u32 | rendered table
@@ -15,7 +17,16 @@
      'E' explanation payload = text
      'F' failed      payload = class len u8 | class | message
      'O' overloaded  payload = queue depth u32 | retry-after ms u32 | message
+     's' snapshot    payload = epoch u64 | wal offset u64 | snapshot body
+     'b' batch       payload = epoch u64 | start offset u64 | raw WAL bytes
+     'h' heartbeat   payload = epoch u64 | durable offset u64
      'G' goodbye     payload empty
+
+   A subscription ('S') turns the connection into a one-way replication
+   stream: the primary answers with 's'/'b'/'h' frames (or a typed 'F')
+   until either side closes.  The batch payload is the primary's WAL
+   bytes verbatim — records keep their own CRC framing, so the replica
+   re-validates integrity with exactly the recovery scanner.
 
    A frame over [max_frame] (or an unknown tag) raises
    {!Protocol_error}: the server answers with a typed 'F' frame of
@@ -25,7 +36,20 @@ exception Protocol_error of string
 
 let max_frame = 64 * 1024 * 1024
 
-type request = Query of string | Meta of string | Quit
+(* What a subscriber claims about its local state; the primary's
+   position rules key on this.  [Marked] is a genuine replica resuming
+   from a durable replication mark; [Bootstrap] has nothing (or asks for
+   a fresh snapshot explicitly); [Unmarked] carries local history that
+   never came from replication — an ex-primary whose diverged tail must
+   be rejected, never silently rewound. *)
+type lineage = Bootstrap | Marked | Unmarked
+
+type request =
+  | Query of string
+  | Meta of string
+  | Auth of string
+  | Repl_subscribe of { lineage : lineage; epoch : int; offset : int }
+  | Quit
 
 type response =
   | Rows of { count : int; body : string }
@@ -33,6 +57,9 @@ type response =
   | Explanation of string
   | Failed of { cls : string; message : string }
   | Overloaded of { queue_depth : int; retry_after_ms : int; message : string }
+  | Repl_snapshot of { epoch : int; offset : int; body : string }
+  | Repl_batch of { epoch : int; offset : int; data : string }
+  | Repl_heartbeat of { epoch : int; offset : int }
   | Goodbye
 
 (* ---------- payload primitives ---------- *)
@@ -53,11 +80,46 @@ let get_u32 s pos =
   lor (Char.code s.[pos + 2] lsl 16)
   lor (Char.code s.[pos + 3] lsl 24)
 
+(* Replication positions are byte offsets and epochs: they outgrow u32
+   on any long-lived log, so they ride as u64 (non-negative). *)
+let put_u64 buf n =
+  if n < 0 then raise (Protocol_error (Printf.sprintf "u64 out of range: %d" n));
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xff))
+  done
+
+let get_u64 s pos =
+  if pos + 8 > String.length s then
+    raise (Protocol_error "truncated u64 in payload");
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[pos + i]
+  done;
+  !v
+
+let lineage_to_byte = function
+  | Bootstrap -> '\000'
+  | Marked -> '\001'
+  | Unmarked -> '\002'
+
+let lineage_of_byte = function
+  | '\000' -> Bootstrap
+  | '\001' -> Marked
+  | '\002' -> Unmarked
+  | c -> raise (Protocol_error (Printf.sprintf "unknown lineage byte %C" c))
+
 (* ---------- encoding (to tag + payload) ---------- *)
 
 let encode_request = function
   | Query sql -> ('Q', sql)
   | Meta cmd -> ('M', cmd)
+  | Auth token -> ('A', token)
+  | Repl_subscribe { lineage; epoch; offset } ->
+      let buf = Buffer.create 17 in
+      Buffer.add_char buf (lineage_to_byte lineage);
+      put_u64 buf epoch;
+      put_u64 buf offset;
+      ('S', Buffer.contents buf)
   | Quit -> ('X', "")
 
 let encode_response = function
@@ -82,6 +144,23 @@ let encode_response = function
       put_u32 buf retry_after_ms;
       Buffer.add_string buf message;
       ('O', Buffer.contents buf)
+  | Repl_snapshot { epoch; offset; body } ->
+      let buf = Buffer.create (String.length body + 16) in
+      put_u64 buf epoch;
+      put_u64 buf offset;
+      Buffer.add_string buf body;
+      ('s', Buffer.contents buf)
+  | Repl_batch { epoch; offset; data } ->
+      let buf = Buffer.create (String.length data + 16) in
+      put_u64 buf epoch;
+      put_u64 buf offset;
+      Buffer.add_string buf data;
+      ('b', Buffer.contents buf)
+  | Repl_heartbeat { epoch; offset } ->
+      let buf = Buffer.create 16 in
+      put_u64 buf epoch;
+      put_u64 buf offset;
+      ('h', Buffer.contents buf)
   | Goodbye -> ('G', "")
 
 (* ---------- decoding (from tag + payload) ---------- *)
@@ -90,6 +169,16 @@ let decode_request tag payload =
   match tag with
   | 'Q' -> Query payload
   | 'M' -> Meta payload
+  | 'A' -> Auth payload
+  | 'S' ->
+      if String.length payload <> 17 then
+        raise (Protocol_error "bad subscribe payload size");
+      Repl_subscribe
+        {
+          lineage = lineage_of_byte payload.[0];
+          epoch = get_u64 payload 1;
+          offset = get_u64 payload 9;
+        }
   | 'X' -> Quit
   | c -> raise (Protocol_error (Printf.sprintf "unknown request tag %C" c))
 
@@ -118,6 +207,21 @@ let decode_response tag payload =
           retry_after_ms = get_u32 payload 4;
           message = String.sub payload 8 (String.length payload - 8);
         }
+  | 's' ->
+      Repl_snapshot
+        {
+          epoch = get_u64 payload 0;
+          offset = get_u64 payload 8;
+          body = String.sub payload 16 (String.length payload - 16);
+        }
+  | 'b' ->
+      Repl_batch
+        {
+          epoch = get_u64 payload 0;
+          offset = get_u64 payload 8;
+          data = String.sub payload 16 (String.length payload - 16);
+        }
+  | 'h' -> Repl_heartbeat { epoch = get_u64 payload 0; offset = get_u64 payload 8 }
   | 'G' -> Goodbye
   | c -> raise (Protocol_error (Printf.sprintf "unknown response tag %C" c))
 

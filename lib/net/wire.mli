@@ -17,9 +17,22 @@ val max_frame : int
 (** Upper bound on a frame payload (64 MiB); larger frames are a
     protocol error, not an allocation. *)
 
+type lineage =
+  | Bootstrap  (** no local state (or an explicit resync request):
+                   please send a snapshot *)
+  | Marked     (** a genuine replica resuming from a durable
+                   replication mark *)
+  | Unmarked   (** local history that never came from replication — an
+                   ex-primary whose diverged tail must be rejected,
+                   never silently rewound *)
+
 type request =
   | Query of string  (** one SQL statement *)
   | Meta of string   (** backslash meta-command, e.g. ["\\cache"] *)
+  | Auth of string   (** client token: the admission-quota identity *)
+  | Repl_subscribe of { lineage : lineage; epoch : int; offset : int }
+      (** turn this connection into a replication stream from the given
+          primary-side position *)
   | Quit
 
 type response =
@@ -30,9 +43,19 @@ type response =
   | Failed of { cls : string; message : string }
       (** typed statement failure; [cls] is the stable error class
           ("parse", "name", "type", "exec", "timeout", "cancelled",
-          "txn_conflict", "protocol", ...) *)
+          "txn_conflict", "read_only", "disk_full", "repl_diverged",
+          "protocol", ...) *)
   | Overloaded of { queue_depth : int; retry_after_ms : int; message : string }
       (** admission shed: nothing ran; back off and retry *)
+  | Repl_snapshot of { epoch : int; offset : int; body : string }
+      (** whole-database transfer stamped with the WAL position it
+          covers; stream resumes from (epoch, offset) *)
+  | Repl_batch of { epoch : int; offset : int; data : string }
+      (** raw primary WAL bytes starting at (epoch, offset); records
+          keep their own CRC framing *)
+  | Repl_heartbeat of { epoch : int; offset : int }
+      (** primary liveness + durable position when there is nothing to
+          ship *)
   | Goodbye
 
 (** {1 Framed IO over file descriptors}

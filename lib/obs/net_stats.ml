@@ -11,6 +11,7 @@ type t = {
   shed_queue_full : Metrics.counter;
   shed_timeout : Metrics.counter;   (* queued past the admission deadline *)
   shed_draining : Metrics.counter;  (* rejected because a drain began *)
+  shed_quota : Metrics.counter;     (* client over its fair-share cap *)
   protocol_errors : Metrics.counter;
   idle_timeouts : Metrics.counter;  (* connections reaped for silence *)
   drain_cancelled : Metrics.counter;
@@ -26,6 +27,7 @@ let create () =
     shed_queue_full = Metrics.counter ();
     shed_timeout = Metrics.counter ();
     shed_draining = Metrics.counter ();
+    shed_quota = Metrics.counter ();
     protocol_errors = Metrics.counter ();
     idle_timeouts = Metrics.counter ();
     drain_cancelled = Metrics.counter ();
@@ -41,12 +43,13 @@ let connection_closed t =
 
 let admitted t = Metrics.incr t.admitted
 
-type shed_reason = Queue_full | Deadline | Draining
+type shed_reason = Queue_full | Deadline | Draining | Quota
 
 let shed t = function
   | Queue_full -> Metrics.incr t.shed_queue_full
   | Deadline -> Metrics.incr t.shed_timeout
   | Draining -> Metrics.incr t.shed_draining
+  | Quota -> Metrics.incr t.shed_quota
 
 let protocol_error t = Metrics.incr t.protocol_errors
 let idle_timeout t = Metrics.incr t.idle_timeouts
@@ -60,6 +63,7 @@ type snapshot = {
   shed_queue_full : int;
   shed_timeout : int;
   shed_draining : int;
+  shed_quota : int;
   protocol_errors : int;
   idle_timeouts : int;
   drain_cancelled : int;
@@ -74,6 +78,7 @@ let snapshot (t : t) =
     shed_queue_full = Metrics.get t.shed_queue_full;
     shed_timeout = Metrics.get t.shed_timeout;
     shed_draining = Metrics.get t.shed_draining;
+    shed_quota = Metrics.get t.shed_quota;
     protocol_errors = Metrics.get t.protocol_errors;
     idle_timeouts = Metrics.get t.idle_timeouts;
     drain_cancelled = Metrics.get t.drain_cancelled;
@@ -86,16 +91,18 @@ let reset (t : t) =
   Metrics.reset t.shed_queue_full;
   Metrics.reset t.shed_timeout;
   Metrics.reset t.shed_draining;
+  Metrics.reset t.shed_quota;
   Metrics.reset t.protocol_errors;
   Metrics.reset t.idle_timeouts;
   Metrics.reset t.drain_cancelled
 
-let sheds (s : snapshot) = s.shed_queue_full + s.shed_timeout + s.shed_draining
+let sheds (s : snapshot) =
+  s.shed_queue_full + s.shed_timeout + s.shed_draining + s.shed_quota
 
 let pp ppf (s : snapshot) =
   Format.fprintf ppf
     "conns=%d/%d active=%d admitted=%d shed=%d (queue=%d deadline=%d \
-     drain=%d) proto_err=%d idle=%d cancelled=%d"
+     drain=%d quota=%d) proto_err=%d idle=%d cancelled=%d"
     s.accepted s.closed s.active s.admitted (sheds s) s.shed_queue_full
-    s.shed_timeout s.shed_draining s.protocol_errors s.idle_timeouts
-    s.drain_cancelled
+    s.shed_timeout s.shed_draining s.shed_quota s.protocol_errors
+    s.idle_timeouts s.drain_cancelled

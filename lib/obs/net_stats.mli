@@ -19,6 +19,8 @@ type shed_reason =
   | Queue_full  (** admission queue at capacity when the statement arrived *)
   | Deadline    (** queued, but no slot freed before the admission deadline *)
   | Draining    (** rejected because a graceful drain had begun *)
+  | Quota       (** the client was at its per-client fair-share cap while
+                    other clients held the remaining slots *)
 
 val shed : t -> shed_reason -> unit
 val protocol_error : t -> unit
@@ -33,6 +35,7 @@ type snapshot = {
   shed_queue_full : int;
   shed_timeout : int;
   shed_draining : int;
+  shed_quota : int;
   protocol_errors : int;
   idle_timeouts : int;
   drain_cancelled : int;

@@ -1,0 +1,73 @@
+(** Replication counters and position gauges.
+
+    Same contract as {!Net_stats}: lock-free atomics recorded from the
+    primary's per-subscriber sender threads and the replica's applier
+    thread, with a snapshot type for attributing one run.  Primary-side
+    and replica-side counters live in one [t] so a promoted replica
+    keeps its history; lag is derived from the two position gauges. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Primary side} *)
+
+val subscriber_connected : t -> unit
+val subscriber_disconnected : t -> unit
+
+val batch_sent : t -> bytes:int -> unit
+(** One batch frame shipped, carrying [bytes] of raw WAL. *)
+
+val snapshot_sent : t -> unit
+val heartbeat_sent : t -> unit
+
+val diverged_rejected : t -> unit
+(** A subscriber was turned away because its local history cannot be a
+    prefix of ours (ex-primary rewind, position past our durable end). *)
+
+(** {1 Replica side} *)
+
+val batch_applied : t -> units:int -> unit
+(** One batch applied, containing [units] complete transaction groups
+    or bare statements. *)
+
+val snapshot_installed : t -> unit
+val reconnected : t -> unit
+
+val torn : t -> unit
+(** A CRC or framing fault detected in the incoming stream. *)
+
+val set_applied : t -> epoch:int -> offset:int -> unit
+(** The replica's durable applied position (primary coordinates). *)
+
+val set_primary_position : t -> epoch:int -> offset:int -> unit
+(** The primary's durable position as last heard (batch or heartbeat). *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  subscribers : int;  (** gauge: live replication streams *)
+  batches_sent : int;
+  bytes_sent : int;
+  snapshots_sent : int;
+  heartbeats_sent : int;
+  diverged_rejections : int;
+  batches_applied : int;
+  units_applied : int;
+  snapshots_installed : int;
+  reconnects : int;
+  torn_detected : int;
+  applied_epoch : int;
+  applied_offset : int;
+  primary_epoch : int;
+  primary_offset : int;
+}
+
+val snapshot : t -> snapshot
+
+val lag_bytes : snapshot -> int
+(** Apply lag in bytes: a plain difference within one epoch; across a
+    checkpoint boundary, the new epoch's unapplied prefix (a lower
+    bound). *)
+
+val pp : Format.formatter -> snapshot -> unit

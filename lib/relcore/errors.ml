@@ -154,6 +154,38 @@ let overload_to_string (o : overload_info) =
     (if o.odetail = "" then "server over capacity" else o.odetail)
     o.queue_depth o.retry_after_ms
 
+(* Single-writer violations are typed so a replica (or a primary that
+   degraded after a disk-full event) can answer writes with a machine-
+   readable redirect instead of a generic failure: the payload names the
+   primary when one is known, so a well-behaved client can re-issue the
+   statement there. *)
+
+type read_only_info = {
+  primary : string option;  (* "host:port" of the writable primary, if known *)
+  ro_detail : string;
+}
+
+exception Read_only of read_only_info
+
+let read_onlyf ?primary fmt =
+  Format.kasprintf
+    (fun ro_detail -> raise (Read_only { primary; ro_detail }))
+    fmt
+
+let read_only_to_string (r : read_only_info) =
+  Printf.sprintf "%s%s" r.ro_detail
+    (match r.primary with
+    | None -> ""
+    | Some p -> Printf.sprintf " (primary at %s)" p)
+
+exception Disk_full of string
+(** The WAL device rejected an append (ENOSPC, or the injected
+    equivalent).  The engine reacts by degrading to read-only rather
+    than crashing: in-memory state may be ahead of the durable log at
+    that point, which is exactly the already-handled crash window. *)
+
+let disk_fullf fmt = Format.kasprintf (fun s -> raise (Disk_full s)) fmt
+
 let type_errorf fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 let name_errorf fmt = Format.kasprintf (fun s -> raise (Name_error s)) fmt
 let parse_errorf fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
@@ -172,10 +204,13 @@ let to_string = function
   | Recovery_error v -> "recovery error: " ^ recovery_violation_to_string v
   | Txn_conflict v -> "transaction conflict: " ^ txn_violation_to_string v
   | Overloaded o -> "overloaded: " ^ overload_to_string o
+  | Read_only r -> "read-only: " ^ read_only_to_string r
+  | Disk_full m -> "disk full: " ^ m
   | e -> raise e
 
 let is_engine_error = function
   | Type_error _ | Name_error _ | Parse_error _ | Plan_error _ | Exec_error _
-  | Resource_error _ | Recovery_error _ | Txn_conflict _ | Overloaded _ ->
+  | Resource_error _ | Recovery_error _ | Txn_conflict _ | Overloaded _
+  | Read_only _ | Disk_full _ ->
       true
   | _ -> false

@@ -119,6 +119,31 @@ val overloadedf :
 
 val overload_to_string : overload_info -> string
 
+(** {1 Single-writer violations}
+
+    A replica (or a primary that degraded after a disk-full event)
+    answers write statements with {!Read_only}: a machine-readable
+    redirect naming the writable primary when one is known, so clients
+    can re-issue the statement there instead of retrying locally. *)
+
+type read_only_info = {
+  primary : string option;  (** "host:port" of the writable primary *)
+  ro_detail : string;
+}
+
+exception Read_only of read_only_info
+
+val read_onlyf :
+  ?primary:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val read_only_to_string : read_only_info -> string
+
+exception Disk_full of string
+(** The WAL device rejected an append (ENOSPC or the injected
+    equivalent); the engine degrades to read-only instead of crashing. *)
+
+val disk_fullf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
 val type_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val name_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val parse_errorf : ('a, Format.formatter, unit, 'b) format4 -> 'a

@@ -243,6 +243,24 @@ let dict_stats cat =
       | Some s -> Dict_stats.add acc s)
     Dict_stats.zero tables
 
+(** Replication snapshot install: replace this catalog's entire
+    contents — tables, indexes, cached statistics — with another's (a
+    freshly decoded snapshot body that nothing else references yet).
+    The generation bump invalidates every cached plan, and the commit
+    clock only moves forward (monotone merge), so snapshots pinned by
+    in-flight readers keep resolving against the tables they captured
+    while new readers see the adopted state. *)
+let adopt cat ~from =
+  locked cat (fun () ->
+      Hashtbl.reset cat.tables;
+      Hashtbl.reset cat.stats;
+      Hashtbl.reset cat.indexes;
+      Hashtbl.iter (fun k v -> Hashtbl.replace cat.tables k v) from.tables;
+      Hashtbl.iter (fun k v -> Hashtbl.replace cat.indexes k v) from.indexes);
+  publish_commit_ts cat (current_ts from);
+  bump_generation cat;
+  Atomic.incr cat.stats_epoch
+
 (** Current version of [table] ([0] when it does not exist): the
     per-table half of the plan cache's invalidation fingerprint. *)
 let table_version cat name =

@@ -114,3 +114,10 @@ val covers_primary_key : t -> table:string -> cols:string list -> bool
 val dict_stats : t -> Dict_stats.t
 (** Dictionary-encoding statistics summed over every table
     ({!Dict_stats.zero} when none carries a dictionary). *)
+
+val adopt : t -> from:t -> unit
+(** Replace this catalog's entire contents (tables, indexes, cached
+    statistics) with [from]'s — the replication applier installs a
+    freshly decoded primary snapshot this way.  Bumps {!generation}
+    (invalidating every cached plan) and merges the commit clock
+    monotonically; [from] must be private to the caller. *)

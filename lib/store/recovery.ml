@@ -48,6 +48,17 @@ type outcome = {
                                      discarded with its trailing group *)
   recovered_epoch : int;          (* epoch the reopened WAL runs under *)
   recovered_wal_length : int;
+  repl_position : (int * int) option;
+      (* last replication mark in the committed prefix: the primary-side
+         (epoch, offset) a replica's catch-up resumes from.  None on a
+         primary (which never logs marks) or when a checkpoint has
+         folded every mark into the snapshot. *)
+  repl_diverged : bool;
+      (* payload records committed after the last replication mark's
+         group: this node has marks AND local writes of its own — a
+         promoted ex-replica whose history can no longer be a prefix of
+         any primary's.  Resuming from [repl_position] would silently
+         rewind those writes, so the applier must refuse. *)
 }
 
 let file_size path =
@@ -90,11 +101,39 @@ let uncommitted_cut (records : (int * Wal.record) list) =
       match r with
       | Wal.Txn_begin id -> Some (off, id, 0)
       | Wal.Txn_commit _ -> None
+      | Wal.Repl_mark _ -> acc  (* position-only: keeps the group open
+                                   but is not a lost statement *)
       | Wal.Stmt _ | Wal.Load_tpch _ -> (
           match acc with
           | Some (o, id, n) -> Some (o, id, n + 1)
           | None -> None))
     None records
+
+(* Latest replication mark in the committed prefix, plus divergence:
+   marks live inside their batch's transaction group ([Txn_begin],
+   statements, mark, [Txn_commit]), so after the uncommitted cut the
+   last one seen is exactly the position whose data is fully applied.
+   A payload record committed {e outside} a marked group after that
+   mark means the node took writes of its own (it was promoted): its
+   history is no longer a prefix of any primary's, and the stale mark
+   must not be offered as a resume position. *)
+let repl_lineage records =
+  let mark, _, diverged =
+    List.fold_left
+      (fun (mark, in_marked, diverged) (_, r) ->
+        match r with
+        | Wal.Repl_mark { repl_epoch; repl_offset } ->
+            (* statements earlier in this same group were replicated
+               data: they cleared [diverged] retroactively by design *)
+            (Some (repl_epoch, repl_offset), true, false)
+        | Wal.Txn_commit _ -> (mark, false, diverged)
+        | Wal.Txn_begin _ -> (mark, in_marked, diverged)
+        | Wal.Stmt _ | Wal.Load_tpch _ ->
+            (mark, in_marked,
+             diverged || ((not in_marked) && mark <> None)))
+      (None, false, false) records
+  in
+  (mark, diverged)
 
 let replay_record catalog = function
   | Wal.Stmt sql ->
@@ -102,10 +141,12 @@ let replay_record catalog = function
         (Sql_binder.bind_statement catalog (Sql_parser.parse_statement sql))
   | Wal.Load_tpch { seed; msf } ->
       ignore (Tpch_gen.load ?seed catalog ~msf)
-  | Wal.Txn_begin _ | Wal.Txn_commit _ ->
-      (* group markers: recovery only ever replays complete groups (an
-         unterminated trailing group is quarantined before replay), so
-         the statements between the markers apply directly *)
+  | Wal.Txn_begin _ | Wal.Txn_commit _ | Wal.Repl_mark _ ->
+      (* group markers and replication watermarks: recovery only ever
+         replays complete groups (an unterminated trailing group is
+         quarantined before replay), so the statements between the
+         markers apply directly; the mark's position is reported in the
+         outcome, not applied *)
       ()
 
 let replay ~stats catalog records ~from_offset =
@@ -115,7 +156,7 @@ let replay ~stats catalog records ~from_offset =
         if offset < from_offset then n
         else
           match record with
-          | Wal.Txn_begin _ | Wal.Txn_commit _ -> n
+          | Wal.Txn_begin _ | Wal.Txn_commit _ | Wal.Repl_mark _ -> n
           | record ->
               replay_record catalog record;
               n + 1)
@@ -158,6 +199,8 @@ let recover ?(stats = Wal_stats.create ()) dir =
           uncommitted_skipped = 0;
           recovered_epoch = 0;
           recovered_wal_length = Wal.length wal;
+          repl_position = None;
+          repl_diverged = false;
         } )
   | snapshot, Some scan ->
       let snap_epoch, from_offset, catalog =
@@ -218,6 +261,7 @@ let recover ?(stats = Wal_stats.create ()) dir =
         Wal.open_existing ~stats wal_file ~epoch:scan.scanned_epoch
           ~length:valid_length
       in
+      let repl_position, repl_diverged = repl_lineage records in
       ( catalog,
         wal,
         {
@@ -227,6 +271,8 @@ let recover ?(stats = Wal_stats.create ()) dir =
           uncommitted_skipped;
           recovered_epoch = scan.scanned_epoch;
           recovered_wal_length = valid_length;
+          repl_position;
+          repl_diverged;
         } )
   | Some { Snapshot.catalog; snap_epoch; _ }, None ->
       (* snapshot without a log: trust it and start a fresh log one
@@ -241,6 +287,8 @@ let recover ?(stats = Wal_stats.create ()) dir =
           uncommitted_skipped = 0;
           recovered_epoch = snap_epoch + 1;
           recovered_wal_length = Wal.length wal;
+          repl_position = None;
+          repl_diverged = false;
         } )
 
 (** Hex digest of the canonical whole-database serialization; two

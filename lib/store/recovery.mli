@@ -34,6 +34,16 @@ type outcome = {
           discarded with its trailing group *)
   recovered_epoch : int;
   recovered_wal_length : int;
+  repl_position : (int * int) option;
+      (** last {!Wal.Repl_mark} in the committed prefix: the
+          primary-side (epoch, offset) a replica resumes catch-up from.
+          [None] on a primary or when a checkpoint folded every mark
+          into the snapshot. *)
+  repl_diverged : bool;
+      (** payload records committed after the last replication mark's
+          group: a promoted ex-replica that took writes of its own.
+          Resuming from [repl_position] would silently rewind them, so
+          the applier must subscribe as diverged (and be refused). *)
 }
 
 val recover : ?stats:Wal_stats.t -> string -> Catalog.t * Wal.t * outcome

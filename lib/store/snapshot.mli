@@ -16,7 +16,15 @@ val write : Catalog.t -> epoch:int -> wal_offset:int -> path:string -> int
 val encode_body : Catalog.t -> string
 (** Canonical serialization of the whole database (tables sorted by
     name, rows in insertion order) — also the basis of
-    [Recovery.db_digest]. *)
+    [Recovery.db_digest], and the payload of a replication snapshot
+    transfer. *)
+
+val decode_body : string -> Catalog.t
+(** Rebuild a catalog from {!encode_body} output.  The replication
+    applier decodes a transferred snapshot body with this before
+    adopting it.
+    @raise Errors.Recovery_error ([Snapshot_corrupt]) on a malformed
+    body. *)
 
 type loaded = {
   catalog : Catalog.t;   (** a freshly rebuilt catalog *)

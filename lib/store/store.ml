@@ -59,6 +59,10 @@ type t = {
   mutable group_commit : int;
   mutable checkpoint_bytes : int;
   mutable closed : bool;
+  mutable on_durable : unit -> unit;
+      (* replication hook: called after any log write that may have
+         advanced the durable prefix, so a streaming sender can wake
+         instead of polling.  Must be cheap and non-raising. *)
 }
 
 let open_dir ?(durability = Strict) ?(group_commit = default_group_commit)
@@ -74,6 +78,7 @@ let open_dir ?(durability = Strict) ?(group_commit = default_group_commit)
       group_commit;
       checkpoint_bytes;
       closed = false;
+      on_durable = (fun () -> ());
     },
     outcome )
 
@@ -85,10 +90,36 @@ let group_commit t = t.group_commit
 let checkpoint_bytes t = t.checkpoint_bytes
 let wal_length t = Wal.length t.wal
 let wal_epoch t = Wal.epoch t.wal
+let wal_durable_length t = Wal.durable_length t.wal
 let set_group_commit t n = t.group_commit <- max 1 n
 let set_checkpoint_bytes t n = t.checkpoint_bytes <- n
+let set_on_durable t f = t.on_durable <- f
 
-let flush t = Wal.fsync t.wal
+let flush t =
+  Wal.fsync t.wal;
+  t.on_durable ()
+
+(* Raw durable WAL bytes for the replication sender: a fresh read-only
+   descriptor per call, so tailing never perturbs the append handle.
+   Returns what the file holds in [pos, pos+len) — the caller only asks
+   for ranges inside the durable prefix, and a concurrent checkpoint
+   truncation is caught by the receiver's CRC/epoch validation. *)
+let read_wal_bytes t ~pos ~len =
+  let path = Recovery.wal_path t.dir in
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      ignore (Unix.lseek fd pos Unix.SEEK_SET);
+      let buf = Bytes.create len in
+      let filled = ref 0 and eof = ref false in
+      while (not !eof) && !filled < len do
+        match Unix.read fd buf !filled (len - !filled) with
+        | 0 -> eof := true
+        | n -> filled := !filled + n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Bytes.sub_string buf 0 !filled)
 
 let checkpoint t =
   Wal.fsync t.wal;
@@ -101,6 +132,7 @@ let checkpoint t =
   if Fault.crash_now Fault.Checkpoint then raise (Fault.Crash Fault.Checkpoint);
   Wal.reset t.wal ~epoch:(epoch + 1);
   Wal_stats.record_checkpoint t.stats;
+  t.on_durable ();
   bytes
 
 let set_durability t d =
@@ -127,7 +159,8 @@ let log_record t record =
   if t.durability <> Off then begin
     ignore (Wal.append t.wal record);
     sync_policy t;
-    maybe_checkpoint t
+    maybe_checkpoint t;
+    t.on_durable ()
   end
 
 let log_statement t sql = log_record t (Wal.Stmt sql)
@@ -145,8 +178,27 @@ let log_txn t ~id stmts =
     List.iter (fun sql -> ignore (Wal.append t.wal (Wal.Stmt sql))) stmts;
     ignore (Wal.append t.wal (Wal.Txn_commit id));
     sync_policy t;
-    maybe_checkpoint t
+    maybe_checkpoint t;
+    t.on_durable ()
   end
+
+(* Replica-side batch logging: one applied replication batch becomes one
+   local transaction group whose last payload record is the primary-side
+   position it reached, followed by an unconditional fsync.  The group
+   is the crash-atomicity unit — recovery either replays the whole batch
+   (and resumes from its mark) or none of it, so catch-up can never
+   duplicate or drop a shipped statement.  Ignores the durability mode:
+   a replica that does not persist its position cannot resume, and the
+   fsync doubles as the batch acknowledgement boundary.  No
+   auto-checkpoint here — the applier checkpoints explicitly so it can
+   re-log a fresh mark right after the WAL reset erases the old ones. *)
+let log_repl_group t ~id ~mark:(repl_epoch, repl_offset) records =
+  ignore (Wal.append t.wal (Wal.Txn_begin id));
+  List.iter (fun r -> ignore (Wal.append t.wal r)) records;
+  ignore (Wal.append t.wal (Wal.Repl_mark { repl_epoch; repl_offset }));
+  ignore (Wal.append t.wal (Wal.Txn_commit id));
+  Wal.fsync t.wal;
+  t.on_durable ()
 
 let close t =
   if not t.closed then begin

@@ -39,6 +39,21 @@ val checkpoint_bytes : t -> int
 val wal_length : t -> int
 val wal_epoch : t -> int
 
+val wal_durable_length : t -> int
+(** End of the fsync-covered WAL prefix — the only bytes the
+    replication sender ever ships (anything past it could still vanish
+    in a crash). *)
+
+val set_on_durable : t -> (unit -> unit) -> unit
+(** Install the replication wake-up hook: called after any log write
+    that may have advanced the durable prefix (fsync, checkpoint,
+    group commit).  Must be cheap and non-raising. *)
+
+val read_wal_bytes : t -> pos:int -> len:int -> string
+(** Raw WAL bytes in [pos, pos+len) via a fresh read-only descriptor;
+    may return fewer bytes at end-of-file.  The replication sender
+    tails the durable prefix with this. *)
+
 val set_group_commit : t -> int -> unit
 val set_checkpoint_bytes : t -> int -> unit
 (** [0] disables the auto-checkpoint trigger. *)
@@ -62,6 +77,15 @@ val log_txn : t -> id:int -> string list -> unit
     sync-policy decision for the whole group (one fsync per transaction
     under [Strict]) and one checkpoint check after it, so a checkpoint
     never splits a group.  A no-op under [Off]. *)
+
+val log_repl_group : t -> id:int -> mark:int * int -> Wal.record list -> unit
+(** Replica-side: log one applied replication batch as a single local
+    transaction group ending in a {!Wal.Repl_mark} with the primary-side
+    (epoch, offset) the batch reached, then fsync unconditionally.
+    Recovery replays whole groups only, so the data and the resume
+    position are crash-atomic.  Ignores the durability mode and never
+    auto-checkpoints (the applier checkpoints explicitly and re-logs a
+    fresh mark). *)
 
 val flush : t -> unit
 (** Fsync any pending records regardless of mode. *)

@@ -41,6 +41,14 @@ type record =
                           COMMIT time, so a crash can only ever leave an
                           unterminated (= uncommitted) trailing group,
                           which recovery discards. *)
+  | Repl_mark of { repl_epoch : int; repl_offset : int }
+      (* replication watermark: a replica logs each applied batch as one
+         local transaction group whose last payload record is the
+         primary-side (epoch, offset) the batch reached.  Because
+         recovery replays only complete groups, the mark and the data it
+         covers are atomic — a crash can never separate them, so catch-up
+         resumes exactly once from the last durable mark.  A primary
+         never writes these; replay treats them as position-only. *)
 
 let magic = "GWAL0001"
 let header_len = 16
@@ -101,6 +109,12 @@ let encode_payload = function
       Buffer.add_char buf '\004';
       put_u64 buf id;
       Buffer.contents buf
+  | Repl_mark { repl_epoch; repl_offset } ->
+      let buf = Buffer.create 17 in
+      Buffer.add_char buf '\005';
+      put_u64 buf repl_epoch;
+      put_u64 buf repl_offset;
+      Buffer.contents buf
 
 let decode_payload payload =
   if payload = "" then Error "empty payload"
@@ -111,6 +125,11 @@ let decode_payload payload =
     | '\004' when String.length payload = 9 ->
         Ok (Txn_commit (get_u64 payload 1))
     | ('\003' | '\004') -> Error "bad txn marker payload size"
+    | '\005' when String.length payload = 17 ->
+        Ok
+          (Repl_mark
+             { repl_epoch = get_u64 payload 1; repl_offset = get_u64 payload 9 })
+    | '\005' -> Error "bad repl mark payload size"
     | '\002' ->
         if String.length payload <> 18 then Error "bad load_tpch payload size"
         else
@@ -134,6 +153,8 @@ let record_to_string = function
         (match seed with Some s -> Printf.sprintf " seed=%d" s | None -> "")
   | Txn_begin id -> Printf.sprintf "txn_begin %d" id
   | Txn_commit id -> Printf.sprintf "txn_commit %d" id
+  | Repl_mark { repl_epoch; repl_offset } ->
+      Printf.sprintf "repl_mark %d:%d" repl_epoch repl_offset
 
 let encode_record r =
   let payload = encode_payload r in
@@ -166,11 +187,12 @@ type t = {
    Partial writes don't count against the bound — they made progress. *)
 let max_io_retries = 64
 
-type write_fault = Short_write | Eintr
+type write_fault = Short_write | Eintr | Enospc
 
 (* Injectable fault site for the unit tests: consulted before every
    write syscall.  [Short_write] forces a 1-byte partial write,
-   [Eintr] makes the attempt fail as if a signal landed mid-write. *)
+   [Eintr] makes the attempt fail as if a signal landed mid-write,
+   [Enospc] as if the device ran out of space. *)
 let write_fault_hook : (unit -> write_fault option) ref = ref (fun () -> None)
 
 let set_write_fault f =
@@ -183,10 +205,20 @@ let write_all fd s pos len =
       try
         match !write_fault_hook () with
         | Some Eintr -> raise (Unix.Unix_error (Unix.EINTR, "write", "injected"))
+        | Some Enospc ->
+            raise (Unix.Unix_error (Unix.ENOSPC, "write", "injected"))
         | Some Short_write when !remaining > 1 ->
             Unix.write_substring fd s !written 1
         | _ -> Unix.write_substring fd s !written !remaining
-      with Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> 0
+      with
+      | Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> 0
+      | Unix.Unix_error (Unix.ENOSPC, _, _) ->
+          (* No retry can help and crashing loses the process for a
+             recoverable condition: surface the typed error so the
+             engine can degrade to read-only.  A partial record already
+             on disk is a torn tail recovery quarantines. *)
+          Errors.disk_fullf
+            "wal: device out of space with %d byte(s) unwritten" !remaining
     in
     if n > 0 then begin
       stalls := 0;
@@ -204,12 +236,14 @@ let write_all fd s pos len =
   done
 
 let rec fsync_fd ?(retries = 0) fd =
-  try Unix.fsync fd
-  with Unix.Unix_error (Unix.EINTR, _, _) ->
-    if retries >= max_io_retries then
-      Errors.exec_errorf "wal: fsync interrupted %d times, giving up"
-        max_io_retries;
-    fsync_fd ~retries:(retries + 1) fd
+  try Unix.fsync fd with
+  | Unix.Unix_error (Unix.EINTR, _, _) ->
+      if retries >= max_io_retries then
+        Errors.exec_errorf "wal: fsync interrupted %d times, giving up"
+          max_io_retries;
+      fsync_fd ~retries:(retries + 1) fd
+  | Unix.Unix_error (Unix.ENOSPC, _, _) ->
+      Errors.disk_fullf "wal: fsync failed, device out of space"
 
 let header_bytes ~epoch =
   let buf = Buffer.create header_len in
@@ -316,21 +350,25 @@ let read_file path =
 
 type parsed =
   | Record of record * int  (* decoded record, next offset *)
+  | Incomplete              (* frame runs past the end of [data] *)
   | Bad of string           (* why this offset does not hold a record *)
   | Eof
 
+(* [Incomplete] vs [Bad] is the load-bearing distinction for the
+   replication applier: a record cut off by the end of the buffer means
+   "wait for more bytes", while a bad marker or checksum means the
+   stream itself is torn and the connection must be abandoned.  For a
+   whole file the two collapse: a frame past EOF is a torn tail. *)
 let parse_at data off =
   let len = String.length data in
   if off = len then Eof
-  else if off + record_overhead > len then Bad "truncated record header"
+  else if off + record_overhead > len then Incomplete
   else if String.sub data off 2 <> marker then Bad "bad record marker"
   else
     let plen = get_u32 data (off + 2) in
     let crc = get_u32 data (off + 6) in
     let start = off + record_overhead in
-    if start + plen > len then
-      Bad (Printf.sprintf "truncated payload (%d of %d bytes)"
-             (len - start) plen)
+    if start + plen > len then Incomplete
     else if Crc32.string ~pos:start ~len:plen data <> crc then
       Bad "checksum mismatch"
     else
@@ -373,7 +411,10 @@ let scan path =
         { scanned_epoch; records = List.rev acc; torn = None;
           valid_length = off; file_length }
     | Record (r, next) -> go ((off, r) :: acc) next
-    | Bad why -> (
+    | (Incomplete | Bad _) as p -> (
+        let why =
+          match p with Bad why -> why | _ -> "truncated record"
+        in
         match valid_record_after data off with
         | Some at ->
             Errors.recovery_errorf ~at_offset:off Errors.Mid_log_corruption
@@ -418,7 +459,10 @@ let dump ppf path =
       | Record (r, next) ->
           Format.fprintf ppf "%8d  ok    %s@." off (record_to_string r);
           go next (n + 1)
-      | Bad why ->
+      | (Incomplete | Bad _) as p ->
+          let why =
+            match p with Bad why -> why | _ -> "truncated record"
+          in
           Format.fprintf ppf "%8d  BAD   %s@." off why;
           (match valid_record_after data off with
           | Some at ->

@@ -33,8 +33,17 @@ type record =
           COMMIT time, so a crash leaves at most one unterminated
           trailing group — an uncommitted transaction recovery
           discards. *)
+  | Repl_mark of { repl_epoch : int; repl_offset : int }
+      (** replication watermark: the primary-side (epoch, offset) a
+          replica's applied batch reached, logged as the last payload
+          record of the batch's local transaction group so position and
+          data are crash-atomic.  Position-only on replay. *)
 
 val record_to_string : record -> string
+val encode_record : record -> string
+(** Framed on-disk encoding (marker, length, checksum, payload) — the
+    exact bytes {!append} writes, and the unit the replication stream
+    ships. *)
 
 type t
 
@@ -82,6 +91,24 @@ type scan_result = {
   file_length : int;
 }
 
+val header_len : int
+(** Fixed size of the file header; offset of the first record. *)
+
+type parsed =
+  | Record of record * int  (** decoded record, next offset *)
+  | Incomplete              (** the frame runs past the end of the data:
+                                wait for more bytes (or, in a file, a
+                                torn tail) *)
+  | Bad of string           (** why this offset does not hold a record *)
+  | Eof                     (** [off] is exactly the end of [data] *)
+
+val parse_at : string -> int -> parsed
+(** Try to decode one framed record at a byte offset.  Exposed for the
+    replication applier, which parses shipped WAL bytes incrementally
+    out of a reassembly buffer using the same torn/corrupt detection as
+    recovery — [Incomplete] means "need more stream", [Bad] means the
+    stream is torn. *)
+
 val scan : string -> scan_result
 (** Read the whole log.  The first bad record ends the readable prefix:
     if no valid record follows it is reported as a torn tail in [torn];
@@ -105,10 +132,12 @@ val dump : Format.formatter -> string -> unit
 
 val max_io_retries : int
 
-type write_fault = Short_write | Eintr
+type write_fault = Short_write | Eintr | Enospc
 
 val set_write_fault : (unit -> write_fault option) option -> unit
 (** Unit-test hook: the callback is consulted before every write
     syscall — [Some Short_write] forces a 1-byte partial write,
-    [Some Eintr] fails the attempt as if a signal landed, [None] lets
-    the write through.  Pass [None] to clear the hook. *)
+    [Some Eintr] fails the attempt as if a signal landed, [Some Enospc]
+    as if the device filled up (surfaced as the typed
+    {!Errors.Disk_full}), [None] lets the write through.  Pass [None]
+    to clear the hook. *)

@@ -32,4 +32,5 @@ let () =
       ("plan-choice", Test_plan_choice.suite);
       ("mvcc", Test_mvcc.suite);
       ("net", Test_net.suite);
+      ("repl", Test_repl.suite);
     ]

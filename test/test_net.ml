@@ -44,7 +44,8 @@ let tmpdir () =
   dir
 
 let server_cfg ?(max_concurrent = 4) ?(queue_depth = 16)
-    ?(admission_timeout_ms = 200) ?(idle_timeout_ms = 0) ?http () =
+    ?(admission_timeout_ms = 200) ?(per_client_cap = 0) ?(idle_timeout_ms = 0)
+    ?http () =
   {
     Server.host = "127.0.0.1";
     port = 0;
@@ -52,6 +53,7 @@ let server_cfg ?(max_concurrent = 4) ?(queue_depth = 16)
     max_concurrent;
     queue_depth;
     admission_timeout_ms;
+    per_client_cap;
     idle_timeout_ms;
     http_port = http;
   }
@@ -181,7 +183,8 @@ let test_admission_gate_queue_shed () =
   let stats = Net_stats.create () in
   let adm =
     Admission.create ~stats
-      { Admission.max_concurrent = 1; queue_depth = 1; admission_timeout_ms = 2000 }
+      { Admission.max_concurrent = 1; queue_depth = 1; admission_timeout_ms = 2000;
+        per_client_cap = 0 }
   in
   let release = Atomic.make false in
   let ra = ref `Pending and rb = ref `Pending in
@@ -221,7 +224,8 @@ let test_admission_deadline_shed () =
   let stats = Net_stats.create () in
   let adm =
     Admission.create ~stats
-      { Admission.max_concurrent = 1; queue_depth = 4; admission_timeout_ms = 30 }
+      { Admission.max_concurrent = 1; queue_depth = 4; admission_timeout_ms = 30;
+        per_client_cap = 0 }
   in
   let release = Atomic.make false in
   let ra = ref `Pending in
@@ -255,6 +259,9 @@ let expect_rows msg = function
            | Wire.Overloaded _ -> "overloaded"
            | Wire.Explanation _ -> "explanation"
            | Wire.Goodbye -> "goodbye"
+           | Wire.Repl_snapshot _ -> "repl snapshot"
+           | Wire.Repl_batch _ -> "repl batch"
+           | Wire.Repl_heartbeat _ -> "repl heartbeat"
            | Wire.Rows _ -> assert false))
 
 let expect_failed msg cls = function
